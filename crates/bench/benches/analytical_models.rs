@@ -1,0 +1,33 @@
+//! Throughput of the analytical layer: memory model, FLOPs model, the
+//! end-to-end estimator, the planner, and full report generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_bench::reports;
+use mt_core::{Estimator, ModelZoo, TrainingPlanner};
+use mt_flops::FlopsModel;
+use mt_memory::{ActivationMemoryModel, Recompute, Strategy, A100_80GB_BYTES};
+use std::hint::black_box;
+
+fn analytical(c: &mut Criterion) {
+    let model = ModelZoo::mtnlg_530b();
+    c.bench_function("memory_model_per_layer", |b| {
+        let act = ActivationMemoryModel::new(model.shape, model.batch.micro, 8);
+        b.iter(|| black_box(act.per_layer_bytes(black_box(Strategy::tp_sp_selective()))))
+    });
+    c.bench_function("flops_model_eq7_eq8", |b| {
+        let f = FlopsModel::new(model.shape, model.batch.global);
+        b.iter(|| black_box(f.hardware_flops(black_box(Recompute::Selective))))
+    });
+    c.bench_function("estimator_table5_row", |b| {
+        let est = Estimator::for_paper_model(&model);
+        b.iter(|| black_box(est.time_report(black_box(Strategy::tp_sp_selective()))))
+    });
+    c.bench_function("planner_plan_530b", |b| {
+        let planner = TrainingPlanner::new(Estimator::for_paper_model(&model), A100_80GB_BYTES);
+        b.iter(|| black_box(planner.plan()))
+    });
+    c.bench_function("full_report_json", |b| b.iter(|| black_box(reports::all_reports_json())));
+}
+
+criterion_group!(benches, analytical);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Measures the thread-rank collectives — in particular that a
+//! reduce-scatter + all-gather pair is comparable to one all-reduce (the
+//! paper's "sequence parallelism costs no extra communication" identity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_collectives::World;
+use mt_tensor::Tensor;
+use std::hint::black_box;
+
+const RANKS: usize = 4;
+const ELEMS: usize = 64 * 1024;
+
+fn collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_t4_64k");
+    group.sample_size(20);
+    group.bench_function("all_reduce", |b| {
+        b.iter(|| {
+            let out = World::run(RANKS, |comm| {
+                let x = Tensor::full(&[ELEMS], comm.rank() as f32);
+                comm.all_reduce(&x).data()[0]
+            });
+            black_box(out)
+        })
+    });
+    group.bench_function("reduce_scatter_then_all_gather", |b| {
+        b.iter(|| {
+            let out = World::run(RANKS, |comm| {
+                let x = Tensor::full(&[ELEMS, 1], comm.rank() as f32);
+                let shard = comm.reduce_scatter(&x);
+                comm.all_gather(&shard).data()[0]
+            });
+            black_box(out)
+        })
+    });
+    group.bench_function("broadcast", |b| {
+        b.iter(|| {
+            let out = World::run(RANKS, |comm| {
+                let x = Tensor::full(&[ELEMS], comm.rank() as f32);
+                comm.broadcast(&x, 0).data()[0]
+            });
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, collectives);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Measures the *executing* transformer layer under each recomputation
+//! policy — the real-silicon analogue of the paper's Table 4: recomputation
+//! shows up as backward-pass time, selective recomputation much less so than
+//! full.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_collectives::World;
+use mt_memory::Recompute;
+use mt_model::weights::LayerWeights;
+use mt_model::{ActivationLedger, ExecMode, TransformerConfig, TransformerLayer};
+use mt_tensor::rng::{CounterRng, SplitMix64};
+use mt_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_cfg() -> TransformerConfig {
+    TransformerConfig {
+        hidden: 128,
+        heads: 8,
+        seq: 64,
+        micro_batch: 2,
+        layers: 1,
+        vocab: 256,
+        dropout_p: 0.1,
+        causal: true,
+    }
+}
+
+fn layer_forward_backward(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut rng = SplitMix64::new(1);
+    let weights = LayerWeights::init(&cfg, &mut rng);
+    let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+    let dy = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("layer_fwd_bwd_serial");
+    for (name, policy) in [
+        ("store_all", Recompute::None),
+        ("selective", Recompute::Selective),
+        ("full_recompute", Recompute::Full),
+    ] {
+        let layer = TransformerLayer::new(cfg, weights.clone(), 0, policy, CounterRng::new(2));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ledger = ActivationLedger::new();
+                let (y, st) = layer.forward(black_box(&x), 0, &ExecMode::Serial, &mut ledger);
+                let (dx, grads) = layer.backward(black_box(&dy), st, &ExecMode::Serial);
+                black_box((y, dx, grads))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn layer_tensor_parallel(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut rng = SplitMix64::new(3);
+    let weights = LayerWeights::init(&cfg, &mut rng);
+    let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+    let dy = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("layer_fwd_bwd_parallel_t2");
+    group.sample_size(20);
+    for (name, sp) in [("tensor_parallel", false), ("tensor_sequence_parallel", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = World::run(2, |comm| {
+                    let layer = TransformerLayer::new(
+                        cfg,
+                        weights.shard(2, comm.rank()),
+                        0,
+                        Recompute::Selective,
+                        CounterRng::new(2),
+                    );
+                    let mode = if sp {
+                        ExecMode::TensorSequenceParallel(&comm)
+                    } else {
+                        ExecMode::TensorParallel(&comm)
+                    };
+                    let (x_local, dy_local) = if sp {
+                        (
+                            x.chunk_axis0(2).unwrap()[comm.rank()].clone(),
+                            dy.chunk_axis0(2).unwrap()[comm.rank()].clone(),
+                        )
+                    } else {
+                        (x.clone(), dy.clone())
+                    };
+                    let mut ledger = ActivationLedger::new();
+                    let (_, st) = layer.forward(&x_local, 0, &mode, &mut ledger);
+                    layer.backward(&dy_local, st, &mode).0
+                });
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gpt_training_step(c: &mut Criterion) {
+    use mt_model::gpt::Gpt;
+    use mt_model::optim::Adam;
+    let cfg = TransformerConfig {
+        hidden: 64,
+        heads: 4,
+        seq: 32,
+        micro_batch: 2,
+        layers: 2,
+        vocab: 128,
+        dropout_p: 0.1,
+        causal: true,
+    };
+    let mut rng = SplitMix64::new(5);
+    let tokens: Vec<usize> =
+        (0..cfg.tokens()).map(|_| (rng.next_u64() as usize) % cfg.vocab).collect();
+    let targets: Vec<usize> =
+        (0..cfg.tokens()).map(|_| (rng.next_u64() as usize) % cfg.vocab).collect();
+
+    let mut group = c.benchmark_group("gpt_training_step");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("store_all", Recompute::None),
+        ("selective", Recompute::Selective),
+        ("full_recompute", Recompute::Full),
+    ] {
+        group.bench_function(name, |b| {
+            let mut gpt = Gpt::init(cfg, policy, 6);
+            let mut adam = Adam::new(1e-3);
+            b.iter(|| {
+                let mut ledger = ActivationLedger::new();
+                let (loss, grads) = gpt.loss_and_grads(
+                    black_box(&tokens),
+                    black_box(&targets),
+                    0,
+                    &ExecMode::Serial,
+                    &mut ledger,
+                );
+                adam.update(gpt.param_tensors_mut(), &grads.tensors());
+                black_box(loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, layer_forward_backward, layer_tensor_parallel, gpt_training_step);
+criterion_main!(benches);

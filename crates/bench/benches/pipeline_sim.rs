@@ -1,0 +1,30 @@
+//! Throughput of the discrete-event 1F1B simulator at paper scale
+//! (p = 64, n = 512 is the 1T configuration) and with Appendix C budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_pipeline::{PipelineSim, StageCosts};
+use std::hint::black_box;
+
+fn pipeline(c: &mut Criterion) {
+    let costs = StageCosts::new(46.0, 85.0, 1.6);
+    c.bench_function("sim_1f1b_p8_n64", |b| {
+        let sim = PipelineSim::uniform(costs, 8, 64, 0.25);
+        b.iter(|| black_box(sim.simulate_1f1b(None)))
+    });
+    c.bench_function("sim_1f1b_p64_n512", |b| {
+        let sim = PipelineSim::uniform(costs, 64, 512, 0.25);
+        b.iter(|| black_box(sim.simulate_1f1b(None)))
+    });
+    c.bench_function("sim_1f1b_p64_n512_appendix_c", |b| {
+        let sim = PipelineSim::uniform(costs, 64, 512, 0.25);
+        let budget: Vec<u64> = (0..64).map(|i| i / 8).collect();
+        b.iter(|| black_box(sim.simulate_1f1b(Some(black_box(&budget)))))
+    });
+    c.bench_function("interleaved_pricing_p35_m3", |b| {
+        let sim = PipelineSim::uniform(costs, 35, 280, 0.25);
+        b.iter(|| black_box(sim.interleaved_ms(3)))
+    });
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # mt-bench
+//!
+//! Regenerates every table and figure of *"Reducing Activation Recomputation
+//! in Large Transformer Models"* from the workspace's models, as typed rows
+//! (for JSON emission and tests) and formatted text (for the `report`
+//! binary). Criterion benchmarks of the *executing* system live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod reports;

@@ -1,0 +1,282 @@
+//! Two-dimensional process grids: tensor-parallel groups inside
+//! pipeline-parallel stages, the layout the paper's Table 3 configurations
+//! use (`t = 8` ranks per stage × `p` stages).
+
+use crate::group::{Communicator, World};
+
+/// A rank's view of a `tp × pp` grid: a collective communicator over its
+/// tensor-parallel group (its pipeline stage) and a point-to-point
+/// communicator spanning the whole grid for stage-boundary transfers.
+pub struct GridComm {
+    /// Pipeline stage index in `0..pp`.
+    pub stage: usize,
+    /// Rank within the stage's tensor-parallel group, `0..tp`.
+    pub tp_rank: usize,
+    /// Collectives within this stage (size `tp`).
+    pub tp: Communicator,
+    /// Point-to-point across the whole grid (size `tp·pp`); global rank is
+    /// `stage · tp + tp_rank`.
+    pub grid: Communicator,
+}
+
+impl std::fmt::Debug for GridComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridComm")
+            .field("stage", &self.stage)
+            .field("tp_rank", &self.tp_rank)
+            .finish()
+    }
+}
+
+impl GridComm {
+    /// Pipeline depth of the grid.
+    pub fn pp(&self) -> usize {
+        self.grid.size() / self.tp.size()
+    }
+
+    /// Global rank of the same tensor-parallel position one stage later, if
+    /// any.
+    pub fn next_stage_rank(&self) -> Option<usize> {
+        (self.stage + 1 < self.pp()).then(|| (self.stage + 1) * self.tp.size() + self.tp_rank)
+    }
+
+    /// Global rank of the same tensor-parallel position one stage earlier,
+    /// if any.
+    pub fn prev_stage_rank(&self) -> Option<usize> {
+        (self.stage > 0).then(|| (self.stage - 1) * self.tp.size() + self.tp_rank)
+    }
+
+    /// Global rank of the same tensor-parallel position on an arbitrary
+    /// stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= pp`.
+    pub fn peer_on_stage(&self, stage: usize) -> usize {
+        assert!(stage < self.pp(), "stage {stage} out of range");
+        stage * self.tp.size() + self.tp_rank
+    }
+}
+
+/// Spawns a `tp × pp` grid of rank threads and runs `f` on each, returning
+/// results in global-rank order (stage-major: all of stage 0's tensor ranks
+/// first).
+///
+/// # Panics
+///
+/// Panics if `tp == 0` or `pp == 0`, or propagates a rank panic.
+pub fn run_grid<T, F>(tp: usize, pp: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(GridComm) -> T + Sync,
+{
+    assert!(tp > 0 && pp > 0, "grid dimensions must be positive");
+    let mut grid_world = World::new(tp * pp);
+    let mut stage_worlds: Vec<World> = (0..pp).map(|_| World::new(tp)).collect();
+    let mut comms = Vec::with_capacity(tp * pp);
+    #[allow(clippy::needless_range_loop)] // stage indexes two parallel world vectors
+    for stage in 0..pp {
+        for tp_rank in 0..tp {
+            comms.push(GridComm {
+                stage,
+                tp_rank,
+                tp: stage_worlds[stage].communicator(tp_rank),
+                grid: grid_world.communicator(stage * tp + tp_rank),
+            });
+        }
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms.into_iter().map(|c| scope.spawn(|| f(c))).collect();
+        handles.into_iter().map(|h| h.join().expect("grid rank panicked")).collect()
+    })
+}
+
+/// A rank's view of a three-dimensional `dp × pp × tp` grid: data-parallel
+/// replicas of a pipeline of tensor-parallel stages — the full layout of the
+/// paper's Section 6.3 extension (530B at `t = 8, p = 35, dp = 8` on 2240
+/// GPUs).
+pub struct Grid3Comm {
+    /// Data-parallel replica index in `0..dp`.
+    pub dp_rank: usize,
+    /// Collectives across the data-parallel replicas holding the *same*
+    /// model shard (size `dp`) — the gradient all-reduce group.
+    pub dp: Communicator,
+    /// This rank's view of its replica's `tp × pp` grid.
+    pub replica: GridComm,
+}
+
+impl std::fmt::Debug for Grid3Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grid3Comm")
+            .field("dp_rank", &self.dp_rank)
+            .field("stage", &self.replica.stage)
+            .field("tp_rank", &self.replica.tp_rank)
+            .finish()
+    }
+}
+
+/// Spawns a `dp × pp × tp` grid and runs `f` on every rank, returning
+/// results in `(dp, stage, tp)`-major order.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero, or propagates a rank panic.
+pub fn run_grid3<T, F>(dp: usize, tp: usize, pp: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Grid3Comm) -> T + Sync,
+{
+    assert!(dp > 0 && tp > 0 && pp > 0, "grid dimensions must be positive");
+    let mut replica_worlds: Vec<World> = (0..dp).map(|_| World::new(tp * pp)).collect();
+    let mut stage_worlds: Vec<Vec<World>> =
+        (0..dp).map(|_| (0..pp).map(|_| World::new(tp)).collect()).collect();
+    // One dp-group per (stage, tp_rank) position.
+    let mut dp_worlds: Vec<World> = (0..pp * tp).map(|_| World::new(dp)).collect();
+    let mut comms = Vec::with_capacity(dp * tp * pp);
+    for d in 0..dp {
+        for stage in 0..pp {
+            for tp_rank in 0..tp {
+                comms.push(Grid3Comm {
+                    dp_rank: d,
+                    dp: dp_worlds[stage * tp + tp_rank].communicator(d),
+                    replica: GridComm {
+                        stage,
+                        tp_rank,
+                        tp: stage_worlds[d][stage].communicator(tp_rank),
+                        grid: replica_worlds[d].communicator(stage * tp + tp_rank),
+                    },
+                });
+            }
+        }
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms.into_iter().map(|c| scope.spawn(|| f(c))).collect();
+        handles.into_iter().map(|h| h.join().expect("grid rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_tensor::Tensor;
+
+    #[test]
+    fn stage_collectives_are_isolated() {
+        // Each stage all-reduces its own tp_rank values; stages must not
+        // interfere.
+        let out = run_grid(2, 3, |g| {
+            let x = Tensor::full(&[1], (g.stage * 10 + g.tp_rank) as f32);
+            g.tp.all_reduce(&x).data()[0]
+        });
+        // Stage s sum = (10s) + (10s + 1) = 20s + 1.
+        assert_eq!(out, vec![1., 1., 21., 21., 41., 41.]);
+    }
+
+    #[test]
+    fn p2p_crosses_stage_boundaries() {
+        let out = run_grid(2, 2, |g| {
+            if g.stage == 0 {
+                let x = Tensor::full(&[2], g.tp_rank as f32 + 1.0);
+                g.grid.send(g.next_stage_rank().unwrap(), &x);
+                0.0
+            } else {
+                g.grid.recv(g.prev_stage_rank().unwrap()).data()[0]
+            }
+        });
+        assert_eq!(out, vec![0., 0., 1., 2.]);
+    }
+
+    #[test]
+    fn neighbour_ranks_are_consistent() {
+        let out = run_grid(3, 4, |g| {
+            (g.stage, g.tp_rank, g.prev_stage_rank(), g.next_stage_rank())
+        });
+        for (stage, tp_rank, prev, next) in out {
+            if stage == 0 {
+                assert_eq!(prev, None);
+            } else {
+                assert_eq!(prev, Some((stage - 1) * 3 + tp_rank));
+            }
+            if stage == 3 {
+                assert_eq!(next, None);
+            } else {
+                assert_eq!(next, Some((stage + 1) * 3 + tp_rank));
+            }
+        }
+    }
+
+    #[test]
+    fn peer_on_stage_addresses_any_stage() {
+        let out = run_grid(2, 3, |g| g.peer_on_stage(2));
+        // Everyone's stage-2 peer keeps their tp_rank.
+        assert_eq!(out, vec![4, 5, 4, 5, 4, 5]);
+    }
+
+    #[test]
+    fn grid3_dp_groups_cross_replicas_only() {
+        // Each dp group spans the replicas holding the same (stage, tp_rank)
+        // shard; its all-reduce must not mix different shards.
+        let out = run_grid3(2, 2, 2, |g| {
+            // Contribute a value encoding the shard position; the dp sum
+            // doubles it (both replicas hold the same position).
+            let shard_id = (g.replica.stage * 10 + g.replica.tp_rank) as f32;
+            let sum = g.dp.all_reduce(&Tensor::full(&[1], shard_id)).data()[0];
+            (g.dp_rank, shard_id, sum)
+        });
+        for (_, shard_id, sum) in out {
+            assert_eq!(sum, 2.0 * shard_id);
+        }
+    }
+
+    #[test]
+    fn grid3_replica_pipelines_are_isolated() {
+        // p2p inside replica 0 must not be visible to replica 1.
+        let out = run_grid3(2, 1, 2, |g| {
+            if g.replica.stage == 0 {
+                let payload = 100.0 * (g.dp_rank as f32 + 1.0);
+                g.replica.grid.send(
+                    g.replica.next_stage_rank().unwrap(),
+                    &Tensor::full(&[1], payload),
+                );
+                0.0
+            } else {
+                g.replica.grid.recv(g.replica.prev_stage_rank().unwrap()).data()[0]
+            }
+        });
+        // Order: (dp0 s0), (dp0 s1), (dp1 s0), (dp1 s1).
+        assert_eq!(out, vec![0.0, 100.0, 0.0, 200.0]);
+    }
+
+    #[test]
+    fn grid3_composes_tp_and_dp_collectives() {
+        let out = run_grid3(3, 2, 1, |g| {
+            // tp all-reduce inside the replica, then dp all-reduce across.
+            let x = Tensor::full(&[1], (g.replica.tp_rank + 1) as f32);
+            let tp_sum = g.replica.tp.all_reduce(&x); // 1 + 2 = 3
+            g.dp.all_reduce(&tp_sum).data()[0] // × 3 replicas = 9
+        });
+        assert!(out.iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn first_and_last_stage_can_exchange_embedding_grads() {
+        // The Megatron tied-embedding pattern: last stage sends the head's
+        // table gradient to stage 0, which sums it with its own.
+        let out = run_grid(2, 3, |g| {
+            let pp = g.pp();
+            if g.stage == pp - 1 {
+                g.grid.send(g.peer_on_stage(0), &Tensor::full(&[2], 5.0));
+                None
+            } else if g.stage == 0 {
+                let mut own = Tensor::full(&[2], 1.0);
+                let head = g.grid.recv(g.peer_on_stage(pp - 1));
+                own.add_assign(&head);
+                Some(own.data()[0])
+            } else {
+                None
+            }
+        });
+        assert_eq!(out[0], Some(6.0));
+        assert_eq!(out[1], Some(6.0));
+    }
+}

@@ -1,0 +1,495 @@
+//! The thread-rank runtime: [`World`] and [`Communicator`].
+
+use crate::stats::{CollectiveKind, CommStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mt_tensor::Tensor;
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Shared rendezvous state for one collective "slot".
+///
+/// Correctness argument for reuse without generation counters: a rank only
+/// deposits for collective *k+1* after it has taken its own result of
+/// collective *k*; therefore when the last deposit of round *k+1* arrives,
+/// every `results` cell is already empty and may be overwritten.
+/// This requires the standard SPMD discipline that all ranks issue the same
+/// collectives in the same order — the same requirement NCCL imposes.
+struct ExchangeState {
+    deposits: Vec<Option<Tensor>>,
+    deposited: usize,
+    results: Vec<Option<Tensor>>,
+}
+
+struct Exchange {
+    state: Mutex<ExchangeState>,
+    cond: Condvar,
+}
+
+impl Exchange {
+    fn new(n: usize) -> Self {
+        Exchange {
+            state: Mutex::new(ExchangeState {
+                deposits: vec![None; n],
+                deposited: 0,
+                results: vec![None; n],
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Runs one collective round: rank `rank` contributes `input`; when all
+    /// ranks have contributed, `combine` maps the deposits to one result per
+    /// rank; each rank receives its result.
+    fn exchange(
+        &self,
+        rank: usize,
+        input: Tensor,
+        combine: impl FnOnce(&mut Vec<Option<Tensor>>) -> Vec<Tensor>,
+    ) -> Tensor {
+        let mut st = self.state.lock();
+        debug_assert!(st.deposits[rank].is_none(), "rank {rank} double-deposited");
+        debug_assert!(st.results[rank].is_none(), "rank {rank} result not consumed");
+        st.deposits[rank] = Some(input);
+        st.deposited += 1;
+        if st.deposited == st.deposits.len() {
+            let results = combine(&mut st.deposits);
+            debug_assert_eq!(results.len(), st.results.len());
+            for (slot, r) in st.results.iter_mut().zip(results) {
+                *slot = Some(r);
+            }
+            for d in st.deposits.iter_mut() {
+                *d = None;
+            }
+            st.deposited = 0;
+            self.cond.notify_all();
+        } else {
+            while st.results[rank].is_none() {
+                self.cond.wait(&mut st);
+            }
+        }
+        st.results[rank].take().expect("result present after wakeup")
+    }
+}
+
+/// A group of `n` simulated ranks.
+///
+/// The usual entry point is [`World::run`], which spawns one thread per rank
+/// and hands each a [`Communicator`].
+pub struct World {
+    size: usize,
+    exchange: Arc<Exchange>,
+    // p2p[from][to] channel endpoints, created once up front.
+    senders: Vec<Vec<Sender<Tensor>>>,
+    receivers: Vec<Vec<Option<Receiver<Tensor>>>>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").field("size", &self.size).finish()
+    }
+}
+
+impl World {
+    /// Creates a world of `size` ranks without spawning threads. Use
+    /// [`World::communicator`] to extract per-rank handles and drive them
+    /// from threads you manage yourself; most callers want [`World::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "World requires at least one rank");
+        let mut senders = vec![Vec::with_capacity(size); size];
+        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for from in 0..size {
+            #[allow(clippy::needless_range_loop)] // `to` addresses the matching receiver slot
+            for to in 0..size {
+                let (tx, rx) = unbounded();
+                senders[from].push(tx);
+                receivers[to][from] = Some(rx);
+            }
+        }
+        World { size, exchange: Arc::new(Exchange::new(size)), senders, receivers }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Extracts the communicator for `rank`. Each rank may be taken once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range or its communicator was already
+    /// taken.
+    pub fn communicator(&mut self, rank: usize) -> Communicator {
+        assert!(rank < self.size, "rank {rank} out of range");
+        let inboxes: Vec<Receiver<Tensor>> = self.receivers[rank]
+            .iter_mut()
+            .map(|slot| slot.take().expect("communicator already taken"))
+            .collect();
+        Communicator {
+            rank,
+            size: self.size,
+            exchange: Arc::clone(&self.exchange),
+            peers: self.senders.iter().map(|row| row[rank].clone()).collect::<Vec<_>>(),
+            outboxes: self.senders[rank].clone(),
+            inboxes,
+            stats: RefCell::new(CommStats::new()),
+        }
+    }
+
+    /// Spawns one thread per rank, runs `f(communicator)` on each, and
+    /// returns the per-rank results in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any rank thread.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        let mut world = World::new(size);
+        let comms: Vec<Communicator> = (0..size).map(|r| world.communicator(r)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Per-rank handle for collectives and point-to-point messaging.
+///
+/// All collective methods must be called by **every** rank of the world in
+/// the same order (SPMD), exactly like NCCL. Each call is recorded in a
+/// per-rank [`CommStats`] ledger retrievable with [`Communicator::stats`].
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    exchange: Arc<Exchange>,
+    // `peers[from]` sends towards *this* rank; kept so that Communicator is
+    // self-contained. `outboxes[to]` sends from this rank to `to`.
+    #[allow(dead_code)]
+    peers: Vec<Sender<Tensor>>,
+    outboxes: Vec<Sender<Tensor>>,
+    inboxes: Vec<Receiver<Tensor>>,
+    stats: RefCell<CommStats>,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl Communicator {
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of this rank's communication ledger.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Element-wise sum across ranks; every rank receives the full result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks contribute tensors of different shapes.
+    pub fn all_reduce(&self, x: &Tensor) -> Tensor {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::AllReduce, x.numel() as u64, self.size as u64);
+        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+            let mut acc = deposits[0].take().expect("deposit 0 present");
+            for d in deposits.iter_mut().skip(1) {
+                acc.add_assign(d.as_ref().expect("deposit present"));
+            }
+            vec![acc; deposits.len()]
+        })
+    }
+
+    /// Element-wise maximum across ranks; every rank receives the full
+    /// result. Used by the vocabulary-parallel softmax (the max-subtraction
+    /// step needs the global row maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks contribute tensors of different shapes.
+    pub fn all_reduce_max(&self, x: &Tensor) -> Tensor {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::AllReduce, x.numel() as u64, self.size as u64);
+        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+            let mut acc = deposits[0].take().expect("deposit 0 present");
+            for d in deposits.iter_mut().skip(1) {
+                let other = d.as_ref().expect("deposit present");
+                assert_eq!(acc.shape(), other.shape(), "all_reduce_max: shape mismatch");
+                for (a, &b) in acc.data_mut().iter_mut().zip(other.data()) {
+                    *a = a.max(b);
+                }
+            }
+            vec![acc; deposits.len()]
+        })
+    }
+
+    /// Concatenates per-rank shards along axis 0 in rank order; every rank
+    /// receives the full tensor. Inverse of [`Communicator::reduce_scatter`]
+    /// in the shapes it produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard trailing shapes differ across ranks.
+    pub fn all_gather(&self, shard: &Tensor) -> Tensor {
+        let full_elems = (shard.numel() * self.size) as u64;
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::AllGather, full_elems, self.size as u64);
+        self.exchange.exchange(self.rank, shard.clone(), |deposits| {
+            let parts: Vec<Tensor> =
+                deposits.iter().map(|d| d.as_ref().expect("deposit present").clone()).collect();
+            let full = Tensor::concat_axis0(&parts);
+            vec![full; parts.len()]
+        })
+    }
+
+    /// Element-wise sums the per-rank full tensors, then scatters: rank `r`
+    /// receives chunk `r` of the sum along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors' axis 0 is not divisible by the group size or
+    /// shapes differ across ranks.
+    pub fn reduce_scatter(&self, x: &Tensor) -> Tensor {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::ReduceScatter, x.numel() as u64, self.size as u64);
+        let n = self.size;
+        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+            let mut acc = deposits[0].take().expect("deposit 0 present");
+            for d in deposits.iter_mut().skip(1) {
+                acc.add_assign(d.as_ref().expect("deposit present"));
+            }
+            acc.chunk_axis0(n).expect("reduce_scatter: axis 0 not divisible by group size")
+        })
+    }
+
+    /// Broadcasts `root`'s tensor to every rank. Non-root contributions are
+    /// ignored (pass anything of the right type, e.g. an empty tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn broadcast(&self, x: &Tensor, root: usize) -> Tensor {
+        assert!(root < self.size, "broadcast: root {root} out of range");
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Broadcast, x.numel() as u64, self.size as u64);
+        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+            let chosen = deposits[root].take().expect("root deposit present");
+            vec![chosen; deposits.len()]
+        })
+    }
+
+    /// Synchronizes all ranks without moving data.
+    pub fn barrier(&self) {
+        self.stats.borrow_mut().record(CollectiveKind::Barrier, 0, self.size as u64);
+        let _ = self
+            .exchange
+            .exchange(self.rank, Tensor::zeros(&[0]), |d| vec![Tensor::zeros(&[0]); d.len()]);
+    }
+
+    /// Sends `x` to rank `to` (non-blocking; the channel is unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or the destination hung up.
+    pub fn send(&self, to: usize, x: &Tensor) {
+        assert!(to < self.size, "send: destination {to} out of range");
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::SendRecv, x.numel() as u64, self.size as u64);
+        self.outboxes[to].send(x.clone()).expect("send: peer disconnected");
+    }
+
+    /// Blocks until a tensor arrives from rank `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range or the source hung up.
+    pub fn recv(&self, from: usize) -> Tensor {
+        assert!(from < self.size, "recv: source {from} out of range");
+        self.inboxes[from].recv().expect("recv: peer disconnected")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let out = World::run(4, |c| {
+            let x = Tensor::from_fn(&[3], |i| (c.rank() * 10 + i) as f32);
+            c.all_reduce(&x)
+        });
+        // Sum over ranks of [10r, 10r+1, 10r+2] = [60, 64, 68].
+        for t in &out {
+            assert_eq!(t.data(), &[60., 64., 68.]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_max_takes_elementwise_maximum() {
+        let out = World::run(3, |c| {
+            // Rank r contributes [r, -r, r²].
+            let r = c.rank() as f32;
+            let x = Tensor::from_vec(vec![3], vec![r, -r, r * r]).unwrap();
+            c.all_reduce_max(&x)
+        });
+        for t in &out {
+            assert_eq!(t.data(), &[2.0, 0.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let out = World::run(3, |c| {
+            let shard = Tensor::full(&[1, 2], c.rank() as f32);
+            c.all_gather(&shard)
+        });
+        for t in &out {
+            assert_eq!(t.shape(), &[3, 2]);
+            assert_eq!(t.data(), &[0., 0., 1., 1., 2., 2.]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_rank_chunks_of_the_sum() {
+        let out = World::run(2, |c| {
+            // Both ranks contribute [0,1,2,3]; sum = [0,2,4,6].
+            let x = Tensor::from_fn(&[4, 1], |i| i as f32);
+            (c.rank(), c.reduce_scatter(&x))
+        });
+        for (rank, t) in &out {
+            assert_eq!(t.shape(), &[2, 1]);
+            match rank {
+                0 => assert_eq!(t.data(), &[0., 2.]),
+                1 => assert_eq!(t.data(), &[4., 6.]),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        // The ring identity the paper leans on, executed for real.
+        let out = World::run(4, |c| {
+            let x = Tensor::from_fn(&[8, 2], |i| ((c.rank() + 1) * (i + 1)) as f32);
+            let ar = c.all_reduce(&x);
+            let rs = c.reduce_scatter(&x);
+            let ag = c.all_gather(&rs);
+            (ar, ag)
+        });
+        for (ar, ag) in &out {
+            assert_eq!(ar, ag);
+        }
+    }
+
+    #[test]
+    fn broadcast_propagates_root_value() {
+        let out = World::run(3, |c| {
+            let x = Tensor::full(&[2], c.rank() as f32);
+            c.broadcast(&x, 1)
+        });
+        for t in &out {
+            assert_eq!(t.data(), &[1., 1.]);
+        }
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, &Tensor::full(&[2], 7.0));
+                c.recv(1)
+            } else {
+                let got = c.recv(0);
+                c.send(0, &got.scale(2.0));
+                got
+            }
+        });
+        assert_eq!(out[0].data(), &[14., 14.]);
+        assert_eq!(out[1].data(), &[7., 7.]);
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_the_slot_safely() {
+        let out = World::run(4, |c| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let x = Tensor::full(&[1], (c.rank() + round) as f32);
+                acc += c.all_reduce(&x).data()[0];
+            }
+            acc
+        });
+        // Round r: sum over ranks of (rank + r) = 6 + 4r. Total over 50 rounds.
+        let expect: f32 = (0..50).map(|r| 6.0 + 4.0 * r as f32).sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn stats_record_bandwidth_identity() {
+        let stats = World::run(4, |c| {
+            let x = Tensor::zeros(&[16, 4]);
+            let _ = c.all_reduce(&x);
+            let shard = Tensor::zeros(&[4, 4]);
+            let _ = c.all_gather(&shard);
+            let _ = c.reduce_scatter(&x);
+            c.stats()
+        });
+        for s in &stats {
+            let ar = s.kind(CollectiveKind::AllReduce).wire_bytes;
+            let ag = s.kind(CollectiveKind::AllGather).wire_bytes;
+            let rs = s.kind(CollectiveKind::ReduceScatter).wire_bytes;
+            assert_eq!(ar, ag + rs, "all-reduce == all-gather + reduce-scatter wire bytes");
+        }
+    }
+
+    #[test]
+    fn world_size_one_is_trivial() {
+        let out = World::run(1, |c| {
+            let x = Tensor::full(&[3], 5.0);
+            let ar = c.all_reduce(&x);
+            let ag = c.all_gather(&x);
+            let rs = c.reduce_scatter(&x.reshape(&[1, 3]).unwrap());
+            (ar, ag, rs)
+        });
+        assert_eq!(out[0].0.data(), &[5., 5., 5.]);
+        assert_eq!(out[0].1.shape(), &[3]);
+        assert_eq!(out[0].2.shape(), &[1, 3]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Communication accounting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The paper accounts activations (and therefore communication payloads) at
+/// fp16 width: 2 bytes per element.
+pub const FP16_BYTES: u64 = 2;
+
+/// The kinds of communication operation the runtime records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (sum).
+    AllReduce,
+    /// Ring all-gather along axis 0.
+    AllGather,
+    /// Ring reduce-scatter along axis 0.
+    ReduceScatter,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// Point-to-point send/recv (pipeline stage boundaries).
+    SendRecv,
+    /// Synchronization barrier (no payload).
+    Barrier,
+}
+
+impl CollectiveKind {
+    /// Bytes each rank puts on the wire for a ring implementation of this
+    /// collective, given the *logical full tensor* payload in bytes and the
+    /// group size `n`.
+    ///
+    /// * ring all-reduce = reduce-scatter + all-gather = `2(n−1)/n · B`
+    /// * ring all-gather / reduce-scatter = `(n−1)/n · B`
+    /// * broadcast (tree or ring) ≈ `B` leaving the root; we charge `B`
+    /// * send/recv = `B`
+    ///
+    /// This is exactly the decomposition behind the paper's "sequence
+    /// parallelism does not introduce any communication overhead" argument:
+    /// an all-reduce of `B` costs the same wire bytes as a reduce-scatter of
+    /// `B` followed by an all-gather of `B`.
+    pub fn ring_wire_bytes(self, payload_bytes: u64, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            CollectiveKind::AllReduce => 2 * payload_bytes * (n - 1) / n,
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+                payload_bytes * (n - 1) / n
+            }
+            CollectiveKind::Broadcast | CollectiveKind::SendRecv => payload_bytes,
+            CollectiveKind::Barrier => 0,
+        }
+    }
+}
+
+/// Aggregate counters for one kind of collective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Number of calls.
+    pub calls: u64,
+    /// Logical payload bytes summed over calls (full-tensor size at fp16
+    /// accounting).
+    pub payload_bytes: u64,
+    /// Per-rank ring wire bytes summed over calls.
+    pub wire_bytes: u64,
+}
+
+/// Per-rank communication ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    by_kind: BTreeMap<CollectiveKind, KindStats>,
+}
+
+impl CommStats {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call.
+    pub fn record(&mut self, kind: CollectiveKind, payload_elems: u64, group_size: u64) {
+        let payload_bytes = payload_elems * FP16_BYTES;
+        let entry = self.by_kind.entry(kind).or_default();
+        entry.calls += 1;
+        entry.payload_bytes += payload_bytes;
+        entry.wire_bytes += kind.ring_wire_bytes(payload_bytes, group_size);
+    }
+
+    /// Counters for one kind (zeros if never called).
+    pub fn kind(&self, kind: CollectiveKind) -> KindStats {
+        self.by_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Total calls across kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.by_kind.values().map(|k| k.calls).sum()
+    }
+
+    /// Total per-rank wire bytes across kinds.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.by_kind.values().map(|k| k.wire_bytes).sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (kind, ks) in &other.by_kind {
+            let entry = self.by_kind.entry(*kind).or_default();
+            entry.calls += ks.calls;
+            entry.payload_bytes += ks.payload_bytes;
+            entry.wire_bytes += ks.wire_bytes;
+        }
+    }
+
+    /// Iterates over `(kind, stats)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (CollectiveKind, KindStats)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_equals_rs_plus_ag() {
+        // The paper's bandwidth-equivalence identity, for a range of sizes.
+        for n in [2_u64, 4, 8, 16] {
+            for bytes in [1024_u64, 1 << 20, 123_456 * n] {
+                let ar = CollectiveKind::AllReduce.ring_wire_bytes(bytes, n);
+                let rs = CollectiveKind::ReduceScatter.ring_wire_bytes(bytes, n);
+                let ag = CollectiveKind::AllGather.ring_wire_bytes(bytes, n);
+                assert_eq!(ar, rs + ag, "n={n} bytes={bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_groups_are_free() {
+        for kind in [
+            CollectiveKind::AllReduce,
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+        ] {
+            assert_eq!(kind.ring_wire_bytes(1 << 20, 1), 0);
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = CommStats::new();
+        a.record(CollectiveKind::AllReduce, 100, 4);
+        a.record(CollectiveKind::AllReduce, 100, 4);
+        let mut b = CommStats::new();
+        b.record(CollectiveKind::AllGather, 50, 4);
+        a.merge(&b);
+        assert_eq!(a.kind(CollectiveKind::AllReduce).calls, 2);
+        assert_eq!(a.kind(CollectiveKind::AllReduce).payload_bytes, 400);
+        assert_eq!(a.kind(CollectiveKind::AllGather).calls, 1);
+        assert_eq!(a.total_calls(), 3);
+    }
+}

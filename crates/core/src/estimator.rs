@@ -1,0 +1,332 @@
+//! End-to-end memory / time / utilization estimation for one model
+//! configuration — the engine behind Figures 1 & 7 and Tables 4 & 5.
+
+use crate::zoo::PaperModel;
+use mt_flops::FlopsModel;
+use mt_memory::{
+    ActivationMemoryModel, Batch, ModelShape, ModelStateMemory, Parallelism,
+    PipelineMemoryProfile, Strategy, A100_80GB_BYTES,
+};
+use mt_perf::{AuxCostModel, GpuSpec, LayerTimeModel};
+use mt_pipeline::{PipelineSim, StageCosts};
+use serde::{Deserialize, Serialize};
+
+/// Per-GPU memory breakdown for one strategy (a Figure 1 bar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Parameters + gradients + optimizer state, bytes.
+    pub model_state_bytes: f64,
+    /// Peak activation bytes (first pipeline stage).
+    pub activation_bytes: f64,
+    /// Activation memory as a percentage of the tensor-parallel baseline
+    /// (the Figure 7 quantity).
+    pub percent_of_tp_baseline: f64,
+    /// Whether the total fits in an A100's 80 GB.
+    pub fits_a100_80gb: bool,
+}
+
+impl MemoryReport {
+    /// Total per-GPU bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.model_state_bytes + self.activation_bytes
+    }
+}
+
+/// Per-iteration timing and utilization for one strategy (a Table 5 entry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeReport {
+    /// End-to-end iteration seconds.
+    pub iteration_s: f64,
+    /// Model FLOPs utilization.
+    pub mfu: f64,
+    /// Hardware FLOPs utilization.
+    pub hfu: f64,
+}
+
+/// Composes the analytical models into per-strategy reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimator {
+    /// Model shape.
+    pub shape: ModelShape,
+    /// Parallel layout.
+    pub parallel: Parallelism,
+    /// Batch configuration.
+    pub batch: Batch,
+    /// Hardware model.
+    pub gpu: GpuSpec,
+}
+
+impl Estimator {
+    /// Creates an estimator.
+    pub fn new(shape: ModelShape, parallel: Parallelism, batch: Batch, gpu: GpuSpec) -> Self {
+        Estimator { shape, parallel, batch, gpu }
+    }
+
+    /// Convenience constructor for a Table 3 preset on A100 hardware.
+    pub fn for_paper_model(model: &PaperModel) -> Self {
+        Estimator::new(model.shape, model.parallel, model.batch, GpuSpec::a100())
+    }
+
+    fn activation_model(&self) -> ActivationMemoryModel {
+        ActivationMemoryModel::new(self.shape, self.batch.micro, self.parallel.tensor)
+    }
+
+    fn layer_model(&self) -> LayerTimeModel {
+        LayerTimeModel::new(self.gpu, self.shape, self.batch.micro, self.parallel.tensor)
+    }
+
+    fn aux_model(&self) -> AuxCostModel {
+        AuxCostModel::new(self.gpu, self.shape, self.parallel.tensor)
+    }
+
+    /// Parameters per GPU under this layout.
+    pub fn params_per_gpu(&self) -> f64 {
+        ModelStateMemory::new(self.shape).parameters_per_gpu(self.parallel)
+    }
+
+    /// The Figure 1 bar for a strategy.
+    pub fn memory_report(&self, strategy: Strategy) -> MemoryReport {
+        let act = self.activation_model();
+        let state = ModelStateMemory::new(self.shape).bytes_per_gpu(self.parallel);
+        let activation = act.first_stage_total_bytes(strategy, self.parallel);
+        MemoryReport {
+            model_state_bytes: state,
+            activation_bytes: activation,
+            percent_of_tp_baseline: act.percent_of_tp_baseline(strategy),
+            fits_a100_80gb: state + activation <= A100_80GB_BYTES,
+        }
+    }
+
+    /// The Appendix B / Figure 9 per-rank activation profile.
+    pub fn pipeline_memory_profile(
+        &self,
+        strategy: Strategy,
+        deallocate_outputs: bool,
+    ) -> Vec<f64> {
+        PipelineMemoryProfile::new(self.activation_model(), self.parallel, self.batch.num_micro())
+            .profile(strategy, deallocate_outputs)
+    }
+
+    /// Builds the per-stage pipeline costs for a strategy: `L/p` layers per
+    /// stage, embedding on stage 0, the logits head on the last stage.
+    fn stage_costs(&self, strategy: Strategy) -> Vec<StageCosts> {
+        let layer = self.layer_model();
+        let aux = self.aux_model();
+        let t = layer.times(strategy);
+        let p = self.parallel.pipeline as usize;
+        let layers_per_stage = self.shape.layers as f64 / p as f64;
+        let head_fwd = aux.head_ms(self.batch.micro) / 3.0;
+        let head_bwd = aux.head_ms(self.batch.micro) * 2.0 / 3.0;
+        (0..p)
+            .map(|s| {
+                let mut f = layers_per_stage * t.forward_ms;
+                let mut b = layers_per_stage * t.backward_ms;
+                let r = layers_per_stage * t.recompute_ms;
+                if s == 0 {
+                    f += aux.embedding_ms(self.batch.micro);
+                }
+                if s == p - 1 {
+                    f += head_fwd;
+                    b += head_bwd;
+                }
+                StageCosts::new(f, b, r)
+            })
+            .collect()
+    }
+
+    /// The pipeline simulation for a strategy: per-stage costs, transfer
+    /// lag, and microbatch count, ready for 1F1B simulation or interleaved
+    /// pricing.
+    pub fn pipeline_sim(&self, strategy: Strategy) -> PipelineSim {
+        let aux = self.aux_model();
+        PipelineSim {
+            stages: self.stage_costs(strategy),
+            p2p_ms: if self.parallel.pipeline > 1 {
+                aux.p2p_ms(self.batch.micro, strategy.sequence_parallel)
+            } else {
+                0.0
+            },
+            num_micro: self.batch.num_micro(),
+        }
+    }
+
+    /// End-to-end iteration milliseconds for a strategy: pipeline schedule
+    /// (simulated 1F1B or analytic interleaved) plus the optimizer step.
+    pub fn iteration_ms(&self, strategy: Strategy) -> f64 {
+        let sim = self.pipeline_sim(strategy);
+        let schedule_ms = match self.parallel.interleave {
+            Some(m) => sim.interleaved_ms(m),
+            None => sim.simulate_1f1b(None).makespan_ms,
+        };
+        schedule_ms + self.aux_model().optimizer_ms(self.params_per_gpu())
+    }
+
+    /// Iteration milliseconds with an Appendix C per-stage storage budget:
+    /// stages store up to `store_budget[stage]` in-flight microbatches in
+    /// full and skip their recomputation. For interleaved schedules the
+    /// 1F1B speedup ratio is applied to the interleaved iteration time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store_budget.len() != p`.
+    pub fn iteration_ms_with_storage(&self, strategy: Strategy, store_budget: &[u64]) -> f64 {
+        let sim = self.pipeline_sim(strategy);
+        let base = sim.simulate_1f1b(None).makespan_ms;
+        let with = sim.simulate_1f1b(Some(store_budget)).makespan_ms;
+        let schedule_ms = match self.parallel.interleave {
+            Some(m) => sim.interleaved_ms(m) * (with / base),
+            None => with,
+        };
+        schedule_ms + self.aux_model().optimizer_ms(self.params_per_gpu())
+    }
+
+    /// The Table 5 entry for a strategy.
+    pub fn time_report(&self, strategy: Strategy) -> TimeReport {
+        let iteration_s = self.iteration_ms(strategy) / 1e3;
+        let flops = FlopsModel::new(self.shape, self.batch.global);
+        let gpus = self.parallel.gpus();
+        TimeReport {
+            iteration_s,
+            mfu: flops.mfu(iteration_s, gpus, self.gpu.peak_flops),
+            hfu: flops.hfu(strategy.recompute, iteration_s, gpus, self.gpu.peak_flops),
+        }
+    }
+
+    /// Section 6.3's data-parallel extension: extra seconds per iteration
+    /// from an unoverlapped gradient all-reduce across `dp` replicas.
+    pub fn data_parallel_overhead_s(&self, dp: u64) -> f64 {
+        self.aux_model().data_parallel_allreduce_ms(self.params_per_gpu(), dp) / 1e3
+    }
+
+    /// The full Section 6.3 scaling: `dp` replicas with batch per replica
+    /// held constant (global batch and GPU count both scale by `dp`), plus
+    /// the unoverlapped gradient all-reduce. For the 530B model at `dp = 8`
+    /// this is the paper's 2240-GPU run (37.83 s → 39.15 s, MFU 56.0% →
+    /// 54.2%).
+    pub fn data_parallel_report(&self, strategy: Strategy, dp: u64) -> TimeReport {
+        let iteration_s =
+            self.iteration_ms(strategy) / 1e3 + self.data_parallel_overhead_s(dp);
+        // Model FLOPs scale by dp and so does the GPU count, so the MFU
+        // denominator/numerator scaling cancels to the same formula on the
+        // per-replica quantities with the new iteration time.
+        let flops = FlopsModel::new(self.shape, self.batch.global);
+        let gpus = self.parallel.gpus();
+        TimeReport {
+            iteration_s,
+            mfu: flops.mfu(iteration_s, gpus, self.gpu.peak_flops),
+            hfu: flops.hfu(strategy.recompute, iteration_s, gpus, self.gpu.peak_flops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+
+    fn pct_close(ours: f64, paper: f64, tol_pct: f64, what: &str) {
+        let rel = 100.0 * (ours - paper).abs() / paper;
+        assert!(rel < tol_pct, "{what}: ours {ours:.3} vs paper {paper:.3} ({rel:.1}% off)");
+    }
+
+    #[test]
+    fn table5_iteration_times() {
+        // (model, paper full-recompute s, paper present-work s)
+        let rows = [
+            (ModelZoo::gpt_22b(), 1.42, 1.10),
+            (ModelZoo::gpt3_175b(), 18.13, 13.75),
+            (ModelZoo::mtnlg_530b(), 49.05, 37.83),
+            (ModelZoo::gpt_1t(), 94.42, 71.49),
+        ];
+        for (model, paper_full, paper_present) in rows {
+            let est = Estimator::for_paper_model(&model);
+            let full = est.time_report(Strategy::full_recompute()).iteration_s;
+            let present = est.time_report(Strategy::tp_sp_selective()).iteration_s;
+            pct_close(full, paper_full, 13.0, &format!("{} full recompute", model.name));
+            pct_close(present, paper_present, 13.0, &format!("{} present work", model.name));
+            let gain = 100.0 * (full / present - 1.0);
+            assert!(
+                (22.0..45.0).contains(&gain),
+                "{}: throughput increase {gain:.1}% (paper 29-32%)",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn table5_mfu_hfu() {
+        let rows = [
+            (ModelZoo::gpt_22b(), 0.415, 0.437),
+            (ModelZoo::gpt3_175b(), 0.514, 0.528),
+            (ModelZoo::mtnlg_530b(), 0.560, 0.570),
+            (ModelZoo::gpt_1t(), 0.563, 0.570),
+        ];
+        for (model, paper_mfu, paper_hfu) in rows {
+            let est = Estimator::for_paper_model(&model);
+            let report = est.time_report(Strategy::tp_sp_selective());
+            pct_close(report.mfu, paper_mfu, 13.0, &format!("{} MFU", model.name));
+            pct_close(report.hfu, paper_hfu, 13.0, &format!("{} HFU", model.name));
+            assert!(report.hfu > report.mfu, "HFU exceeds MFU when recomputing");
+        }
+    }
+
+    #[test]
+    fn mfu_improves_with_scale() {
+        // Table 5: 41.5% → 51.4% → 56.0% → 56.3%.
+        let mfus: Vec<f64> = ModelZoo::all()
+            .iter()
+            .map(|m| Estimator::for_paper_model(m).time_report(Strategy::tp_sp_selective()).mfu)
+            .collect();
+        assert!(mfus[0] < mfus[1] && mfus[1] < mfus[2], "MFU should grow with size: {mfus:?}");
+    }
+
+    #[test]
+    fn figure1_baseline_exceeds_80gb_present_work_fits() {
+        // Figure 1: all four baseline configurations exceed an A100's 80 GB;
+        // the present work brings them under.
+        for model in ModelZoo::all() {
+            let est = Estimator::for_paper_model(&model);
+            let baseline = est.memory_report(Strategy::tp());
+            let present = est.memory_report(Strategy::tp_sp_selective());
+            assert!(
+                !baseline.fits_a100_80gb,
+                "{}: baseline {:.0} GB should exceed 80 GB",
+                model.name,
+                baseline.total_bytes() / 1e9
+            );
+            assert!(
+                present.fits_a100_80gb,
+                "{}: present work {:.0} GB should fit",
+                model.name,
+                present.total_bytes() / 1e9
+            );
+            assert!(present.activation_bytes < baseline.activation_bytes / 4.0);
+        }
+    }
+
+    #[test]
+    fn section_6_3_data_parallel_extension() {
+        // 530B at DP=8: 37.83 s → 39.15 s, MFU 56.0% → 54.2%.
+        let model = ModelZoo::mtnlg_530b();
+        let est = Estimator::for_paper_model(&model);
+        let base = est.time_report(Strategy::tp_sp_selective());
+        let dp_extra = est.data_parallel_overhead_s(8);
+        let new_iter = base.iteration_s + dp_extra;
+        // Keeping batch per replica constant: model FLOPs scale by 8 and so
+        // does the GPU count, so MFU just scales by iteration time.
+        let new_mfu = base.mfu * base.iteration_s / new_iter;
+        assert!(dp_extra > 0.1 && dp_extra < 4.0, "DP overhead {dp_extra:.2} s (paper 1.32 s)");
+        assert!(new_mfu < base.mfu);
+        assert!(new_mfu > base.mfu - 0.05, "MFU drop should be modest (paper −1.8 pts)");
+    }
+
+    #[test]
+    fn pipeline_profile_is_exposed() {
+        let model = ModelZoo::mtnlg_530b();
+        let est = Estimator::for_paper_model(&model);
+        let on = est.pipeline_memory_profile(Strategy::tp_sp_selective(), true);
+        let off = est.pipeline_memory_profile(Strategy::tp_sp_selective(), false);
+        assert_eq!(on.len(), 35);
+        assert!(on.iter().zip(&off).all(|(a, b)| a < b));
+    }
+}

@@ -1,0 +1,185 @@
+//! Strategy selection under a device-memory budget.
+//!
+//! Section 5's guidance, made executable: "it is ideal to only checkpoint
+//! enough activations to allow a given model-parallel configuration to train
+//! given the constraints of device memory." The planner ranks the Table 2
+//! strategies by predicted iteration time and picks the fastest one whose
+//! peak memory fits, optionally topping up with the Appendix C
+//! microbatch-level budget.
+
+use crate::estimator::Estimator;
+use mt_memory::{ModelStateMemory, PipelineMemoryProfile, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// The planner's decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// The chosen strategy, or `None` if nothing fits the budget.
+    pub strategy: Option<Strategy>,
+    /// Predicted iteration seconds of the choice.
+    pub iteration_s: Option<f64>,
+    /// Predicted peak per-GPU bytes of the choice.
+    pub peak_bytes: Option<f64>,
+    /// Every candidate considered: `(strategy, iteration_s, peak_bytes,
+    /// fits)`, fastest first.
+    pub candidates: Vec<(Strategy, f64, f64, bool)>,
+}
+
+/// Picks the fastest strategy that fits a per-GPU memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingPlanner {
+    /// The configuration being planned.
+    pub estimator: Estimator,
+    /// Per-GPU memory budget in bytes (e.g. 80e9 for an A100).
+    pub budget_bytes: f64,
+}
+
+impl TrainingPlanner {
+    /// Creates a planner.
+    pub fn new(estimator: Estimator, budget_bytes: f64) -> Self {
+        TrainingPlanner { estimator, budget_bytes }
+    }
+
+    /// The five Table 2 strategies the paper compares.
+    pub fn candidate_strategies() -> [Strategy; 5] {
+        [
+            Strategy::tp(),
+            Strategy::tp_sp(),
+            Strategy::tp_selective(),
+            Strategy::tp_sp_selective(),
+            Strategy::full_recompute(),
+        ]
+    }
+
+    /// Ranks all candidates and picks the fastest fitting one.
+    pub fn plan(&self) -> PlanOutcome {
+        let est = &self.estimator;
+        let mut candidates: Vec<(Strategy, f64, f64, bool)> = Self::candidate_strategies()
+            .into_iter()
+            .map(|s| {
+                let mem = est.memory_report(s);
+                let time = est.time_report(s);
+                (s, time.iteration_s, mem.total_bytes(), mem.total_bytes() <= self.budget_bytes)
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        let choice = candidates.iter().find(|c| c.3).copied();
+        PlanOutcome {
+            strategy: choice.map(|c| c.0),
+            iteration_s: choice.map(|c| c.1),
+            peak_bytes: choice.map(|c| c.2),
+            candidates,
+        }
+    }
+
+    /// Appendix C: per-pipeline-stage count of microbatches whose
+    /// activations can be stored in full within the leftover budget, on top
+    /// of `strategy`'s baseline footprint.
+    ///
+    /// A stage storing microbatch activations in full pays
+    /// `(L/p)·(no-recompute per-layer bytes − strategy per-layer bytes)`
+    /// extra per stored microbatch; the leftover budget divided by that is
+    /// the window size.
+    pub fn appendix_c_budgets(&self, strategy: Strategy) -> Vec<u64> {
+        let est = &self.estimator;
+        let state = ModelStateMemory::new(est.shape).bytes_per_gpu(est.parallel);
+        let act = mt_memory::ActivationMemoryModel::new(
+            est.shape,
+            est.batch.micro,
+            est.parallel.tensor,
+        );
+        let profile =
+            PipelineMemoryProfile::new(act, est.parallel, est.batch.num_micro());
+        let store_all = Strategy {
+            sequence_parallel: strategy.sequence_parallel,
+            recompute: mt_memory::Recompute::None,
+        };
+        let layers_per_stage = est.shape.layers as f64 / est.parallel.pipeline as f64;
+        let extra_per_micro =
+            layers_per_stage * (act.per_layer_bytes(store_all) - act.per_layer_bytes(strategy));
+        (0..est.parallel.pipeline)
+            .map(|rank| {
+                let baseline = state + profile.activation_bytes(strategy, rank, true);
+                let free = (self.budget_bytes - baseline).max(0.0);
+                if extra_per_micro <= 0.0 {
+                    est.batch.num_micro()
+                } else {
+                    ((free / extra_per_micro) as u64).min(est.batch.num_micro())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+    use mt_memory::{Recompute, A100_80GB_BYTES};
+
+    fn planner(model: crate::zoo::PaperModel, budget: f64) -> TrainingPlanner {
+        TrainingPlanner::new(Estimator::for_paper_model(&model), budget)
+    }
+
+    #[test]
+    fn paper_models_choose_present_work_at_80gb() {
+        // At the A100 budget, the fastest fitting strategy for the Table 3
+        // models is the paper's: TP + SP + selective recomputation.
+        for model in ModelZoo::all() {
+            let name = model.name;
+            let outcome = planner(model, A100_80GB_BYTES).plan();
+            assert_eq!(
+                outcome.strategy,
+                Some(Strategy::tp_sp_selective()),
+                "{name}: {:?}",
+                outcome.candidates
+            );
+        }
+    }
+
+    #[test]
+    fn huge_budget_chooses_no_recompute() {
+        // With infinite memory, storing everything is fastest; sequence
+        // parallelism is still a (small) win, so TP+SP wins overall.
+        let outcome = planner(ModelZoo::gpt3_175b(), f64::INFINITY).plan();
+        assert_eq!(outcome.strategy, Some(Strategy::tp_sp()));
+    }
+
+    #[test]
+    fn tiny_budget_fits_nothing() {
+        let outcome = planner(ModelZoo::gpt_1t(), 1e9).plan();
+        assert_eq!(outcome.strategy, None);
+        assert!(outcome.candidates.iter().all(|c| !c.3));
+    }
+
+    #[test]
+    fn candidates_are_sorted_fastest_first() {
+        let outcome = planner(ModelZoo::gpt_22b(), A100_80GB_BYTES).plan();
+        for w in outcome.candidates.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Full recomputation is always the slowest candidate.
+        assert_eq!(outcome.candidates.last().map(|c| c.0.recompute), Some(Recompute::Full));
+    }
+
+    #[test]
+    fn appendix_c_budgets_grow_towards_later_stages() {
+        // Later pipeline stages hold fewer in-flight microbatches, leaving
+        // more headroom to store microbatches in full — the paper's
+        // "many of later pipeline stages do not need any activation
+        // recomputation".
+        let p = planner(ModelZoo::mtnlg_530b(), A100_80GB_BYTES);
+        let budgets = p.appendix_c_budgets(Strategy::tp_sp_selective());
+        assert_eq!(budgets.len(), 35);
+        assert!(budgets.last().unwrap() >= budgets.first().unwrap());
+        assert!(budgets.iter().any(|&b| b > 0), "some stage should have headroom: {budgets:?}");
+    }
+
+    #[test]
+    fn appendix_c_budget_shrinks_with_budget() {
+        let a = planner(ModelZoo::mtnlg_530b(), A100_80GB_BYTES)
+            .appendix_c_budgets(Strategy::tp_sp_selective());
+        let b = planner(ModelZoo::mtnlg_530b(), 60e9).appendix_c_budgets(Strategy::tp_sp_selective());
+        assert!(a.iter().sum::<u64>() >= b.iter().sum::<u64>());
+    }
+}

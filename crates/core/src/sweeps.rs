@@ -1,0 +1,193 @@
+//! Parameter sweeps around the paper's design space: how the techniques'
+//! benefits move with sequence length, tensor-parallel size, and microbatch
+//! size. These are the "what if" questions a practitioner asks after reading
+//! Section 5 — the module makes them one function call each.
+
+use mt_flops::FlopsModel;
+use mt_memory::{ActivationMemoryModel, ModelShape, Strategy};
+use mt_perf::{GpuSpec, LayerTimeModel};
+use serde::{Deserialize, Serialize};
+
+/// One point of a sequence-length sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeqPoint {
+    /// Sequence length `s`.
+    pub seq: u64,
+    /// The attention coefficient `5as/h`.
+    pub attention_coefficient: f64,
+    /// Fraction of per-layer activations that selective recomputation
+    /// removes.
+    pub selective_savings: f64,
+    /// Equation 8 FLOPs overhead fraction of selective recomputation.
+    pub selective_flops_overhead: f64,
+}
+
+/// Sweeps sequence length for a fixed architecture. The paper's Section 5
+/// logic in motion: the attention core's `5as/h` share (and therefore the
+/// value of recomputing it) grows linearly with `s`, while the FLOPs cost of
+/// recomputing grows only as `s/6h`.
+pub fn sequence_length_sweep(base: ModelShape, seqs: &[u64], batch: u64) -> Vec<SeqPoint> {
+    seqs.iter()
+        .map(|&seq| {
+            let shape = ModelShape { seq, ..base };
+            let act = ActivationMemoryModel::new(shape, batch, 1);
+            let flops = FlopsModel::new(shape, batch);
+            SeqPoint {
+                seq,
+                attention_coefficient: shape.attention_coefficient(),
+                selective_savings: act.selective_savings_fraction(),
+                selective_flops_overhead: flops.selective_overhead_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One point of a tensor-parallel-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpPoint {
+    /// Tensor-parallel size `t`.
+    pub tensor: u64,
+    /// Per-layer activation bytes, TP baseline (Equation 2).
+    pub tp_bytes: f64,
+    /// Per-layer activation bytes, TP + SP (Equation 4).
+    pub tp_sp_bytes: f64,
+    /// Per-layer forward milliseconds (TP + SP).
+    pub forward_ms: f64,
+    /// The non-shardable residue of plain TP: the `10·sbh` bytes Equation 2
+    /// leaves replicated, as a fraction of the per-layer total.
+    pub replicated_fraction: f64,
+}
+
+/// Sweeps tensor-parallel size for a fixed architecture: memory shrinks with
+/// `t` but plain TP's replicated `10·sbh` share *grows* relatively — the
+/// motivation for sequence parallelism (Section 4.2.2).
+pub fn tensor_parallel_sweep(shape: ModelShape, batch: u64, ts: &[u64]) -> Vec<TpPoint> {
+    ts.iter()
+        .map(|&t| {
+            let act = ActivationMemoryModel::new(shape, batch, t);
+            let tp = act.per_layer_bytes(Strategy::tp());
+            let replicated = 10.0 * act.sbh();
+            let layer = LayerTimeModel::new(GpuSpec::a100(), shape, batch, t);
+            TpPoint {
+                tensor: t,
+                tp_bytes: tp,
+                tp_sp_bytes: act.per_layer_bytes(Strategy::tp_sp()),
+                forward_ms: layer.forward_ms(true),
+                replicated_fraction: replicated / tp,
+            }
+        })
+        .collect()
+}
+
+/// One point of a microbatch-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicrobatchPoint {
+    /// Microbatch size `b`.
+    pub micro_batch: u64,
+    /// Per-layer activation bytes under the present work (TP+SP+selective).
+    pub present_bytes: f64,
+    /// Per-layer forward milliseconds (TP+SP).
+    pub forward_ms: f64,
+    /// Forward milliseconds per sequence (throughput proxy; larger
+    /// microbatches amortize fixed costs).
+    pub forward_ms_per_sequence: f64,
+}
+
+/// Sweeps microbatch size: activation memory grows linearly with `b`
+/// (every Table 2 formula carries the `b` factor) while per-sequence compute
+/// time falls as collective latency and elementwise launch costs amortize —
+/// the tension that makes the paper's memory savings valuable (larger `b`
+/// becomes affordable).
+pub fn microbatch_sweep(shape: ModelShape, tensor: u64, bs: &[u64]) -> Vec<MicrobatchPoint> {
+    bs.iter()
+        .map(|&b| {
+            let act = ActivationMemoryModel::new(shape, b, tensor);
+            let layer = LayerTimeModel::new(GpuSpec::a100(), shape, b, tensor);
+            let fwd = layer.forward_ms(true);
+            MicrobatchPoint {
+                micro_batch: b,
+                present_bytes: act.per_layer_bytes(Strategy::tp_sp_selective()),
+                forward_ms: fwd,
+                forward_ms_per_sequence: fwd / b as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt3() -> ModelShape {
+        ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 }
+    }
+
+    #[test]
+    fn selective_savings_grow_with_sequence_length() {
+        let points = sequence_length_sweep(gpt3(), &[512, 1024, 2048, 4096, 8192], 1);
+        for w in points.windows(2) {
+            assert!(w[1].selective_savings > w[0].selective_savings);
+            assert!(w[1].selective_flops_overhead > w[0].selective_flops_overhead);
+        }
+        // At s = 8192 the attention core dominates: >90% of activations
+        // removable for ~11% FLOPs.
+        let last = points.last().unwrap();
+        assert!(last.selective_savings > 0.9);
+        assert!(last.selective_flops_overhead < 0.15);
+    }
+
+    #[test]
+    fn savings_always_dwarf_flops_cost() {
+        // The asymmetry that makes selective recomputation a clear win at
+        // every practical sequence length.
+        for p in sequence_length_sweep(gpt3(), &[256, 1024, 4096, 16384], 1) {
+            assert!(
+                p.selective_savings > 4.0 * p.selective_flops_overhead,
+                "s={}: {:.2} vs {:.2}",
+                p.seq,
+                p.selective_savings,
+                p.selective_flops_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_share_grows_with_t() {
+        // Equation 2's pathology: the un-sharded 10·sbh fraction of plain TP
+        // grows with t, approaching 100% — sequence parallelism exists to
+        // remove exactly this.
+        let points = tensor_parallel_sweep(gpt3(), 1, &[1, 2, 4, 8, 16]);
+        for w in points.windows(2) {
+            assert!(w[1].replicated_fraction > w[0].replicated_fraction);
+            assert!(w[1].tp_bytes < w[0].tp_bytes);
+            assert!(w[1].tp_sp_bytes < w[0].tp_sp_bytes);
+        }
+        assert!(points.last().unwrap().replicated_fraction > 0.5);
+    }
+
+    #[test]
+    fn microbatch_memory_is_linear_and_per_sequence_time_amortizes() {
+        let points = microbatch_sweep(gpt3(), 8, &[1, 2, 4, 8]);
+        let base = points[0].present_bytes;
+        for p in &points {
+            let expect = base * p.micro_batch as f64;
+            assert!((p.present_bytes - expect).abs() < 1e-6 * expect, "memory linear in b");
+        }
+        for w in points.windows(2) {
+            assert!(
+                w[1].forward_ms_per_sequence <= w[0].forward_ms_per_sequence + 1e-12,
+                "per-sequence time must not grow with b"
+            );
+        }
+    }
+
+    #[test]
+    fn sp_memory_scales_perfectly_with_t() {
+        let points = tensor_parallel_sweep(gpt3(), 1, &[1, 2, 4, 8]);
+        let base = points[0].tp_sp_bytes;
+        for p in &points {
+            let expect = base / p.tensor as f64;
+            assert!((p.tp_sp_bytes - expect).abs() < 1e-6 * base);
+        }
+    }
+}

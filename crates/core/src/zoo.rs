@@ -1,0 +1,131 @@
+//! The paper's Table 3 model configurations.
+
+use mt_memory::{Batch, ModelShape, Parallelism};
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperModel {
+    /// Display name ("22B", "175B (GPT-3)", …).
+    pub name: &'static str,
+    /// Architectural shape.
+    pub shape: ModelShape,
+    /// Model-parallel layout.
+    pub parallel: Parallelism,
+    /// Batch configuration.
+    pub batch: Batch,
+}
+
+impl PaperModel {
+    /// Total GPUs (`t·p`, data parallelism 1 as in the paper's evaluation).
+    pub fn gpus(&self) -> u64 {
+        self.parallel.gpus()
+    }
+}
+
+/// Factory for the four Table 3 configurations.
+///
+/// All use `s = 2048`, `v = 51200`, tensor-parallel size 8, and no data
+/// parallelism; the 175B and 530B runs use the interleaved schedule with
+/// `m = 3`.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelZoo;
+
+impl ModelZoo {
+    /// 22B: 64 heads, h=6144, 48 layers, p=1, 8 GPUs, batch 4 (micro 4).
+    pub fn gpt_22b() -> PaperModel {
+        PaperModel {
+            name: "22B",
+            shape: ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 },
+            parallel: Parallelism { tensor: 8, pipeline: 1, interleave: None },
+            batch: Batch { micro: 4, global: 4 },
+        }
+    }
+
+    /// 175B (GPT-3): 96 heads, h=12288, 96 layers, p=8, m=3, 64 GPUs,
+    /// batch 64 (micro 1).
+    pub fn gpt3_175b() -> PaperModel {
+        PaperModel {
+            name: "175B (GPT-3)",
+            shape: ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 },
+            parallel: Parallelism { tensor: 8, pipeline: 8, interleave: Some(3) },
+            batch: Batch { micro: 1, global: 64 },
+        }
+    }
+
+    /// 530B (MT-NLG): 128 heads, h=20480, 105 layers, p=35, m=3, 280 GPUs,
+    /// batch 280 (micro 1).
+    pub fn mtnlg_530b() -> PaperModel {
+        PaperModel {
+            name: "530B (MT-NLG)",
+            shape: ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 },
+            parallel: Parallelism { tensor: 8, pipeline: 35, interleave: Some(3) },
+            batch: Batch { micro: 1, global: 280 },
+        }
+    }
+
+    /// 1T: 160 heads, h=25600, 128 layers, p=64, 512 GPUs, batch 512
+    /// (micro 1), plain 1F1B.
+    pub fn gpt_1t() -> PaperModel {
+        PaperModel {
+            name: "1T",
+            shape: ModelShape { heads: 160, hidden: 25600, layers: 128, seq: 2048, vocab: 51200 },
+            parallel: Parallelism { tensor: 8, pipeline: 64, interleave: None },
+            batch: Batch { micro: 1, global: 512 },
+        }
+    }
+
+    /// All four Table 3 rows, smallest first.
+    pub fn all() -> Vec<PaperModel> {
+        vec![Self::gpt_22b(), Self::gpt3_175b(), Self::mtnlg_530b(), Self::gpt_1t()]
+    }
+
+    /// Looks a model up by its display name.
+    pub fn by_name(name: &str) -> Option<PaperModel> {
+        Self::all().into_iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_gpu_counts() {
+        assert_eq!(ModelZoo::gpt_22b().gpus(), 8);
+        assert_eq!(ModelZoo::gpt3_175b().gpus(), 64);
+        assert_eq!(ModelZoo::mtnlg_530b().gpus(), 280);
+        assert_eq!(ModelZoo::gpt_1t().gpus(), 512);
+    }
+
+    #[test]
+    fn table3_microbatch_counts() {
+        // Global batch equals GPUs/t × something — with DP=1 the microbatch
+        // count is global/micro.
+        assert_eq!(ModelZoo::gpt_22b().batch.num_micro(), 1);
+        assert_eq!(ModelZoo::gpt3_175b().batch.num_micro(), 64);
+        assert_eq!(ModelZoo::mtnlg_530b().batch.num_micro(), 280);
+        assert_eq!(ModelZoo::gpt_1t().batch.num_micro(), 512);
+    }
+
+    #[test]
+    fn layer_counts_divide_by_pipeline_and_interleave() {
+        for m in ModelZoo::all() {
+            let chunks = m.parallel.pipeline * m.parallel.interleave.unwrap_or(1);
+            assert_eq!(m.shape.layers % chunks, 0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(ModelZoo::by_name("1T"), Some(ModelZoo::gpt_1t()));
+        assert!(ModelZoo::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn parameter_counts_are_near_names() {
+        let m = ModelZoo::mtnlg_530b();
+        let params = m.shape.parameters() as f64;
+        assert!((params - 530e9).abs() / 530e9 < 0.03);
+    }
+}

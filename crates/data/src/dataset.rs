@@ -1,0 +1,226 @@
+//! Next-token dataset packing and microbatch assembly.
+
+use mt_tensor::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A token stream packed into overlapping next-token-prediction windows of
+/// length `seq`: window `i` predicts `tokens[i+1 ..= i+seq]` from
+/// `tokens[i .. i+seq]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedDataset {
+    tokens: Vec<usize>,
+    seq: usize,
+}
+
+impl PackedDataset {
+    /// Packs a token stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is shorter than `seq + 1` tokens or `seq == 0`.
+    pub fn new(tokens: Vec<usize>, seq: usize) -> Self {
+        assert!(seq > 0, "seq must be positive");
+        assert!(
+            tokens.len() > seq,
+            "need at least seq+1 = {} tokens, got {}",
+            seq + 1,
+            tokens.len()
+        );
+        PackedDataset { tokens, seq }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.tokens.len() - self.seq
+    }
+
+    /// Whether there are no windows (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Window length.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// The `(inputs, targets)` pair of window `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn window(&self, index: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(index < self.len(), "window {index} out of range");
+        (
+            self.tokens[index..index + self.seq].to_vec(),
+            self.tokens[index + 1..index + self.seq + 1].to_vec(),
+        )
+    }
+
+    /// Splits the token stream into train/validation datasets at a
+    /// contiguous boundary (the last `valid_fraction` of tokens become the
+    /// validation set), so no window spans both splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split would be shorter than `seq + 1` tokens.
+    pub fn split(&self, valid_fraction: f64) -> (PackedDataset, PackedDataset) {
+        assert!((0.0..1.0).contains(&valid_fraction), "fraction must be in [0, 1)");
+        let cut = ((self.tokens.len() as f64) * (1.0 - valid_fraction)) as usize;
+        (
+            PackedDataset::new(self.tokens[..cut].to_vec(), self.seq),
+            PackedDataset::new(self.tokens[cut..].to_vec(), self.seq),
+        )
+    }
+
+    /// Assembles a microbatch of `b` windows into the model's s-major
+    /// layout (`row = seq_index · b + batch_index`), the layout
+    /// `mt_model::gpt::Gpt::loss_and_grads` expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    pub fn microbatch(&self, indices: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        assert!(!indices.is_empty(), "empty microbatch");
+        let b = indices.len();
+        let mut tokens = vec![0usize; self.seq * b];
+        let mut targets = vec![0usize; self.seq * b];
+        for (bj, &w) in indices.iter().enumerate() {
+            let (inp, tgt) = self.window(w);
+            for si in 0..self.seq {
+                tokens[si * b + bj] = inp[si];
+                targets[si * b + bj] = tgt[si];
+            }
+        }
+        (tokens, targets)
+    }
+}
+
+/// Deterministic without-replacement sampler over dataset windows; reshuffles
+/// each epoch.
+#[derive(Debug, Clone)]
+pub struct MicrobatchSampler {
+    order: Vec<usize>,
+    cursor: usize,
+    batch: usize,
+    rng: SplitMix64,
+}
+
+impl MicrobatchSampler {
+    /// Creates a sampler drawing microbatches of `batch` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or the dataset has fewer windows than `batch`.
+    pub fn new(dataset: &PackedDataset, batch: usize, seed: u64) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        assert!(dataset.len() >= batch, "dataset smaller than one microbatch");
+        let mut s = MicrobatchSampler {
+            order: (0..dataset.len()).collect(),
+            cursor: 0,
+            batch,
+            rng: SplitMix64::new(seed),
+        };
+        s.shuffle();
+        s
+    }
+
+    fn shuffle(&mut self) {
+        // Fisher–Yates with the deterministic RNG.
+        for i in (1..self.order.len()).rev() {
+            let j = (self.rng.next_u64() % (i as u64 + 1)) as usize;
+            self.order.swap(i, j);
+        }
+        self.cursor = 0;
+    }
+
+    /// The next microbatch's window indices; reshuffles at epoch end.
+    pub fn next_indices(&mut self) -> Vec<usize> {
+        if self.cursor + self.batch > self.order.len() {
+            self.shuffle();
+        }
+        let out = self.order[self.cursor..self.cursor + self.batch].to_vec();
+        self.cursor += self.batch;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> PackedDataset {
+        PackedDataset::new((0..50).collect(), 8)
+    }
+
+    #[test]
+    fn window_shapes_and_shift() {
+        let ds = dataset();
+        assert_eq!(ds.len(), 42);
+        let (i, t) = ds.window(5);
+        assert_eq!(i, (5..13).collect::<Vec<_>>());
+        assert_eq!(t, (6..14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn microbatch_is_s_major() {
+        let ds = dataset();
+        let (tokens, targets) = ds.microbatch(&[0, 10]);
+        let b = 2;
+        // Row (si, bj): tokens[si*b + bj] == window_bj[si].
+        for si in 0..8 {
+            assert_eq!(tokens[si * b], si);
+            assert_eq!(tokens[si * b + 1], 10 + si);
+            assert_eq!(targets[si * b], si + 1);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_covers_epoch() {
+        let ds = dataset();
+        let mut a = MicrobatchSampler::new(&ds, 6, 9);
+        let mut b = MicrobatchSampler::new(&ds, 6, 9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            let ia = a.next_indices();
+            let ib = b.next_indices();
+            assert_eq!(ia, ib, "same seed, same order");
+            seen.extend(ia);
+        }
+        assert_eq!(seen.len(), 42, "first epoch covers every window");
+    }
+
+    #[test]
+    fn sampler_reshuffles_between_epochs() {
+        let ds = dataset();
+        let mut s = MicrobatchSampler::new(&ds, 42, 1);
+        let first: Vec<usize> = s.next_indices();
+        let second: Vec<usize> = s.next_indices();
+        assert_ne!(first, second, "new epoch should have a new order");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers_the_stream() {
+        let ds = dataset();
+        let (train, valid) = ds.split(0.3);
+        assert_eq!(train.seq(), 8);
+        // Window counts reflect the contiguous cut.
+        assert!(train.len() > valid.len());
+        // Last train token precedes first valid token in the original stream.
+        let (train_last, _) = train.window(train.len() - 1);
+        let (valid_first, _) = valid.window(0);
+        assert!(train_last.last().unwrap() < valid_first.first().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn split_rejects_tiny_validation_sets() {
+        let _ = dataset().split(0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn rejects_short_streams() {
+        let _ = PackedDataset::new(vec![1, 2, 3], 8);
+    }
+}

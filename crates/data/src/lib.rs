@@ -1,0 +1,35 @@
+//! # mt-data
+//!
+//! The data substrate for the executing GPT: character/byte vocabularies,
+//! next-token dataset packing, and deterministic microbatch sampling in the
+//! model's s-major layout.
+//!
+//! The paper trains on web-scale corpora; this crate provides the smallest
+//! faithful equivalent — enough for the examples to train a real language
+//! model on embedded text and *generate* from it, demonstrating that the
+//! parallel/recompute machinery trains something that actually learns.
+//!
+//! ## Example
+//!
+//! ```
+//! use mt_data::{CharVocab, PackedDataset};
+//!
+//! let corpus = "the quick brown fox jumps over the lazy dog. ";
+//! let vocab = CharVocab::from_corpus(corpus);
+//! let tokens = vocab.encode(corpus);
+//! assert_eq!(vocab.decode(&tokens), corpus);
+//!
+//! let ds = PackedDataset::new(tokens, /*seq*/ 8);
+//! assert!(ds.len() > 0);
+//! let (inputs, targets) = ds.window(0);
+//! assert_eq!(inputs.len(), 8);
+//! assert_eq!(&inputs[1..], &targets[..7]); // targets are inputs shifted by one
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod vocab;
+
+pub use dataset::{MicrobatchSampler, PackedDataset};
+pub use vocab::{ByteVocab, CharVocab};

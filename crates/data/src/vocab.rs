@@ -1,0 +1,141 @@
+//! Character-level vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A character-level vocabulary built from a corpus: each distinct `char`
+/// maps to a dense id in `0..len()`, in sorted character order (so the
+/// mapping is deterministic regardless of corpus order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharVocab {
+    chars: Vec<char>,
+    ids: BTreeMap<char, usize>,
+}
+
+impl CharVocab {
+    /// Builds the vocabulary of every distinct character in `corpus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn from_corpus(corpus: &str) -> Self {
+        assert!(!corpus.is_empty(), "empty corpus");
+        let mut set: Vec<char> = corpus.chars().collect();
+        set.sort_unstable();
+        set.dedup();
+        let ids = set.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        CharVocab { chars: set, ids }
+    }
+
+    /// Number of distinct characters.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Encodes a string to token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a character outside the vocabulary.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.chars()
+            .map(|c| *self.ids.get(&c).unwrap_or_else(|| panic!("character {c:?} not in vocabulary")))
+            .collect()
+    }
+
+    /// Decodes token ids back to a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id out of range.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter().map(|&i| self.chars[i]).collect()
+    }
+}
+
+/// A fixed byte-level vocabulary: ids are raw byte values, `len() == 256`.
+/// No out-of-vocabulary failures, at the cost of longer sequences than a
+/// fitted [`CharVocab`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteVocab;
+
+impl ByteVocab {
+    /// Creates the byte vocabulary.
+    pub fn new() -> Self {
+        ByteVocab
+    }
+
+    /// Vocabulary size (always 256).
+    pub fn len(&self) -> usize {
+        256
+    }
+
+    /// Whether the vocabulary is empty (never).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encodes UTF-8 text as its bytes.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.bytes().map(usize::from).collect()
+    }
+
+    /// Decodes ids back to text (lossy for invalid UTF-8 sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id ≥ 256.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let bytes: Vec<u8> = ids
+            .iter()
+            .map(|&i| u8::try_from(i).expect("byte-vocab id must be < 256"))
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_vocab_roundtrips_utf8() {
+        let v = ByteVocab::new();
+        for text in ["hello", "naïve café", "日本語"] {
+            assert_eq!(v.decode(&v.encode(text)), text);
+        }
+        assert_eq!(v.len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 256")]
+    fn byte_vocab_rejects_large_ids() {
+        let _ = ByteVocab::new().decode(&[300]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = CharVocab::from_corpus("hello world");
+        assert_eq!(v.decode(&v.encode("hello world")), "hello world");
+        assert_eq!(v.len(), 8); // ' ', d e h l o r w
+    }
+
+    #[test]
+    fn ids_are_order_independent() {
+        let a = CharVocab::from_corpus("abc");
+        let b = CharVocab::from_corpus("cba");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in vocabulary")]
+    fn rejects_unknown_characters() {
+        let v = CharVocab::from_corpus("abc");
+        let _ = v.encode("abd");
+    }
+}

@@ -1,0 +1,243 @@
+//! # mt-flops
+//!
+//! FLOPs accounting from Appendix A of *"Reducing Activation Recomputation
+//! in Large Transformer Models"*, and the MFU/HFU definitions of Section 6.3.
+//!
+//! * **Model FLOPs** (Equation 7) — the arithmetic a single iteration
+//!   fundamentally requires, independent of implementation:
+//!   `72·B·L·s·h²·(1 + s/6h + v/12hL)`.
+//! * **Hardware FLOPs** — what the implementation actually executes. With
+//!   selective recomputation the attention core is replayed once
+//!   (Equation 8, `s/6h → s/3h`); with full recomputation the entire layer
+//!   forward is replayed (an extra `model/3` minus the never-recomputed
+//!   logits head).
+//! * **MFU / HFU** — model/hardware FLOPs per second divided by aggregate
+//!   peak FLOPs (Section 6.3, following Chowdhery et al.).
+//!
+//! ## Example
+//!
+//! ```
+//! use mt_flops::FlopsModel;
+//! use mt_memory::{ModelShape, Recompute};
+//!
+//! let gpt3 = ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
+//! let f = FlopsModel::new(gpt3, /*batch*/ 64);
+//! // Appendix A: hardware/model ≈ 1 + s/6h for selective recomputation.
+//! let ratio = f.hardware_flops(Recompute::Selective) / f.model_flops();
+//! assert!((ratio - (1.0 + 2048.0 / (6.0 * 12288.0))).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+use mt_memory::{ModelShape, Recompute};
+use serde::{Deserialize, Serialize};
+
+/// Peak dense fp16 throughput of one NVIDIA A100, FLOP/s (Section 6.3
+/// footnote: 312 teraFLOP/s).
+pub const A100_PEAK_FLOPS: f64 = 312e12;
+
+/// Evaluates Appendix A for one `(model shape, batch)` pair.
+///
+/// `batch` is the number of sequences processed per iteration on the model
+/// replica (the paper's evaluations use global batch = microbatch ×
+/// number-of-microbatches with no data parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlopsModel {
+    shape: ModelShape,
+    batch: u64,
+}
+
+impl FlopsModel {
+    /// Creates a FLOPs model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(shape: ModelShape, batch: u64) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        FlopsModel { shape, batch }
+    }
+
+    /// The shape under evaluation.
+    pub fn shape(&self) -> ModelShape {
+        self.shape
+    }
+
+    /// Forward-pass FLOPs of the `L` transformer layers only:
+    /// `L · (24·B·s·h² + 4·B·s²·h)`.
+    pub fn forward_layer_flops(&self) -> f64 {
+        let b = self.batch as f64;
+        let s = self.shape.seq as f64;
+        let h = self.shape.hidden as f64;
+        let l = self.shape.layers as f64;
+        l * (24.0 * b * s * h * h + 4.0 * b * s * s * h)
+    }
+
+    /// Forward-pass FLOPs of the logits head: `2·B·s·h·v`.
+    pub fn forward_logits_flops(&self) -> f64 {
+        let b = self.batch as f64;
+        2.0 * b * self.shape.seq as f64 * self.shape.hidden as f64 * self.shape.vocab as f64
+    }
+
+    /// Forward FLOPs of the attention core alone (`QKᵀ` + attention over V):
+    /// `L · 4·B·s²·h` — the physical cost of one selective-recompute replay.
+    /// The `mt-perf` timing model prices the replay with this quantity.
+    pub fn attention_core_flops(&self) -> f64 {
+        let b = self.batch as f64;
+        let s = self.shape.seq as f64;
+        self.shape.layers as f64 * 4.0 * b * s * s * self.shape.hidden as f64
+    }
+
+    /// The recompute FLOPs Equation 8 adds on top of Equation 7:
+    /// `72·B·L·s·h² · s/6h = 12·B·L·s²·h`.
+    ///
+    /// Note: the paper's Equation 8 (and its quoted 2.7%/1.6% overheads and
+    /// the `1 + s/6h` hardware/model ratio) charges the attention-core
+    /// replay at *three times* the single forward replay of
+    /// [`FlopsModel::attention_core_flops`]. We follow the paper's accounting here so
+    /// HFU numbers are comparable; the literal one-replay overhead would be
+    /// `s/18h`.
+    pub fn selective_recompute_flops_eq8(&self) -> f64 {
+        3.0 * self.attention_core_flops()
+    }
+
+    /// Equation 7: model FLOPs per iteration,
+    /// `72·B·L·s·h²·(1 + s/6h + v/12hL)` — i.e. 3× the forward pass
+    /// (backward costs double the forward).
+    pub fn model_flops(&self) -> f64 {
+        3.0 * (self.forward_layer_flops() + self.forward_logits_flops())
+    }
+
+    /// Hardware FLOPs per iteration for a recomputation policy:
+    ///
+    /// * `None` — equals model FLOPs.
+    /// * `Selective` — Equation 8: `72·B·L·s·h²·(1 + s/3h + v/12hL)`
+    ///   (see [`FlopsModel::selective_recompute_flops_eq8`] for the
+    ///   accounting convention).
+    /// * `Full` — model FLOPs + one replay of every layer's forward pass
+    ///   (the logits head is checkpoint-free and never replayed).
+    pub fn hardware_flops(&self, recompute: Recompute) -> f64 {
+        match recompute {
+            Recompute::None => self.model_flops(),
+            Recompute::Selective => self.model_flops() + self.selective_recompute_flops_eq8(),
+            Recompute::Full => self.model_flops() + self.forward_layer_flops(),
+        }
+    }
+
+    /// Appendix A's closing approximation: `hardware/model ≈ 1 + s/6h`
+    /// for selective recomputation.
+    pub fn selective_ratio_approx(&self) -> f64 {
+        1.0 + self.shape.seq as f64 / (6.0 * self.shape.hidden as f64)
+    }
+
+    /// FLOPs overhead fraction of selective recomputation under the paper's
+    /// Equation 8 accounting (Section 5: 2.7% for GPT-3, 1.6% for MT-NLG).
+    pub fn selective_overhead_fraction(&self) -> f64 {
+        self.selective_recompute_flops_eq8() / self.model_flops()
+    }
+
+    /// Model FLOPs utilization: model FLOPs ÷ iteration seconds ÷
+    /// (GPUs × peak FLOP/s).
+    pub fn mfu(&self, iteration_s: f64, gpus: u64, peak_flops: f64) -> f64 {
+        self.model_flops() / iteration_s / (gpus as f64 * peak_flops)
+    }
+
+    /// Hardware FLOPs utilization (same denominator, hardware numerator).
+    pub fn hfu(&self, recompute: Recompute, iteration_s: f64, gpus: u64, peak_flops: f64) -> f64 {
+        self.hardware_flops(recompute) / iteration_s / (gpus as f64 * peak_flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt3() -> FlopsModel {
+        let shape =
+            ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
+        FlopsModel::new(shape, 64)
+    }
+
+    fn mtnlg() -> FlopsModel {
+        let shape =
+            ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 };
+        FlopsModel::new(shape, 280)
+    }
+
+    #[test]
+    fn equation7_closed_form() {
+        // model_flops must equal 72·B·L·s·h²·(1 + s/6h + v/12hL) exactly.
+        let f = gpt3();
+        let (b, l, s, h, v) = (64.0, 96.0, 2048.0, 12288.0, 51200.0);
+        let closed = 72.0 * b * l * s * h * h * (1.0 + s / (6.0 * h) + v / (12.0 * h * l));
+        let rel = (f.model_flops() - closed).abs() / closed;
+        assert!(rel < 1e-12, "relative error {rel}");
+    }
+
+    #[test]
+    fn equation8_closed_form() {
+        let f = gpt3();
+        let (b, l, s, h, v) = (64.0, 96.0, 2048.0, 12288.0, 51200.0);
+        let closed = 72.0 * b * l * s * h * h * (1.0 + s / (3.0 * h) + v / (12.0 * h * l));
+        let rel = (f.hardware_flops(Recompute::Selective) - closed).abs() / closed;
+        assert!(rel < 1e-12, "relative error {rel}");
+    }
+
+    #[test]
+    fn selective_overhead_matches_section5() {
+        // "only 2.7% and 1.6% FLOPs overhead for these two models".
+        assert!((gpt3().selective_overhead_fraction() - 0.027).abs() < 0.002);
+        assert!((mtnlg().selective_overhead_fraction() - 0.016).abs() < 0.002);
+    }
+
+    #[test]
+    fn ratio_approximation_is_tight() {
+        let f = gpt3();
+        let exact = f.hardware_flops(Recompute::Selective) / f.model_flops();
+        assert!((exact - f.selective_ratio_approx()).abs() < 0.005);
+    }
+
+    #[test]
+    fn full_recompute_is_about_a_third_more() {
+        let f = gpt3();
+        let ratio = f.hardware_flops(Recompute::Full) / f.model_flops();
+        assert!((1.30..1.3334).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mfu_reproduces_table5_22b() {
+        // Table 5, 22B row: iteration 1.10 s on 8 GPUs at batch 4 → 41.5% MFU.
+        let shape = ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 };
+        let f = FlopsModel::new(shape, 4);
+        let mfu = f.mfu(1.10, 8, A100_PEAK_FLOPS);
+        assert!((mfu - 0.415).abs() < 0.01, "22B MFU {mfu:.3}");
+    }
+
+    #[test]
+    fn mfu_reproduces_table5_530b() {
+        // Table 5, 530B row: iteration 37.83 s on 280 GPUs at batch 280 → 56.0%.
+        let f = mtnlg();
+        let mfu = f.mfu(37.83, 280, A100_PEAK_FLOPS);
+        assert!((mfu - 0.560).abs() < 0.01, "530B MFU {mfu:.3}");
+    }
+
+    #[test]
+    fn hfu_exceeds_mfu_exactly_when_recomputing() {
+        let f = gpt3();
+        let mfu = f.mfu(10.0, 64, A100_PEAK_FLOPS);
+        assert_eq!(f.hfu(Recompute::None, 10.0, 64, A100_PEAK_FLOPS), mfu);
+        assert!(f.hfu(Recompute::Selective, 10.0, 64, A100_PEAK_FLOPS) > mfu);
+        assert!(
+            f.hfu(Recompute::Full, 10.0, 64, A100_PEAK_FLOPS)
+                > f.hfu(Recompute::Selective, 10.0, 64, A100_PEAK_FLOPS)
+        );
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let shape = ModelShape { heads: 8, hidden: 512, layers: 4, seq: 128, vocab: 1000 };
+        let f1 = FlopsModel::new(shape, 1).model_flops();
+        let f4 = FlopsModel::new(shape, 4).model_flops();
+        assert!((f4 / f1 - 4.0).abs() < 1e-9);
+    }
+}

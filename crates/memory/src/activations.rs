@@ -1,0 +1,251 @@
+//! Per-layer and total activation memory (Equations 1–6 and Table 2).
+
+use crate::config::{ModelShape, Parallelism, Recompute, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Evaluates the paper's activation-memory formulas for one
+/// `(model shape, microbatch, tensor-parallel size)` triple.
+///
+/// All results are **bytes** under the paper's accounting: activations held
+/// in 16-bit floats (2 bytes/element) except dropout masks (1 byte/element)
+/// and fp32 logits (4 bytes/element).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationMemoryModel {
+    shape: ModelShape,
+    micro_batch: u64,
+    tensor: u64,
+}
+
+impl ActivationMemoryModel {
+    /// Creates a model for microbatch size `micro_batch` and tensor-parallel
+    /// size `tensor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batch` or `tensor` is zero.
+    pub fn new(shape: ModelShape, micro_batch: u64, tensor: u64) -> Self {
+        assert!(micro_batch > 0, "micro_batch must be positive");
+        assert!(tensor > 0, "tensor-parallel size must be positive");
+        ActivationMemoryModel { shape, micro_batch, tensor }
+    }
+
+    /// The model shape this instance evaluates.
+    pub fn shape(&self) -> ModelShape {
+        self.shape
+    }
+
+    /// `s·b·h` in elements — the unit every formula is expressed in.
+    pub fn sbh(&self) -> f64 {
+        (self.shape.seq * self.micro_batch * self.shape.hidden) as f64
+    }
+
+    /// Equation 1: per-layer activation bytes with **no parallelism**,
+    /// `sbh·(34 + 5as/h)`.
+    pub fn per_layer_bytes_serial(&self) -> f64 {
+        self.sbh() * (34.0 + self.shape.attention_coefficient())
+    }
+
+    /// Per-layer activation bytes per rank for a [`Strategy`] (Table 2).
+    pub fn per_layer_bytes(&self, strategy: Strategy) -> f64 {
+        let t = self.tensor as f64;
+        let attn = self.shape.attention_coefficient();
+        let coeff = match (strategy.sequence_parallel, strategy.recompute) {
+            // Eq. 2: LayerNorms + dropouts (10) replicated, GEMM-internal
+            // activations (24) and attention core (5as/h) sharded.
+            (false, Recompute::None) => 10.0 + 24.0 / t + attn / t,
+            // Eq. 4: sequence parallelism shards the remaining 10 too.
+            (true, Recompute::None) => (34.0 + attn) / t,
+            // Table 2 row 4: selective recompute drops the 5as/(ht) term.
+            (false, Recompute::Selective) => 10.0 + 24.0 / t,
+            // Eq. 6.
+            (true, Recompute::Selective) => 34.0 / t,
+            // Full recompute stores only the layer input (2sbh), replicated
+            // when sequence parallelism is off…
+            (false, Recompute::Full) => 2.0,
+            // …and sharded along `s` when it is on (the 2sbh/t variant the
+            // paper mentions but does not adopt as its baseline).
+            (true, Recompute::Full) => 2.0 / t,
+        };
+        self.sbh() * coeff
+    }
+
+    /// Equation 5 family: total activation bytes on the **first pipeline
+    /// stage**, which must hold `L·first_stage_factor` layers worth of
+    /// activations to keep a 1F1B/interleaved pipeline pressurized.
+    pub fn first_stage_total_bytes(&self, strategy: Strategy, parallel: Parallelism) -> f64 {
+        assert_eq!(
+            parallel.tensor, self.tensor,
+            "Parallelism.tensor must match the model's tensor-parallel size"
+        );
+        self.per_layer_bytes(strategy) * self.shape.layers as f64 * parallel.first_stage_factor()
+            + self.input_output_extra_bytes(parallel)
+    }
+
+    /// Section 4.3 extras: embedding dropout mask, final LayerNorm, output
+    /// projection input and fp32 logits. Negligible (<0.01% for 22B) but
+    /// included for completeness; the last three only exist when `p = 1`
+    /// (otherwise the last stage pays them, not the first).
+    pub fn input_output_extra_bytes(&self, parallel: Parallelism) -> f64 {
+        let sbh = self.sbh();
+        let t = self.tensor as f64;
+        let p = parallel.pipeline as f64;
+        // Embedding dropout mask: 1 byte/element, sequence-parallel, held
+        // for p in-flight microbatches.
+        let embedding_dropout = sbh * p / t;
+        let head = if parallel.pipeline == 1 {
+            let v_over_h = self.shape.vocab as f64 / self.shape.hidden as f64;
+            // 2sbh/t (final LayerNorm input) + 2sbh/t (output projection
+            // input) + 4sbv/t (fp32 logits) = 4sbh/t · (1 + v/h).
+            4.0 * sbh / t * (1.0 + v_over_h)
+        } else {
+            0.0
+        };
+        embedding_dropout + head
+    }
+
+    /// The paper's Figure 7 quantity: activation memory of `strategy` as a
+    /// percentage of the tensor-parallel baseline (Equation 2).
+    pub fn percent_of_tp_baseline(&self, strategy: Strategy) -> f64 {
+        100.0 * self.per_layer_bytes(strategy) / self.per_layer_bytes(Strategy::tp())
+    }
+
+    /// Fraction of activations *saved* by selective recomputation relative
+    /// to storing everything (Section 5's "70% for GPT-3, 65% for MT-NLG").
+    pub fn selective_savings_fraction(&self) -> f64 {
+        let attn = self.shape.attention_coefficient();
+        attn / (34.0 + attn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_22b() -> ActivationMemoryModel {
+        let shape = ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 };
+        ActivationMemoryModel::new(shape, 4, 8)
+    }
+
+    fn gpt3_model() -> ActivationMemoryModel {
+        let shape = ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
+        ActivationMemoryModel::new(shape, 1, 8)
+    }
+
+    #[test]
+    fn equation1_serial() {
+        let m = model_22b();
+        let attn = 5.0 * 64.0 * 2048.0 / 6144.0; // ≈ 106.7/16 … compute directly
+        let expect = m.sbh() * (34.0 + attn);
+        assert_eq!(m.per_layer_bytes_serial(), expect);
+    }
+
+    #[test]
+    fn table2_orderings() {
+        // For every realistic shape, the Table 2 rows must be ordered:
+        // tp >= tp+sp >= tp+sp+selective >= full-recompute (for t ≥ 2 and
+        // large h), and tp >= tp+selective >= tp+sp+selective.
+        let m = gpt3_model();
+        let tp = m.per_layer_bytes(Strategy::tp());
+        let tpsp = m.per_layer_bytes(Strategy::tp_sp());
+        let tpsel = m.per_layer_bytes(Strategy::tp_selective());
+        let both = m.per_layer_bytes(Strategy::tp_sp_selective());
+        let full = m.per_layer_bytes(Strategy::full_recompute());
+        assert!(tp > tpsp, "sequence parallelism must save memory");
+        assert!(tp > tpsel, "selective recompute must save memory");
+        assert!(tpsp > both && tpsel > both);
+        assert!(both > full, "full recompute is the floor");
+    }
+
+    #[test]
+    fn sequence_parallel_is_exactly_serial_over_t() {
+        // Equation 4 == Equation 1 / t.
+        let m = gpt3_model();
+        let tpsp = m.per_layer_bytes(Strategy::tp_sp());
+        assert!((tpsp - m.per_layer_bytes_serial() / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn selective_savings_match_section5() {
+        // GPT-3: 80/114 ≈ 70%; MT-NLG: 64/98 ≈ 65%.
+        let gpt3 = gpt3_model();
+        assert!((gpt3.selective_savings_fraction() - 0.70).abs() < 0.005);
+        let mtnlg = ActivationMemoryModel::new(
+            ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 },
+            1,
+            8,
+        );
+        assert!((mtnlg.selective_savings_fraction() - 0.653).abs() < 0.005);
+    }
+
+    #[test]
+    fn figure7_five_x_reduction_for_large_models() {
+        // Figure 7: combined techniques bring the requirement under 20% of
+        // the TP baseline (≈5× reduction) for the large models.
+        for (heads, hidden, layers) in [(96u64, 12288u64, 96u64), (128, 20480, 105), (160, 25600, 128)] {
+            let m = ActivationMemoryModel::new(
+                ModelShape { heads, hidden, layers, seq: 2048, vocab: 51200 },
+                1,
+                8,
+            );
+            let pct = m.percent_of_tp_baseline(Strategy::tp_sp_selective());
+            assert!(pct < 21.0, "h={hidden}: {pct:.1}% of baseline");
+            // And full recompute sits near 10%.
+            let full = m.percent_of_tp_baseline(Strategy::full_recompute());
+            assert!(full < 12.0, "full recompute {full:.1}%");
+            assert!(pct < 2.5 * full, "present work should be ~2x of full recompute");
+        }
+    }
+
+    #[test]
+    fn individual_techniques_halve_memory() {
+        // Figure 7: "Individually, both techniques cut the memory
+        // requirement nearly in half" for the larger models.
+        let m = gpt3_model();
+        let sp = m.percent_of_tp_baseline(Strategy::tp_sp());
+        let sel = m.percent_of_tp_baseline(Strategy::tp_selective());
+        assert!((45.0..65.0).contains(&sp), "sp at {sp:.1}%");
+        assert!((45.0..65.0).contains(&sel), "selective at {sel:.1}%");
+    }
+
+    #[test]
+    fn first_stage_scales_with_interleaving() {
+        let m = gpt3_model();
+        let plain = Parallelism { tensor: 8, pipeline: 8, interleave: None };
+        let inter = Parallelism { tensor: 8, pipeline: 8, interleave: Some(3) };
+        let a = m.first_stage_total_bytes(Strategy::tp_sp_selective(), plain);
+        let b = m.first_stage_total_bytes(Strategy::tp_sp_selective(), inter);
+        assert!(b > a);
+        let ratio = (b - m.input_output_extra_bytes(inter))
+            / (a - m.input_output_extra_bytes(plain));
+        assert!((ratio - (1.0 + 7.0 / 24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extras_are_negligible_for_22b() {
+        // Section 4.3: "less than 0.01%" — the paper's wording slightly
+        // undersells it for p=1 (the logits term); we check < 2%.
+        let m = model_22b();
+        let p1 = Parallelism { tensor: 8, pipeline: 1, interleave: None };
+        let extra = m.input_output_extra_bytes(p1);
+        let total = m.first_stage_total_bytes(Strategy::tp(), p1);
+        assert!(extra / total < 0.02, "extras fraction {}", extra / total);
+    }
+
+    #[test]
+    fn head_extras_only_when_p_is_one() {
+        let m = model_22b();
+        let p1 = Parallelism { tensor: 8, pipeline: 1, interleave: None };
+        let p4 = Parallelism { tensor: 8, pipeline: 4, interleave: None };
+        // p=4 keeps the embedding-dropout term (scaled by p) but drops the
+        // head terms, which dominate; with vocab >> h the p=1 extra is larger.
+        assert!(m.input_output_extra_bytes(p1) > m.input_output_extra_bytes(p4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn first_stage_rejects_inconsistent_tensor_size() {
+        let m = model_22b();
+        let bad = Parallelism { tensor: 4, pipeline: 1, interleave: None };
+        let _ = m.first_stage_total_bytes(Strategy::tp(), bad);
+    }
+}

@@ -1,0 +1,62 @@
+//! # mt-memory
+//!
+//! The analytical memory model of *"Reducing Activation Recomputation in
+//! Large Transformer Models"* (Section 4, Table 2, Appendix B).
+//!
+//! Everything here is closed-form arithmetic over the paper's variables
+//! (Table 1): microbatch `b`, heads `a`, hidden `h`, layers `L`, sequence
+//! `s`, tensor-parallel size `t`, pipeline-parallel size `p`, vocabulary `v`.
+//! The headline result is the per-layer activation footprint
+//!
+//! ```text
+//! no parallelism:            sbh · (34 + 5as/h)                  (Eq. 1)
+//! tensor parallel:           sbh · (10 + 24/t + 5as/(ht))        (Eq. 2)
+//! tensor + sequence:         sbh/t · (34 + 5as/h)                (Eq. 4)
+//! tp + selective:            sbh · (10 + 24/t)
+//! tp + sp + selective:       sbh · 34/t                          (Eq. 6)
+//! full recomputation:        sbh · 2
+//! ```
+//!
+//! and how pipeline parallelism scales it (first stage stores `L` layers
+//! worth of activations under 1F1B, `L·(1+(p−1)/(pm))` when interleaved).
+//!
+//! The sibling `mt-model` crate *executes* a real transformer under each
+//! strategy and checks that its measured activation ledger matches these
+//! formulas byte-for-byte.
+//!
+//! ## Example
+//!
+//! ```
+//! use mt_memory::{ActivationMemoryModel, ModelShape, Strategy};
+//!
+//! // The paper's GPT-3 line: a=96, s=2048, h=12288 gives 5as/h = 80, so
+//! // selective recomputation alone saves 80/114 = 70% of activations.
+//! let gpt3 = ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
+//! let m = ActivationMemoryModel::new(gpt3, /*micro_batch*/ 1, /*tensor*/ 8);
+//! let stored = m.per_layer_bytes(Strategy::tp_sp_selective());
+//! let baseline = m.per_layer_bytes(Strategy::tp_sp());
+//! assert!(stored < baseline);
+//! ```
+
+#![warn(missing_docs)]
+
+mod activations;
+pub mod allocator;
+mod config;
+mod mixed;
+mod model_state;
+mod pipeline_profile;
+
+pub use activations::ActivationMemoryModel;
+pub use config::{Batch, ModelShape, Parallelism, Recompute, Strategy};
+pub use mixed::{MixedLayerCheckpointing, MixedOption};
+pub use model_state::{ModelStateMemory, ADAM_MIXED_PRECISION_BYTES_PER_PARAM};
+pub use pipeline_profile::PipelineMemoryProfile;
+
+/// An NVIDIA A100-80GB's usable HBM capacity in bytes, the dashed red line
+/// of the paper's Figure 1.
+pub const A100_80GB_BYTES: f64 = 80e9;
+
+/// Bytes in one gibibyte; the paper quotes Appendix B savings in GiB
+/// ("2.73 GB" is `sbhp · 2` bytes ÷ 2³⁰).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;

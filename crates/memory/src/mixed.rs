@@ -1,0 +1,170 @@
+//! Per-layer (mixed) checkpointing — the coarse-grained alternative
+//! Section 5 argues against: "A simple approach … is to only checkpoint
+//! some of the transformer layers and store all the activations of other
+//! layers. This approach does not scale very well to large models; for
+//! example, when training MT-NLG there are only three layers per device,
+//! limiting the granularity."
+//!
+//! This module quantifies that granularity problem so the ablation report
+//! can compare it against selective recomputation.
+
+use crate::activations::ActivationMemoryModel;
+use crate::config::{Parallelism, Recompute, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// One feasible mixed-checkpointing setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedOption {
+    /// Layers checkpointed per device (0 ..= L/p).
+    pub checkpointed_per_device: u64,
+    /// First-pipeline-stage activation bytes.
+    pub first_stage_bytes: f64,
+    /// Fraction of the forward pass recomputed in the backward pass
+    /// (`k / (L/p)` — the whole layer forward for each checkpointed layer).
+    pub recompute_fraction: f64,
+}
+
+/// Evaluates mixed per-layer checkpointing for one model/parallel layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedLayerCheckpointing {
+    act: ActivationMemoryModel,
+    parallel: Parallelism,
+    /// Whether sequence parallelism shards the stored activations.
+    pub sequence_parallel: bool,
+}
+
+impl MixedLayerCheckpointing {
+    /// Creates the evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer count is not divisible by the pipeline size.
+    pub fn new(act: ActivationMemoryModel, parallel: Parallelism, sequence_parallel: bool) -> Self {
+        assert_eq!(
+            act.shape().layers % parallel.pipeline,
+            0,
+            "layers must divide by the pipeline size"
+        );
+        MixedLayerCheckpointing { act, parallel, sequence_parallel }
+    }
+
+    /// Layers per device (`L/p`) — the granularity of the technique.
+    pub fn layers_per_device(&self) -> u64 {
+        self.act.shape().layers / self.parallel.pipeline
+    }
+
+    fn store_all_per_layer(&self) -> f64 {
+        self.act.per_layer_bytes(Strategy {
+            sequence_parallel: self.sequence_parallel,
+            recompute: Recompute::None,
+        })
+    }
+
+    fn checkpoint_per_layer(&self) -> f64 {
+        self.act.per_layer_bytes(Strategy {
+            sequence_parallel: self.sequence_parallel,
+            recompute: Recompute::Full,
+        })
+    }
+
+    /// First-stage activation bytes with `k` of the device's `L/p` layers
+    /// checkpointed. The first stage holds `L · first_stage_factor` layer
+    /// instances; a `k/(L/p)` fraction of them become 2sbh checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > L/p`.
+    pub fn first_stage_bytes(&self, k: u64) -> f64 {
+        let per_device = self.layers_per_device();
+        assert!(k <= per_device, "cannot checkpoint {k} of {per_device} layers");
+        let instances = self.act.shape().layers as f64 * self.parallel.first_stage_factor();
+        let frac = k as f64 / per_device as f64;
+        instances
+            * (frac * self.checkpoint_per_layer() + (1.0 - frac) * self.store_all_per_layer())
+            + self.act.input_output_extra_bytes(self.parallel)
+    }
+
+    /// All `L/p + 1` settings, cheapest-recompute first.
+    pub fn options(&self) -> Vec<MixedOption> {
+        let per_device = self.layers_per_device();
+        (0..=per_device)
+            .map(|k| MixedOption {
+                checkpointed_per_device: k,
+                first_stage_bytes: self.first_stage_bytes(k),
+                recompute_fraction: k as f64 / per_device as f64,
+            })
+            .collect()
+    }
+
+    /// The smallest `k` whose first-stage activations fit
+    /// `activation_budget_bytes`, or `None` if even full checkpointing does
+    /// not fit.
+    pub fn min_checkpointed_to_fit(&self, activation_budget_bytes: f64) -> Option<u64> {
+        self.options()
+            .into_iter()
+            .find(|o| o.first_stage_bytes <= activation_budget_bytes)
+            .map(|o| o.checkpointed_per_device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelShape;
+
+    /// The paper's MT-NLG example: 105 layers over 35 stages = 3 per device.
+    fn mtnlg() -> MixedLayerCheckpointing {
+        let shape = ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 };
+        let act = ActivationMemoryModel::new(shape, 1, 8);
+        let parallel = Parallelism { tensor: 8, pipeline: 35, interleave: Some(3) };
+        MixedLayerCheckpointing::new(act, parallel, true)
+    }
+
+    #[test]
+    fn mtnlg_has_only_four_settings() {
+        let m = mtnlg();
+        assert_eq!(m.layers_per_device(), 3);
+        assert_eq!(m.options().len(), 4);
+    }
+
+    #[test]
+    fn memory_decreases_monotonically_with_k() {
+        let m = mtnlg();
+        let opts = m.options();
+        for w in opts.windows(2) {
+            assert!(w[0].first_stage_bytes > w[1].first_stage_bytes);
+        }
+        // Extremes equal the uniform-policy formulas (modulo extras).
+        let all = m.first_stage_bytes(0);
+        let none = m.first_stage_bytes(3);
+        assert!(all / none > 10.0, "checkpointing everything frees most memory");
+    }
+
+    #[test]
+    fn granularity_jump_is_a_third_of_the_forward() {
+        // The paper's complaint quantified: the smallest nonzero recompute
+        // step for MT-NLG is replaying 1/3 of every device's forward pass —
+        // versus selective recomputation's ~1.6% FLOPs.
+        let m = mtnlg();
+        let opts = m.options();
+        assert_eq!(opts[1].checkpointed_per_device, 1);
+        assert!((opts[1].recompute_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_k_to_fit_tracks_the_budget() {
+        let m = mtnlg();
+        let opts = m.options();
+        // A budget between k=1 and k=2 picks k=2.
+        let budget = (opts[1].first_stage_bytes + opts[2].first_stage_bytes) / 2.0;
+        assert_eq!(m.min_checkpointed_to_fit(budget), Some(2));
+        assert_eq!(m.min_checkpointed_to_fit(f64::INFINITY), Some(0));
+        assert_eq!(m.min_checkpointed_to_fit(0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot checkpoint")]
+    fn rejects_k_above_layers_per_device() {
+        let _ = mtnlg().first_stage_bytes(4);
+    }
+}

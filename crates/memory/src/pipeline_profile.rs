@@ -1,0 +1,207 @@
+//! Per-pipeline-rank activation memory (Appendix B, Figure 9).
+
+use crate::activations::ActivationMemoryModel;
+use crate::config::{Parallelism, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Computes the activation memory held by each pipeline rank under 1F1B or
+/// interleaved scheduling, with or without the output-tensor-deallocation
+/// optimization of Appendix B.
+///
+/// The driving quantity is how many microbatches are *in flight* on a rank:
+/// schedules that minimize the pipeline bubble keep `p − rank` microbatches
+/// outstanding on rank `rank` (Appendix C: `max(0, p − S)`), producing the
+/// linearly decreasing memory profile of Figure 9, with an extra
+/// embedding-dropout spike on rank 0 (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineMemoryProfile {
+    model: ActivationMemoryModel,
+    parallel: Parallelism,
+    num_micro: u64,
+}
+
+impl PipelineMemoryProfile {
+    /// Creates a profile for the given activation model, parallel layout,
+    /// and number of microbatches per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_micro == 0` or layers are not divisible by the
+    /// pipeline (× interleave) size.
+    pub fn new(model: ActivationMemoryModel, parallel: Parallelism, num_micro: u64) -> Self {
+        assert!(num_micro > 0, "need at least one microbatch");
+        let chunks = parallel.pipeline * parallel.interleave.unwrap_or(1);
+        assert_eq!(
+            model.shape().layers % chunks,
+            0,
+            "layers {} not divisible by pipeline×interleave {}",
+            model.shape().layers,
+            chunks
+        );
+        PipelineMemoryProfile { model, parallel, num_micro }
+    }
+
+    /// Microbatches in flight on `rank` under 1F1B: `min(p − rank, n_micro)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= p`.
+    pub fn in_flight_microbatches(&self, rank: u64) -> u64 {
+        assert!(rank < self.parallel.pipeline, "rank out of range");
+        (self.parallel.pipeline - rank).min(self.num_micro)
+    }
+
+    /// Layers worth of activations held on `rank`.
+    ///
+    /// * Plain 1F1B: `(p − rank) · L/p` — rank 0 holds a full `L`.
+    /// * Interleaved (m chunks/rank): warmup analysis gives
+    ///   `w = 2(p − rank − 1) + (m−1)·p + 1` in-flight *chunks* of
+    ///   `L/(p·m)` layers each; rank 0 recovers the paper's
+    ///   `L·(1 + (p−1)/(p·m))` factor.
+    pub fn layers_worth(&self, rank: u64) -> f64 {
+        let p = self.parallel.pipeline;
+        assert!(rank < p, "rank out of range");
+        let l = self.model.shape().layers as f64;
+        match self.parallel.interleave {
+            None => {
+                let per_stage = l / p as f64;
+                self.in_flight_microbatches(rank) as f64 * per_stage
+            }
+            Some(m) => {
+                let chunk_layers = l / (p * m) as f64;
+                let warmup_chunks = 2 * (p - rank - 1) + (m - 1) * p + 1;
+                let in_flight = warmup_chunks.min(self.num_micro * m);
+                in_flight as f64 * chunk_layers
+            }
+        }
+    }
+
+    /// Bytes saved on `rank` by deallocating each microbatch's output tensor
+    /// after its forward pass (Appendix B): `2·sbh` per in-flight
+    /// microbatch, peaking at `2·sbh·p` on rank 0.
+    pub fn dealloc_savings_bytes(&self, rank: u64) -> f64 {
+        2.0 * self.model.sbh() * self.in_flight_microbatches(rank) as f64
+    }
+
+    /// Activation bytes held on `rank` under `strategy`.
+    ///
+    /// `deallocate_outputs` applies the Appendix B optimization (the paper
+    /// uses it everywhere outside Figure 9's blue line).
+    pub fn activation_bytes(&self, strategy: Strategy, rank: u64, deallocate_outputs: bool) -> f64 {
+        let per_layer = self.model.per_layer_bytes(strategy);
+        let mut total = self.layers_worth(rank) * per_layer;
+        if !deallocate_outputs {
+            total += self.dealloc_savings_bytes(rank);
+        }
+        if rank == 0 {
+            // Embedding dropout mask, sequence-parallel, p microbatches.
+            total += self.model.sbh() * self.parallel.pipeline as f64
+                / self.parallel.tensor as f64;
+        }
+        if rank == self.parallel.pipeline - 1 && self.parallel.pipeline > 1 {
+            // Final LayerNorm + output projection + fp32 logits live on the
+            // last stage (one microbatch in flight there).
+            let v_over_h =
+                self.model.shape().vocab as f64 / self.model.shape().hidden as f64;
+            total += 4.0 * self.model.sbh() / self.parallel.tensor as f64 * (1.0 + v_over_h);
+        }
+        total
+    }
+
+    /// The full Figure 9 series: activation bytes for every rank.
+    pub fn profile(&self, strategy: Strategy, deallocate_outputs: bool) -> Vec<f64> {
+        (0..self.parallel.pipeline)
+            .map(|r| self.activation_bytes(strategy, r, deallocate_outputs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelShape;
+    use crate::GIB;
+
+    /// The paper's 530B / MT-NLG configuration (Table 3).
+    fn profile_530b(interleave: Option<u64>) -> PipelineMemoryProfile {
+        let shape = ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 };
+        let model = ActivationMemoryModel::new(shape, 1, 8);
+        let parallel = Parallelism { tensor: 8, pipeline: 35, interleave };
+        PipelineMemoryProfile::new(model, parallel, 280)
+    }
+
+    #[test]
+    fn appendix_b_dealloc_saving_is_2_73_gib() {
+        // "the theoretical savings for this optimization on the first
+        // pipeline stage is sbhp = 2.73 GB" (×2 bytes/element).
+        let prof = profile_530b(Some(3));
+        let gib = prof.dealloc_savings_bytes(0) / GIB;
+        assert!((gib - 2.73).abs() < 0.01, "saving {gib:.3} GiB");
+    }
+
+    #[test]
+    fn rank0_holds_full_l_layers_under_plain_1f1b() {
+        let prof = profile_530b(None);
+        assert_eq!(prof.layers_worth(0), 105.0);
+        // Last rank holds one stage worth.
+        assert_eq!(prof.layers_worth(34), 3.0);
+    }
+
+    #[test]
+    fn interleaved_rank0_matches_paper_factor() {
+        let prof = profile_530b(Some(3));
+        let expect = 105.0 * (1.0 + 34.0 / (35.0 * 3.0));
+        assert!((prof.layers_worth(0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_decreases_monotonically_past_rank0() {
+        let prof = profile_530b(None);
+        let series = prof.profile(Strategy::tp_sp_selective(), true);
+        for w in series[..series.len() - 1].windows(2) {
+            assert!(w[0] >= w[1], "profile must decrease: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn dealloc_lowers_every_rank() {
+        let prof = profile_530b(Some(3));
+        let on = prof.profile(Strategy::tp_sp_selective(), true);
+        let off = prof.profile(Strategy::tp_sp_selective(), false);
+        for (a, b) in on.iter().zip(&off) {
+            assert!(a < b);
+        }
+        // Gap at rank 0 equals the 2.73 GiB saving plus nothing else.
+        assert!(((off[0] - on[0]) - prof.dealloc_savings_bytes(0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn few_microbatches_cap_in_flight_count() {
+        let shape = ModelShape { heads: 8, hidden: 512, layers: 8, seq: 128, vocab: 1000 };
+        let model = ActivationMemoryModel::new(shape, 2, 2);
+        let parallel = Parallelism { tensor: 2, pipeline: 4, interleave: None };
+        let prof = PipelineMemoryProfile::new(model, parallel, 2);
+        assert_eq!(prof.in_flight_microbatches(0), 2, "capped by num_micro");
+        assert_eq!(prof.in_flight_microbatches(3), 1);
+    }
+
+    #[test]
+    fn embedding_spike_on_rank0() {
+        // With identical layer counts, rank 0 must exceed the pure linear
+        // trend because of the embedding dropout term.
+        let prof = profile_530b(None);
+        let series = prof.profile(Strategy::tp_sp_selective(), true);
+        let per_stage = series[1] / prof.layers_worth(1);
+        let linear_rank0 = per_stage * prof.layers_worth(0);
+        assert!(series[0] > linear_rank0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_uneven_layer_split() {
+        let shape = ModelShape { heads: 8, hidden: 512, layers: 7, seq: 128, vocab: 1000 };
+        let model = ActivationMemoryModel::new(shape, 1, 2);
+        let parallel = Parallelism { tensor: 2, pipeline: 2, interleave: None };
+        let _ = PipelineMemoryProfile::new(model, parallel, 4);
+    }
+}

@@ -1,0 +1,371 @@
+//! The attention core: `QKᵀ → softmax → dropout → ·V`.
+//!
+//! This is exactly the region the paper's Figure 3 marks in red — the part of
+//! the layer that *selective activation recomputation* (Section 5) chooses to
+//! recompute: its saved tensors scale as `as²b` (large) while its FLOPs per
+//! element are low.
+//!
+//! The functions here operate on **packed** Q/K/V of shape
+//! `[s·b, local_heads·head_dim]` covering an arbitrary contiguous range of
+//! global heads, so the same code serves the serial model (`all heads`) and
+//! every tensor-parallel rank (`a/t` heads with an offset). Dropout masks are
+//! drawn from a counter RNG addressed by *global* head index, which makes the
+//! computation bit-compatible across shardings and replayable without
+//! storage.
+
+use crate::streams::{attention_offset, stream_id, DropoutSite};
+use mt_tensor::ops;
+use mt_tensor::rng::CounterRng;
+use mt_tensor::Tensor;
+
+/// Static parameters of one attention-core invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct AttnParams {
+    /// Sequence length `s`.
+    pub seq: usize,
+    /// Microbatch size `b`.
+    pub micro_batch: usize,
+    /// Total (global) head count `a`.
+    pub heads: usize,
+    /// Per-head dimension `h/a`.
+    pub head_dim: usize,
+    /// First global head handled by this invocation.
+    pub head_offset: usize,
+    /// Number of local heads handled (`a/t`).
+    pub local_heads: usize,
+    /// Apply the causal mask.
+    pub causal: bool,
+    /// Softmax-dropout probability.
+    pub dropout_p: f32,
+    /// Layer index (selects the dropout stream).
+    pub layer: usize,
+    /// Microbatch id (selects the dropout stream).
+    pub micro: u64,
+}
+
+impl AttnParams {
+    fn tokens(&self) -> usize {
+        self.seq * self.micro_batch
+    }
+
+    fn local_width(&self) -> usize {
+        self.local_heads * self.head_dim
+    }
+
+    /// Softmax scale `1/√head_dim`.
+    pub fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+
+    /// Regenerates the softmax-dropout keep-mask for `(batch, local head)` —
+    /// identical bits regardless of how heads are sharded.
+    pub fn softmax_mask(&self, rng: &CounterRng, batch: usize, local_head: usize) -> Vec<u8> {
+        let stream = stream_id(DropoutSite::Softmax, self.layer, self.micro);
+        let head = self.head_offset + local_head;
+        let s = self.seq;
+        let mut mask = Vec::with_capacity(s * s);
+        for q in 0..s {
+            for k in 0..s {
+                let off = attention_offset(batch, head, q, k, self.heads, s);
+                mask.push(u8::from(rng.uniform(stream, off) >= self.dropout_p));
+            }
+        }
+        mask
+    }
+}
+
+/// Tensors the attention core must keep for its backward pass when it is
+/// *not* being recomputed: the softmax outputs (`2as²b` bytes) and the
+/// dropout outputs (`2as²b` bytes), per `(batch, local head)`.
+#[derive(Debug, Clone)]
+pub struct AttnSaved {
+    /// Softmax outputs, one `[s, s]` per `(batch, local_head)`,
+    /// batch-major.
+    pub probs: Vec<Tensor>,
+    /// Post-dropout probabilities, same layout.
+    pub probs_dropped: Vec<Tensor>,
+}
+
+/// Extracts the `[s, head_dim]` matrix of one `(batch, local head)` from a
+/// packed `[s·b, local_heads·head_dim]` tensor.
+fn extract_head(p: &AttnParams, packed: &Tensor, batch: usize, local_head: usize) -> Tensor {
+    let (s, b, hd) = (p.seq, p.micro_batch, p.head_dim);
+    let width = p.local_width();
+    let mut out = Tensor::zeros(&[s, hd]);
+    for si in 0..s {
+        let src = (si * b + batch) * width + local_head * hd;
+        let dst = si * hd;
+        out.data_mut()[dst..dst + hd].copy_from_slice(&packed.data()[src..src + hd]);
+    }
+    out
+}
+
+/// Adds the `[s, head_dim]` matrix of one `(batch, local head)` into a packed
+/// `[s·b, local_heads·head_dim]` tensor.
+fn scatter_head(p: &AttnParams, packed: &mut Tensor, src: &Tensor, batch: usize, local_head: usize) {
+    let (s, b, hd) = (p.seq, p.micro_batch, p.head_dim);
+    let width = p.local_width();
+    for si in 0..s {
+        let dst = (si * b + batch) * width + local_head * hd;
+        let srow = si * hd;
+        for d in 0..hd {
+            packed.data_mut()[dst + d] += src.data()[srow + d];
+        }
+    }
+}
+
+/// Attention-core forward: returns the packed context `[s·b, local_width]`
+/// and the saved tensors a non-recomputing backward needs.
+///
+/// # Panics
+///
+/// Panics if `q`/`k`/`v` are not `[s·b, local_heads·head_dim]`.
+pub fn attention_forward(
+    p: &AttnParams,
+    rng: &CounterRng,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+) -> (Tensor, AttnSaved) {
+    for (name, t) in [("q", q), ("k", k), ("v", v)] {
+        assert_eq!(
+            t.shape(),
+            &[p.tokens(), p.local_width()],
+            "attention_forward: bad {name} shape"
+        );
+    }
+    let mut ctx = Tensor::zeros(&[p.tokens(), p.local_width()]);
+    let n = p.micro_batch * p.local_heads;
+    let mut probs = Vec::with_capacity(n);
+    let mut dropped = Vec::with_capacity(n);
+    for batch in 0..p.micro_batch {
+        for lh in 0..p.local_heads {
+            let qm = extract_head(p, q, batch, lh);
+            let km = extract_head(p, k, batch, lh);
+            let vm = extract_head(p, v, batch, lh);
+            let scores = ops::matmul_nt(&qm, &km).scale(p.scale());
+            let pr = ops::softmax_rows(&scores, p.causal);
+            let mask = p.softmax_mask(rng, batch, lh);
+            let pd = ops::dropout(&pr, &mask, p.dropout_p);
+            let ctx_head = ops::matmul(&pd, &vm);
+            scatter_head(p, &mut ctx, &ctx_head, batch, lh);
+            probs.push(pr);
+            dropped.push(pd);
+        }
+    }
+    (ctx, AttnSaved { probs, probs_dropped: dropped })
+}
+
+/// Replays the forward to rebuild [`AttnSaved`] from the stored Q and K —
+/// the selective-recomputation path. Bit-identical to what
+/// [`attention_forward`] produced, because the dropout mask comes from the
+/// counter RNG rather than storage.
+pub fn attention_recompute(p: &AttnParams, rng: &CounterRng, q: &Tensor, k: &Tensor) -> AttnSaved {
+    let n = p.micro_batch * p.local_heads;
+    let mut probs = Vec::with_capacity(n);
+    let mut dropped = Vec::with_capacity(n);
+    for batch in 0..p.micro_batch {
+        for lh in 0..p.local_heads {
+            let qm = extract_head(p, q, batch, lh);
+            let km = extract_head(p, k, batch, lh);
+            let scores = ops::matmul_nt(&qm, &km).scale(p.scale());
+            let pr = ops::softmax_rows(&scores, p.causal);
+            let mask = p.softmax_mask(rng, batch, lh);
+            let pd = ops::dropout(&pr, &mask, p.dropout_p);
+            probs.push(pr);
+            dropped.push(pd);
+        }
+    }
+    AttnSaved { probs, probs_dropped: dropped }
+}
+
+/// Attention-core backward: given the packed inputs, saved (or recomputed)
+/// probabilities, and the upstream context gradient, returns packed
+/// `(dQ, dK, dV)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward call.
+pub fn attention_backward(
+    p: &AttnParams,
+    rng: &CounterRng,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    saved: &AttnSaved,
+    dctx: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(dctx.shape(), &[p.tokens(), p.local_width()], "attention_backward: bad dctx");
+    assert_eq!(saved.probs.len(), p.micro_batch * p.local_heads, "attention_backward: saved size");
+    let mut dq = Tensor::zeros(&[p.tokens(), p.local_width()]);
+    let mut dk = Tensor::zeros(&[p.tokens(), p.local_width()]);
+    let mut dv = Tensor::zeros(&[p.tokens(), p.local_width()]);
+    for batch in 0..p.micro_batch {
+        for lh in 0..p.local_heads {
+            let idx = batch * p.local_heads + lh;
+            let qm = extract_head(p, q, batch, lh);
+            let km = extract_head(p, k, batch, lh);
+            let vm = extract_head(p, v, batch, lh);
+            let dctx_head = extract_head(p, dctx, batch, lh);
+            let pr = &saved.probs[idx];
+            let pd = &saved.probs_dropped[idx];
+            // ctx = pd · V
+            let dpd = ops::matmul_nt(&dctx_head, &vm);
+            let dvm = ops::matmul_tn(pd, &dctx_head);
+            // dropout
+            let mask = p.softmax_mask(rng, batch, lh);
+            let dpr = ops::dropout_backward(&dpd, &mask, p.dropout_p);
+            // softmax
+            let dscores = ops::softmax_rows_backward(pr, &dpr);
+            // scores = scale · q · kᵀ
+            let dqm = ops::matmul(&dscores, &km).scale(p.scale());
+            let dkm = ops::matmul_tn(&dscores, &qm).scale(p.scale());
+            scatter_head(p, &mut dq, &dqm, batch, lh);
+            scatter_head(p, &mut dk, &dkm, batch, lh);
+            scatter_head(p, &mut dv, &dvm, batch, lh);
+        }
+    }
+    (dq, dk, dv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_tensor::rng::SplitMix64;
+
+    fn params() -> AttnParams {
+        AttnParams {
+            seq: 6,
+            micro_batch: 2,
+            heads: 4,
+            head_dim: 5,
+            head_offset: 0,
+            local_heads: 4,
+            causal: true,
+            dropout_p: 0.0,
+            layer: 0,
+            micro: 0,
+        }
+    }
+
+    fn rand_qkv(p: &AttnParams, seed: u64) -> (Tensor, Tensor, Tensor) {
+        let mut rng = SplitMix64::new(seed);
+        let shape = [p.seq * p.micro_batch, p.local_heads * p.head_dim];
+        (
+            Tensor::rand_uniform(&shape, -1.0, 1.0, &mut rng),
+            Tensor::rand_uniform(&shape, -1.0, 1.0, &mut rng),
+            Tensor::rand_uniform(&shape, -1.0, 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn extract_scatter_roundtrip() {
+        let p = params();
+        let (q, _, _) = rand_qkv(&p, 1);
+        let mut rebuilt = Tensor::zeros(q.shape());
+        for batch in 0..p.micro_batch {
+            for lh in 0..p.local_heads {
+                let m = extract_head(&p, &q, batch, lh);
+                scatter_head(&p, &mut rebuilt, &m, batch, lh);
+            }
+        }
+        assert_eq!(rebuilt, q);
+    }
+
+    #[test]
+    fn recompute_is_bit_identical() {
+        let mut p = params();
+        p.dropout_p = 0.2;
+        let rng = CounterRng::new(77);
+        let (q, k, v) = rand_qkv(&p, 2);
+        let (_, saved) = attention_forward(&p, &rng, &q, &k, &v);
+        let replay = attention_recompute(&p, &rng, &q, &k);
+        for (a, b) in saved.probs_dropped.iter().zip(&replay.probs_dropped) {
+            assert_eq!(a, b, "replayed dropout output differs");
+        }
+    }
+
+    #[test]
+    fn head_sharding_matches_full_computation() {
+        // Running heads 0..2 and 2..4 on "two ranks" must reproduce the
+        // 4-head result column-for-column, including dropout bits.
+        let mut p_full = params();
+        p_full.dropout_p = 0.3;
+        let rng = CounterRng::new(99);
+        let (q, k, v) = rand_qkv(&p_full, 3);
+        let (ctx_full, _) = attention_forward(&p_full, &rng, &q, &k, &v);
+
+        let width_half = 2 * p_full.head_dim;
+        for rank in 0..2usize {
+            let mut p_half = p_full;
+            p_half.local_heads = 2;
+            p_half.head_offset = rank * 2;
+            // Slice packed q/k/v columns for this rank's heads.
+            let cols = |t: &Tensor| -> Tensor {
+                let parts = t.chunk_last_axis(2).unwrap();
+                parts[rank].clone()
+            };
+            let (ctx_half, _) =
+                attention_forward(&p_half, &rng, &cols(&q), &cols(&k), &cols(&v));
+            let expect = ctx_full.chunk_last_axis(2).unwrap()[rank].clone();
+            assert!(
+                ctx_half.allclose(&expect, 1e-5, 1e-6),
+                "rank {rank} context mismatch: {} vs {}",
+                ctx_half.max_abs_diff(&expect),
+                width_half
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut p = params();
+        p.seq = 4;
+        p.micro_batch = 1;
+        p.local_heads = 2;
+        p.heads = 2;
+        p.head_dim = 3;
+        let rng = CounterRng::new(5);
+        let (q, k, v) = rand_qkv(&p, 4);
+        let mut wrng = SplitMix64::new(6);
+        let w = Tensor::rand_uniform(&[p.seq, p.local_heads * p.head_dim], -1.0, 1.0, &mut wrng);
+        let loss = |q_: &Tensor, k_: &Tensor, v_: &Tensor| {
+            attention_forward(&p, &rng, q_, k_, v_)
+                .0
+                .data()
+                .iter()
+                .zip(w.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (_, saved) = attention_forward(&p, &rng, &q, &k, &v);
+        let (dq, dk, dv) = attention_backward(&p, &rng, &q, &k, &v, &saved, &w);
+        let fdq = mt_tensor::check::finite_diff(&q, |t| loss(t, &k, &v));
+        let fdk = mt_tensor::check::finite_diff(&k, |t| loss(&q, t, &v));
+        let fdv = mt_tensor::check::finite_diff(&v, |t| loss(&q, &k, t));
+        assert!(mt_tensor::check::grads_close(&dq, &fdq), "dq");
+        assert!(mt_tensor::check::grads_close(&dk, &fdk), "dk");
+        assert!(mt_tensor::check::grads_close(&dv, &fdv), "dv");
+    }
+
+    #[test]
+    fn backward_with_dropout_matches_finite_difference() {
+        let mut p = params();
+        p.seq = 4;
+        p.micro_batch = 1;
+        p.local_heads = 2;
+        p.heads = 2;
+        p.head_dim = 3;
+        p.dropout_p = 0.25; // masks are deterministic, so the loss is smooth
+        let rng = CounterRng::new(8);
+        let (q, k, v) = rand_qkv(&p, 9);
+        let loss = |q_: &Tensor| {
+            attention_forward(&p, &rng, q_, &k, &v).0.sum()
+        };
+        let (_, saved) = attention_forward(&p, &rng, &q, &k, &v);
+        let ones = Tensor::full(&[p.seq, p.local_heads * p.head_dim], 1.0);
+        let (dq, _, _) = attention_backward(&p, &rng, &q, &k, &v, &saved, &ones);
+        let fdq = mt_tensor::check::finite_diff(&q, |t| loss(t));
+        assert!(mt_tensor::check::grads_close(&dq, &fdq));
+    }
+}

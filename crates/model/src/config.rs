@@ -1,0 +1,115 @@
+//! Execution-scale transformer configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an *executing* transformer (in contrast to
+/// `mt_memory::ModelShape`, which describes paper-scale models that are only
+/// analyzed, this one is instantiated with real weights and run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// `h` — hidden size.
+    pub hidden: usize,
+    /// `a` — attention heads. Must divide `hidden`.
+    pub heads: usize,
+    /// `s` — sequence length.
+    pub seq: usize,
+    /// `b` — microbatch size.
+    pub micro_batch: usize,
+    /// `L` — number of layers (used by the full GPT model; single layers
+    /// ignore it).
+    pub layers: usize,
+    /// `v` — vocabulary size.
+    pub vocab: usize,
+    /// Dropout probability applied by all three dropout sites. Set to 0 for
+    /// deterministic numerical comparisons, nonzero to exercise the mask
+    /// machinery.
+    pub dropout_p: f32,
+    /// Apply the GPT causal mask in attention.
+    pub causal: bool,
+}
+
+impl TransformerConfig {
+    /// A small config suitable for tests: `h=32, a=4, s=8, b=2, L=2, v=64`.
+    pub fn tiny() -> Self {
+        TransformerConfig {
+            hidden: 32,
+            heads: 4,
+            seq: 8,
+            micro_batch: 2,
+            layers: 2,
+            vocab: 64,
+            dropout_p: 0.0,
+            causal: true,
+        }
+    }
+
+    /// Validates divisibility constraints for a tensor-parallel size `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden % heads != 0`, `heads % t != 0`, or `seq % t != 0`
+    /// (sequence parallelism shards the `s` axis `t` ways).
+    pub fn validate(&self, t: usize) {
+        assert!(self.hidden.is_multiple_of(self.heads), "hidden {} not divisible by heads {}", self.hidden, self.heads);
+        assert!(t > 0 && self.heads.is_multiple_of(t), "heads {} not divisible by t {}", self.heads, t);
+        assert!(self.seq.is_multiple_of(t), "seq {} not divisible by t {} (needed for sequence parallelism)", self.seq, t);
+    }
+
+    /// Per-head dimension `h / a`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Rows of the `[s·b, h]` activation layout.
+    pub fn tokens(&self) -> usize {
+        self.seq * self.micro_batch
+    }
+
+    /// `s·b·h` — the element unit of the paper's formulas.
+    pub fn sbh(&self) -> u64 {
+        (self.seq * self.micro_batch * self.hidden) as u64
+    }
+
+    /// `a·s²·b` — the element unit of the attention-core terms.
+    pub fn as2b(&self) -> u64 {
+        (self.heads * self.seq * self.seq * self.micro_batch) as u64
+    }
+
+    /// The equivalent analytical shape for cross-checking with `mt-memory`.
+    pub fn to_shape(&self) -> mt_memory::ModelShape {
+        mt_memory::ModelShape {
+            heads: self.heads as u64,
+            hidden: self.hidden as u64,
+            layers: self.layers as u64,
+            seq: self.seq as u64,
+            vocab: self.vocab as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_is_valid_for_small_t() {
+        for t in [1, 2, 4] {
+            TransformerConfig::tiny().validate(t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by t")]
+    fn rejects_bad_head_split() {
+        TransformerConfig::tiny().validate(3);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = TransformerConfig::tiny();
+        assert_eq!(c.head_dim(), 8);
+        assert_eq!(c.tokens(), 16);
+        assert_eq!(c.sbh(), 8 * 2 * 32);
+        assert_eq!(c.as2b(), 4 * 64 * 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Data-parallel gradient synchronization (Section 6.3).
+//!
+//! The paper's techniques are "independent of data parallelism"; its 6.3
+//! extension scales the 530B model to 8 replicas with a gradient all-reduce
+//! between the data-parallel groups. These helpers are that all-reduce for
+//! the executing model: each replica computes gradients on its own
+//! microbatches, then every parameter gradient is summed across the
+//! data-parallel communicator (the group spanning the replicas that hold
+//! the *same* model shard — `Grid3Comm::dp` in `mt-collectives`).
+
+use crate::gpt::GptGrads;
+use crate::pipeline_exec::StageGrads;
+use mt_collectives::Communicator;
+
+/// Sums a full model's gradients across data-parallel replicas in place.
+///
+/// Every replica must call this with identically-shaped gradients (SPMD).
+pub fn all_reduce_gpt_grads(comm: &Communicator, grads: &mut GptGrads) {
+    grads.table = comm.all_reduce(&grads.table);
+    grads.positions = comm.all_reduce(&grads.positions);
+    grads.final_ln_gamma = comm.all_reduce(&grads.final_ln_gamma);
+    grads.final_ln_beta = comm.all_reduce(&grads.final_ln_beta);
+    for layer in &mut grads.layers {
+        layer.ln1_gamma = comm.all_reduce(&layer.ln1_gamma);
+        layer.ln1_beta = comm.all_reduce(&layer.ln1_beta);
+        layer.w_qkv = comm.all_reduce(&layer.w_qkv);
+        layer.b_qkv = comm.all_reduce(&layer.b_qkv);
+        layer.w_o = comm.all_reduce(&layer.w_o);
+        layer.b_o = comm.all_reduce(&layer.b_o);
+        layer.ln2_gamma = comm.all_reduce(&layer.ln2_gamma);
+        layer.ln2_beta = comm.all_reduce(&layer.ln2_beta);
+        layer.w1 = comm.all_reduce(&layer.w1);
+        layer.b1 = comm.all_reduce(&layer.b1);
+        layer.w2 = comm.all_reduce(&layer.w2);
+        layer.b2 = comm.all_reduce(&layer.b2);
+    }
+}
+
+/// Sums one pipeline stage's gradients across data-parallel replicas in
+/// place (for `pipeline_exec` + DP grids).
+pub fn all_reduce_stage_grads(comm: &Communicator, grads: &mut StageGrads) {
+    if let Some((table, positions)) = grads.embedding.as_mut() {
+        *table = comm.all_reduce(table);
+        *positions = comm.all_reduce(positions);
+    }
+    for layer in &mut grads.layers {
+        layer.ln1_gamma = comm.all_reduce(&layer.ln1_gamma);
+        layer.ln1_beta = comm.all_reduce(&layer.ln1_beta);
+        layer.w_qkv = comm.all_reduce(&layer.w_qkv);
+        layer.b_qkv = comm.all_reduce(&layer.b_qkv);
+        layer.w_o = comm.all_reduce(&layer.w_o);
+        layer.b_o = comm.all_reduce(&layer.b_o);
+        layer.ln2_gamma = comm.all_reduce(&layer.ln2_gamma);
+        layer.ln2_beta = comm.all_reduce(&layer.ln2_beta);
+        layer.w1 = comm.all_reduce(&layer.w1);
+        layer.b1 = comm.all_reduce(&layer.b1);
+        layer.w2 = comm.all_reduce(&layer.w2);
+        layer.b2 = comm.all_reduce(&layer.b2);
+    }
+    if let Some((fg, fb, table)) = grads.head.as_mut() {
+        *fg = comm.all_reduce(fg);
+        *fb = comm.all_reduce(fb);
+        *table = comm.all_reduce(table);
+    }
+}

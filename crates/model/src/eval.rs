@@ -1,0 +1,93 @@
+//! Evaluation utilities: mean cross-entropy and perplexity over a set of
+//! microbatches, on a dropout-free copy of the model.
+
+use crate::gpt::Gpt;
+use mt_tensor::ops;
+
+/// Mean cross-entropy of the model over `(tokens, targets)` microbatches,
+/// with dropout disabled (the model is evaluated via [`Gpt::eval`]).
+///
+/// # Panics
+///
+/// Panics if `batches` is empty or any batch's length differs from the
+/// model's `s·b`.
+pub fn mean_loss(gpt: &Gpt, batches: &[(Vec<usize>, Vec<usize>)]) -> f32 {
+    assert!(!batches.is_empty(), "no evaluation batches");
+    let model = gpt.eval();
+    let total: f64 = batches
+        .iter()
+        .map(|(tokens, targets)| {
+            let logits = model.logits(tokens, 0);
+            ops::cross_entropy(&logits, targets).loss as f64
+        })
+        .sum();
+    (total / batches.len() as f64) as f32
+}
+
+/// Perplexity: `exp(mean_loss)`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`mean_loss`].
+pub fn perplexity(gpt: &Gpt, batches: &[(Vec<usize>, Vec<usize>)]) -> f32 {
+    mean_loss(gpt, batches).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use mt_memory::Recompute;
+    use mt_tensor::rng::SplitMix64;
+
+    fn fixtures() -> (Gpt, Vec<(Vec<usize>, Vec<usize>)>) {
+        let cfg = TransformerConfig {
+            hidden: 16,
+            heads: 2,
+            seq: 6,
+            micro_batch: 2,
+            layers: 1,
+            vocab: 20,
+            dropout_p: 0.2,
+            causal: true,
+        };
+        let gpt = Gpt::init(cfg, Recompute::None, 44);
+        let mut rng = SplitMix64::new(45);
+        let batches = (0..3)
+            .map(|_| {
+                (
+                    (0..cfg.tokens()).map(|_| (rng.next_u64() as usize) % cfg.vocab).collect(),
+                    (0..cfg.tokens()).map(|_| (rng.next_u64() as usize) % cfg.vocab).collect(),
+                )
+            })
+            .collect();
+        (gpt, batches)
+    }
+
+    #[test]
+    fn fresh_model_perplexity_is_near_vocab_size() {
+        let (gpt, batches) = fixtures();
+        let ppl = perplexity(&gpt, &batches);
+        assert!((10.0..35.0).contains(&ppl), "ppl {ppl} for vocab 20");
+    }
+
+    #[test]
+    fn eval_is_deterministic_despite_dropout() {
+        let (gpt, batches) = fixtures();
+        assert_eq!(mean_loss(&gpt, &batches), mean_loss(&gpt, &batches));
+    }
+
+    #[test]
+    fn perplexity_is_exp_of_loss() {
+        let (gpt, batches) = fixtures();
+        let l = mean_loss(&gpt, &batches);
+        assert!((perplexity(&gpt, &batches) - l.exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluation batches")]
+    fn rejects_empty_batch_lists() {
+        let (gpt, _) = fixtures();
+        let _ = mean_loss(&gpt, &[]);
+    }
+}

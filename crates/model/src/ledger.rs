@@ -1,0 +1,161 @@
+//! The activation ledger: byte-exact accounting of what a strategy stores.
+//!
+//! Every tensor a layer saves for back-propagation is recorded here under a
+//! [`Category`] with the paper's byte widths (2 bytes/element for fp16
+//! activations, 1 byte/element for dropout masks, 4 bytes/element for fp32
+//! logits). Integration tests compare these measured totals against the
+//! closed forms of Table 2 — they must match **exactly**, since the formulas
+//! count precisely these objects.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of saved activation an entry is.
+///
+/// The variants mirror the itemization in Section 4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Input to a LayerNorm (`2sbh` each, two per layer).
+    LayerNormInput,
+    /// Shared input of the Q/K/V matmuls (`2sbh`).
+    QkvInput,
+    /// Q and K, saved for the `QKᵀ` backward (`4sbh`).
+    QueryKey,
+    /// V, saved for the attention-over-values backward (`2sbh`).
+    Value,
+    /// Softmax output (`2as²b`).
+    SoftmaxOutput,
+    /// Softmax dropout mask (`as²b`, 1 byte/element).
+    SoftmaxDropoutMask,
+    /// Softmax dropout output, input of the `P·V` matmul (`2as²b`).
+    SoftmaxDropoutOutput,
+    /// Input of the post-attention linear projection (`2sbh`).
+    ProjectionInput,
+    /// Post-attention dropout mask (`sbh`, 1 byte/element).
+    AttentionDropoutMask,
+    /// Input of the h→4h linear (`2sbh`).
+    MlpFirstInput,
+    /// GeLU input (`8sbh`).
+    GeluInput,
+    /// Input of the 4h→h linear (`8sbh`).
+    MlpSecondInput,
+    /// MLP dropout mask (`sbh`, 1 byte/element).
+    MlpDropoutMask,
+    /// Embedding dropout mask (`sbh`, 1 byte/element; Section 4.3).
+    EmbeddingDropoutMask,
+    /// fp32 logits kept for the cross-entropy backward (`4sbv`; Section 4.3).
+    Logits,
+    /// Small per-row statistics (LayerNorm mean/rstd) — tracked but excluded
+    /// from paper comparisons, exactly as the paper's approximation drops
+    /// the `2sb ≪ sbh` terms.
+    SmallStatistics,
+}
+
+impl Category {
+    /// Paper-accounted bytes per element for this category.
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            Category::SoftmaxDropoutMask
+            | Category::AttentionDropoutMask
+            | Category::MlpDropoutMask
+            | Category::EmbeddingDropoutMask => 1,
+            Category::Logits => 4,
+            _ => 2,
+        }
+    }
+
+    /// Whether the category participates in Table 2 comparisons.
+    pub fn counted_in_paper_model(self) -> bool {
+        !matches!(self, Category::SmallStatistics)
+    }
+}
+
+/// Byte-exact record of the activations one rank stores for one (or more)
+/// layers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationLedger {
+    elements: BTreeMap<Category, u64>,
+}
+
+impl ActivationLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `elements` saved elements of `category`.
+    pub fn record(&mut self, category: Category, elements: u64) {
+        *self.elements.entry(category).or_insert(0) += elements;
+    }
+
+    /// Elements recorded under a category.
+    pub fn elements(&self, category: Category) -> u64 {
+        self.elements.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Bytes recorded under a category at paper widths.
+    pub fn bytes(&self, category: Category) -> u64 {
+        self.elements(category) * category.bytes_per_element()
+    }
+
+    /// Total bytes across categories that the paper's per-layer formulas
+    /// count (excludes [`Category::SmallStatistics`]).
+    pub fn paper_bytes(&self) -> u64 {
+        self.elements
+            .iter()
+            .filter(|(c, _)| c.counted_in_paper_model())
+            .map(|(c, e)| e * c.bytes_per_element())
+            .sum()
+    }
+
+    /// Total bytes across *all* categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.elements.iter().map(|(c, e)| e * c.bytes_per_element()).sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &ActivationLedger) {
+        for (c, e) in &other.elements {
+            *self.elements.entry(*c).or_insert(0) += e;
+        }
+    }
+
+    /// Iterates `(category, elements)` in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        self.elements.iter().map(|(c, e)| (*c, *e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths_follow_paper() {
+        assert_eq!(Category::SoftmaxOutput.bytes_per_element(), 2);
+        assert_eq!(Category::SoftmaxDropoutMask.bytes_per_element(), 1);
+        assert_eq!(Category::Logits.bytes_per_element(), 4);
+    }
+
+    #[test]
+    fn paper_bytes_excludes_small_statistics() {
+        let mut ledger = ActivationLedger::new();
+        ledger.record(Category::LayerNormInput, 100);
+        ledger.record(Category::SmallStatistics, 1_000_000);
+        assert_eq!(ledger.paper_bytes(), 200);
+        assert_eq!(ledger.total_bytes(), 200 + 2_000_000);
+    }
+
+    #[test]
+    fn record_accumulates_and_merges() {
+        let mut a = ActivationLedger::new();
+        a.record(Category::QueryKey, 10);
+        a.record(Category::QueryKey, 5);
+        let mut b = ActivationLedger::new();
+        b.record(Category::QueryKey, 1);
+        b.record(Category::Value, 2);
+        a.merge(&b);
+        assert_eq!(a.elements(Category::QueryKey), 16);
+        assert_eq!(a.elements(Category::Value), 2);
+    }
+}

@@ -1,0 +1,646 @@
+//! Real pipeline-parallel execution: the 1F1B schedule (Section 4.2.3)
+//! running on thread-simulated ranks, composable with tensor and sequence
+//! parallelism and every recomputation policy.
+//!
+//! Each pipeline stage owns `L/p` transformer layers (stage 0 additionally
+//! the embedding, the last stage the final LayerNorm and the tied logits
+//! head). Microbatches flow through the PipeDream-flush order — warmup
+//! forwards, steady 1F1B pairs, cooldown backwards — with activations sent
+//! stage-to-stage over point-to-point channels. The executor tracks how many
+//! microbatch activation states are live per stage, which lets tests confirm
+//! the paper's central memory assumption (`min(p − stage, n)` in-flight
+//! microbatches, Appendix B/C) *by running the schedule*, not by assuming it.
+
+use crate::config::TransformerConfig;
+use crate::gpt::Gpt;
+use crate::layer::{ExecMode, LayerState, TransformerLayer};
+use crate::ledger::{ActivationLedger, Category};
+use crate::streams::{element_offset, stream_id, DropoutSite};
+use crate::weights::{EmbeddingWeights, LayerGrads};
+use mt_collectives::GridComm;
+use mt_memory::Recompute;
+use mt_tensor::ops;
+use mt_tensor::rng::CounterRng;
+use mt_tensor::Tensor;
+
+/// The final-LayerNorm + tied-logits head owned by the last stage.
+#[derive(Debug, Clone)]
+pub struct HeadWeights {
+    /// Final LayerNorm scale.
+    pub final_ln_gamma: Tensor,
+    /// Final LayerNorm shift.
+    pub final_ln_beta: Tensor,
+    /// The last stage's copy of the tied word-embedding table, used for the
+    /// logits projection. Megatron keeps one copy on the first and last
+    /// stages and sums their gradients each step; this executor does the
+    /// same.
+    pub table: Tensor,
+}
+
+/// One pipeline stage's slice of a GPT model, shard-shaped for its
+/// tensor-parallel rank.
+#[derive(Debug, Clone)]
+pub struct StageModel {
+    cfg: TransformerConfig,
+    stage: usize,
+    pp: usize,
+    /// Embedding weights (stage 0 only).
+    pub embedding: Option<EmbeddingWeights>,
+    /// This stage's transformer layers.
+    pub layers: Vec<TransformerLayer>,
+    /// Head weights (last stage only).
+    pub head: Option<HeadWeights>,
+    rng: CounterRng,
+}
+
+/// Gradients accumulated by one stage over an iteration; shapes mirror
+/// [`StageModel`].
+#[derive(Debug, Clone)]
+pub struct StageGrads {
+    /// `(d_table, d_positions)` on stage 0.
+    pub embedding: Option<(Tensor, Tensor)>,
+    /// Per-layer gradients.
+    pub layers: Vec<LayerGrads>,
+    /// `(d_final_ln_gamma, d_final_ln_beta, d_table_head)` on the last
+    /// stage.
+    pub head: Option<(Tensor, Tensor, Tensor)>,
+}
+
+/// Result of one 1F1B iteration on one rank.
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// Mean cross-entropy loss over the microbatches (identical on every
+    /// rank; the last stage computes it and the grid broadcasts it).
+    pub mean_loss: f32,
+    /// Gradients summed over the iteration's microbatches.
+    pub grads: StageGrads,
+    /// Peak number of microbatch activation states simultaneously live on
+    /// this stage — the quantity Appendix B's memory analysis is built on.
+    pub peak_live_states: usize,
+    /// Activation bytes (paper accounting) saved per microbatch on this
+    /// rank.
+    pub per_micro_activation_bytes: u64,
+}
+
+/// Saved per-microbatch state while a microbatch is in flight.
+struct MicroState {
+    tokens_hash: usize, // index into micro_data, for the embedding backward
+    layer_states: Vec<LayerState>,
+    head: Option<HeadState>,
+}
+
+struct HeadState {
+    y_full: Tensor,
+    ln_saved: ops::LayerNormSaved,
+    y_ln: Tensor,
+    dlogits: Tensor,
+}
+
+impl StageModel {
+    /// Extracts stage `stage` of a `pp`-deep pipeline from a full [`Gpt`]
+    /// template, sharded for `tp_rank` of a `tp`-wide tensor-parallel group,
+    /// running recomputation policy `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer count is not divisible by `pp` or the
+    /// configuration does not divide by `tp`.
+    pub fn from_gpt(
+        gpt: &Gpt,
+        pp: usize,
+        stage: usize,
+        tp: usize,
+        tp_rank: usize,
+        policy: Recompute,
+    ) -> StageModel {
+        let cfg = gpt.config();
+        cfg.validate(tp);
+        assert!(stage < pp, "stage {stage} out of range for pp={pp}");
+        assert_eq!(cfg.layers % pp, 0, "layers {} not divisible by pp {pp}", cfg.layers);
+        let per_stage = cfg.layers / pp;
+        let rng = gpt.dropout_rng();
+        let layers = (stage * per_stage..(stage + 1) * per_stage)
+            .map(|i| {
+                TransformerLayer::new(cfg, gpt.layers[i].weights().shard(tp, tp_rank), i, policy, rng)
+            })
+            .collect();
+        StageModel {
+            cfg,
+            stage,
+            pp,
+            embedding: (stage == 0).then(|| gpt.embedding.clone()),
+            layers,
+            head: (stage == pp - 1).then(|| HeadWeights {
+                final_ln_gamma: gpt.final_ln_gamma.clone(),
+                final_ln_beta: gpt.final_ln_beta.clone(),
+                table: gpt.embedding.table.clone(),
+            }),
+            rng,
+        }
+    }
+
+    /// The stage index.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Zero gradients shaped like this stage.
+    fn zero_grads(&self) -> StageGrads {
+        StageGrads {
+            embedding: self.embedding.as_ref().map(|e| {
+                (Tensor::zeros(e.table.shape()), Tensor::zeros(e.positions.shape()))
+            }),
+            layers: self.layers.iter().map(|l| l.weights().zeros_like()).collect(),
+            head: self.head.as_ref().map(|h| {
+                (
+                    Tensor::zeros(h.final_ln_gamma.shape()),
+                    Tensor::zeros(h.final_ln_beta.shape()),
+                    Tensor::zeros(h.table.shape()),
+                )
+            }),
+        }
+    }
+
+    fn embedding_mask(&self, micro: u64, row0: usize, rows: usize) -> Vec<u8> {
+        let stream = stream_id(DropoutSite::Embedding, 0, micro);
+        let h = self.cfg.hidden;
+        let mut mask = Vec::with_capacity(rows * h);
+        for r in 0..rows {
+            for c in 0..h {
+                mask.push(u8::from(
+                    self.rng.uniform(stream, element_offset(row0 + r, c, h)) >= self.cfg.dropout_p,
+                ));
+            }
+        }
+        mask
+    }
+
+    /// Embedding forward for local rows (stage 0).
+    fn embed(&self, tokens: &[usize], micro: u64, row0: usize, rows: usize) -> Tensor {
+        let e = self.embedding.as_ref().expect("embed called off stage 0");
+        let h = self.cfg.hidden;
+        let mut x = ops::embedding(&tokens[row0..row0 + rows], &e.table);
+        for r in 0..rows {
+            let si = (row0 + r) / self.cfg.micro_batch;
+            let pos = &e.positions.data()[si * h..(si + 1) * h];
+            for (xv, &pv) in x.data_mut()[r * h..(r + 1) * h].iter_mut().zip(pos) {
+                *xv += pv;
+            }
+        }
+        let mask = self.embedding_mask(micro, row0, rows);
+        ops::dropout(&x, &mask, self.cfg.dropout_p)
+    }
+}
+
+/// The 1F1B op order for one stage (PipeDream-flush): warmup forwards,
+/// steady (F, B) pairs, cooldown backwards.
+fn stage_ops(stage: usize, pp: usize, n: usize) -> Vec<(bool, usize)> {
+    let w = (pp - 1 - stage).min(n);
+    let mut ops = Vec::with_capacity(2 * n);
+    for m in 0..w {
+        ops.push((true, m));
+    }
+    for j in 0..(n - w) {
+        ops.push((true, w + j));
+        ops.push((false, j));
+    }
+    for m in (n - w)..n {
+        ops.push((false, m));
+    }
+    ops
+}
+
+/// Runs one full training iteration (all microbatches, forward and backward)
+/// of the 1F1B schedule on this rank.
+///
+/// `micro_data[m] = (tokens, targets)` for microbatch `m`; every rank
+/// receives the same slices. `step` diversifies dropout masks across
+/// iterations. Set `sequence_parallel` to partition the LayerNorm/dropout
+/// regions (and the stage-boundary tensors) along the sequence dimension.
+///
+/// # Panics
+///
+/// Panics if `micro_data` is empty or shapes are inconsistent with the
+/// grid/model.
+pub fn run_1f1b_iteration(
+    model: &StageModel,
+    g: &GridComm,
+    sequence_parallel: bool,
+    micro_data: &[(Vec<usize>, Vec<usize>)],
+    step: u64,
+) -> IterationOutcome {
+    let cfg = model.cfg;
+    let n = micro_data.len();
+    assert!(n > 0, "need at least one microbatch");
+    assert_eq!(model.pp, g.pp(), "stage model built for a different pipeline depth");
+    let tp = g.tp.size();
+    let sp = sequence_parallel;
+    let rows = if sp { cfg.tokens() / tp } else { cfg.tokens() };
+    let row0 = if sp { g.tp_rank * rows } else { 0 };
+    let mode = if tp == 1 && !sp {
+        ExecMode::Serial
+    } else if sp {
+        ExecMode::TensorSequenceParallel(&g.tp)
+    } else {
+        ExecMode::TensorParallel(&g.tp)
+    };
+
+    let mut grads = model.zero_grads();
+    let mut live: Vec<Option<MicroState>> = (0..n).map(|_| None).collect();
+    let mut live_count = 0usize;
+    let mut peak_live = 0usize;
+    let mut loss_sum = 0.0_f64;
+    let mut per_micro_bytes = 0u64;
+
+    for (is_fwd, m) in stage_ops(model.stage, model.pp, n) {
+        let micro_id = step * n as u64 + m as u64;
+        if is_fwd {
+            // ----- forward of microbatch m -----
+            let mut ledger = ActivationLedger::new();
+            let mut x = if model.stage == 0 {
+                let x = model.embed(&micro_data[m].0, micro_id, row0, rows);
+                ledger.record(Category::EmbeddingDropoutMask, x.numel() as u64);
+                x
+            } else {
+                g.grid.recv(g.prev_stage_rank().expect("stage > 0"))
+            };
+            let mut layer_states = Vec::with_capacity(model.layers.len());
+            for layer in &model.layers {
+                let (y, st) = layer.forward(&x, micro_id, &mode, &mut ledger);
+                layer_states.push(st);
+                x = y;
+            }
+            let head = if model.stage == model.pp - 1 {
+                let y_full = if sp { g.tp.all_gather(&x) } else { x.clone() };
+                let h = model.head.as_ref().expect("last stage has a head");
+                let (y_ln, ln_saved) =
+                    ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
+                ledger.record(Category::LayerNormInput, y_full.numel() as u64);
+                let logits = ops::matmul_nt(&y_ln, &h.table);
+                ledger.record(Category::ProjectionInput, y_ln.numel() as u64);
+                ledger.record(Category::Logits, logits.numel() as u64);
+                let ce = ops::cross_entropy(&logits, &micro_data[m].1);
+                loss_sum += ce.loss as f64;
+                Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
+            } else {
+                g.grid.send(g.next_stage_rank().expect("not last stage"), &x);
+                None
+            };
+            per_micro_bytes = ledger.paper_bytes();
+            live[m] = Some(MicroState { tokens_hash: m, layer_states, head });
+            live_count += 1;
+            peak_live = peak_live.max(live_count);
+        } else {
+            // ----- backward of microbatch m -----
+            let st = live[m].take().expect("backward before forward");
+            live_count -= 1;
+            let mut d = if let Some(hs) = &st.head {
+                let h = model.head.as_ref().expect("last stage has a head");
+                let d_y_ln = ops::matmul(&hs.dlogits, &h.table);
+                let (d_fg_acc, d_fb_acc, d_table_acc) =
+                    grads.head.as_mut().expect("head grads allocated");
+                d_table_acc.add_assign(&ops::matmul_tn(&hs.dlogits, &hs.y_ln));
+                let (d_y_full, d_fg, d_fb) =
+                    ops::layer_norm_backward(&hs.y_full, &h.final_ln_gamma, &hs.ln_saved, &d_y_ln);
+                d_fg_acc.add_assign(&d_fg);
+                d_fb_acc.add_assign(&d_fb);
+                if sp {
+                    d_y_full.chunk_axis0(tp).expect("rows divide")[g.tp_rank].clone()
+                } else {
+                    d_y_full
+                }
+            } else {
+                g.grid.recv(g.next_stage_rank().expect("not last stage"))
+            };
+            let mut layer_states = st.layer_states;
+            for idx in (0..model.layers.len()).rev() {
+                let lstate = layer_states.pop().expect("one state per layer");
+                let (dx, lg) = model.layers[idx].backward(&d, lstate, &mode);
+                grads.layers[idx].accumulate(&lg);
+                d = dx;
+            }
+            if model.stage == 0 {
+                let micro_tokens = &micro_data[st.tokens_hash].0;
+                let mask = model.embedding_mask(micro_id, row0, rows);
+                let d_emb = ops::dropout_backward(&d, &mask, cfg.dropout_p);
+                let (d_table_acc, d_pos_acc) =
+                    grads.embedding.as_mut().expect("embedding grads allocated");
+                let h = cfg.hidden;
+                for r in 0..rows {
+                    let si = (row0 + r) / cfg.micro_batch;
+                    let src = &d_emb.data()[r * h..(r + 1) * h];
+                    let dst = &mut d_pos_acc.data_mut()[si * h..(si + 1) * h];
+                    for (dv, &sv) in dst.iter_mut().zip(src) {
+                        *dv += sv;
+                    }
+                }
+                let ids_local = &micro_tokens[row0..row0 + rows];
+                d_table_acc.add_assign(&ops::embedding_backward(ids_local, &d_emb, cfg.vocab));
+            } else {
+                g.grid.send(g.prev_stage_rank().expect("stage > 0"), &d);
+            }
+        }
+    }
+
+    // Sequence parallelism computed embedding gradients from sequence
+    // shards; sum across the tensor-parallel group.
+    if sp {
+        if let Some((t, p)) = grads.embedding.as_mut() {
+            *t = g.tp.all_reduce(t);
+            *p = g.tp.all_reduce(p);
+        }
+    }
+
+    // Tied embeddings (Megatron): the last stage's head-table gradient is
+    // summed into stage 0's embedding-table gradient, and the combined
+    // gradient is sent back so both copies step identically.
+    if model.pp > 1 {
+        let last = model.pp - 1;
+        if model.stage == last {
+            let (_, _, d_table_head) = grads.head.as_ref().expect("head grads");
+            g.grid.send(g.peer_on_stage(0), d_table_head);
+            let combined = g.grid.recv(g.peer_on_stage(0));
+            grads.head.as_mut().expect("head grads").2 = combined;
+        } else if model.stage == 0 {
+            let head_grad = g.grid.recv(g.peer_on_stage(last));
+            let (d_table, _) = grads.embedding.as_mut().expect("embedding grads");
+            d_table.add_assign(&head_grad);
+            let combined = d_table.clone();
+            g.grid.send(g.peer_on_stage(last), &combined);
+        }
+    } else if let (Some((d_table, _)), Some((_, _, d_head))) =
+        (grads.embedding.as_mut(), grads.head.as_ref())
+    {
+        d_table.add_assign(d_head);
+        let combined = d_table.clone();
+        grads.head.as_mut().expect("head grads").2 = combined;
+    }
+
+    // Broadcast the mean loss from the last stage's tp-rank-0 to everyone.
+    let loss_root = (model.pp - 1) * tp;
+    let loss_local = Tensor::full(&[1], (loss_sum / n as f64) as f32);
+    let mean_loss = g.grid.broadcast(&loss_local, loss_root).data()[0];
+
+    IterationOutcome { mean_loss, grads, peak_live_states: peak_live, per_micro_activation_bytes: per_micro_bytes }
+}
+
+/// The interleaved unit order for one device (Megatron's schedule; matches
+/// `mt_pipeline::InterleavedSim`): forward unit `k` is microbatch
+/// `(k/(p·m))·p + k%p` of chunk `(k/p)%m`; backwards mirror with chunks
+/// reversed; warmup is `2(p−d−1) + (m−1)p + 1` units.
+fn interleaved_device_ops(device: usize, p: usize, m: usize, n: usize) -> Vec<(bool, usize, usize)> {
+    let total = n * m;
+    let fwd = |k: usize| ((k / p) % m, (k / (p * m)) * p + k % p);
+    let bwd = |k: usize| (m - 1 - (k / p) % m, (k / (p * m)) * p + k % p);
+    let w = (2 * (p - device - 1) + (m - 1) * p + 1).min(total);
+    let mut ops = Vec::with_capacity(2 * total);
+    for k in 0..w {
+        let (v, mb) = fwd(k);
+        ops.push((true, v, mb));
+    }
+    for j in 0..(total - w) {
+        let (v, mb) = fwd(w + j);
+        ops.push((true, v, mb));
+        let (v, mb) = bwd(j);
+        ops.push((false, v, mb));
+    }
+    for k in (total - w)..total {
+        let (v, mb) = bwd(k);
+        ops.push((false, v, mb));
+    }
+    ops
+}
+
+/// Runs one training iteration of the **interleaved** schedule: this device
+/// holds `chunks.len() = m` model chunks (chunk `v` is virtual stage
+/// `v·p + device`, built with `StageModel::from_gpt(gpt, p·m, v·p + device,
+/// …)`), and microbatches traverse all `p·m` virtual stages with
+/// wrap-around point-to-point transfers.
+///
+/// Returns per-chunk gradients (outer index = chunk) plus the mean loss and
+/// the peak number of live chunk-activation states — the quantity behind
+/// the paper's `L(1 + (p−1)/(p·m))` first-device memory factor.
+///
+/// # Panics
+///
+/// Panics if `micro_data.len()` is not a multiple of the device count, the
+/// chunk list is empty, or chunk models disagree with the grid.
+pub fn run_interleaved_iteration(
+    chunks: &[StageModel],
+    g: &GridComm,
+    sequence_parallel: bool,
+    micro_data: &[(Vec<usize>, Vec<usize>)],
+    step: u64,
+) -> (f32, Vec<StageGrads>, usize) {
+    let m = chunks.len();
+    assert!(m > 0, "need at least one chunk");
+    let p = g.pp();
+    let device = g.stage;
+    let n = micro_data.len();
+    assert!(n > 0 && n.is_multiple_of(p), "microbatches ({n}) must be a multiple of devices ({p})");
+    let cfg = chunks[0].cfg;
+    let tp = g.tp.size();
+    let sp = sequence_parallel;
+    let rows = if sp { cfg.tokens() / tp } else { cfg.tokens() };
+    let row0 = if sp { g.tp_rank * rows } else { 0 };
+    let vstages = p * m;
+    let mode = if tp == 1 && !sp {
+        ExecMode::Serial
+    } else if sp {
+        ExecMode::TensorSequenceParallel(&g.tp)
+    } else {
+        ExecMode::TensorParallel(&g.tp)
+    };
+    for (v, c) in chunks.iter().enumerate() {
+        assert_eq!(c.stage, v * p + device, "chunk {v} built for the wrong virtual stage");
+        assert_eq!(c.pp, vstages, "chunk built for a different virtual depth");
+    }
+
+    let mut grads: Vec<StageGrads> = chunks.iter().map(|c| c.zero_grads()).collect();
+    let mut live: Vec<Vec<Option<MicroState>>> =
+        (0..m).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut live_count = 0usize;
+    let mut peak_live = 0usize;
+    let mut loss_sum = 0.0_f64;
+
+    for (is_fwd, v, mb) in interleaved_device_ops(device, p, m, n) {
+        let vs = v * p + device;
+        let micro_id = step * n as u64 + mb as u64;
+        let model = &chunks[v];
+        if is_fwd {
+            let mut x = if vs == 0 {
+                model.embed(&micro_data[mb].0, micro_id, row0, rows)
+            } else {
+                // Previous virtual stage lives on device (device+p-1)%p
+                // (chunk v, or chunk v-1 when this is device 0).
+                let from_device = (device + p - 1) % p;
+                g.grid.recv(from_device * tp + g.tp_rank)
+            };
+            let mut layer_states = Vec::with_capacity(model.layers.len());
+            let mut scratch = ActivationLedger::new();
+            for layer in &model.layers {
+                let (y, st) = layer.forward(&x, micro_id, &mode, &mut scratch);
+                layer_states.push(st);
+                x = y;
+            }
+            let head = if vs == vstages - 1 {
+                let y_full = if sp { g.tp.all_gather(&x) } else { x.clone() };
+                let h = model.head.as_ref().expect("last virtual stage has the head");
+                let (y_ln, ln_saved) =
+                    ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
+                let logits = ops::matmul_nt(&y_ln, &h.table);
+                let ce = ops::cross_entropy(&logits, &micro_data[mb].1);
+                loss_sum += ce.loss as f64;
+                Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
+            } else {
+                let to_device = (device + 1) % p;
+                g.grid.send(to_device * tp + g.tp_rank, &x);
+                None
+            };
+            live[v][mb] = Some(MicroState { tokens_hash: mb, layer_states, head });
+            live_count += 1;
+            peak_live = peak_live.max(live_count);
+        } else {
+            let st = live[v][mb].take().expect("backward before forward");
+            live_count -= 1;
+            let mut d = if let Some(hs) = &st.head {
+                let h = chunks[v].head.as_ref().expect("head weights");
+                let d_y_ln = ops::matmul(&hs.dlogits, &h.table);
+                let (d_fg_acc, d_fb_acc, d_table_acc) =
+                    grads[v].head.as_mut().expect("head grads allocated");
+                d_table_acc.add_assign(&ops::matmul_tn(&hs.dlogits, &hs.y_ln));
+                let (d_y_full, d_fg, d_fb) =
+                    ops::layer_norm_backward(&hs.y_full, &h.final_ln_gamma, &hs.ln_saved, &d_y_ln);
+                d_fg_acc.add_assign(&d_fg);
+                d_fb_acc.add_assign(&d_fb);
+                if sp {
+                    d_y_full.chunk_axis0(tp).expect("rows divide")[g.tp_rank].clone()
+                } else {
+                    d_y_full
+                }
+            } else {
+                let from_device = (device + 1) % p;
+                g.grid.recv(from_device * tp + g.tp_rank)
+            };
+            let mut layer_states = st.layer_states;
+            for idx in (0..chunks[v].layers.len()).rev() {
+                let lstate = layer_states.pop().expect("one state per layer");
+                let (dx, lg) = chunks[v].layers[idx].backward(&d, lstate, &mode);
+                grads[v].layers[idx].accumulate(&lg);
+                d = dx;
+            }
+            if vs == 0 {
+                let mask = chunks[v].embedding_mask(micro_id, row0, rows);
+                let d_emb = ops::dropout_backward(&d, &mask, cfg.dropout_p);
+                let (d_table_acc, d_pos_acc) =
+                    grads[v].embedding.as_mut().expect("embedding grads allocated");
+                let h = cfg.hidden;
+                for r in 0..rows {
+                    let si = (row0 + r) / cfg.micro_batch;
+                    let src = &d_emb.data()[r * h..(r + 1) * h];
+                    let dst = &mut d_pos_acc.data_mut()[si * h..(si + 1) * h];
+                    for (dv, &sv) in dst.iter_mut().zip(src) {
+                        *dv += sv;
+                    }
+                }
+                let ids = &micro_data[st.tokens_hash].0[row0..row0 + rows];
+                d_table_acc.add_assign(&ops::embedding_backward(ids, &d_emb, cfg.vocab));
+            } else {
+                let to_device = (device + p - 1) % p;
+                g.grid.send(to_device * tp + g.tp_rank, &d);
+            }
+        }
+    }
+
+    // SP embedding-gradient reduction and the tied-embedding exchange
+    // (device 0 holds chunk 0 / the embedding; device p−1 holds the head).
+    if sp {
+        if let Some(embedding) = grads[0].embedding.as_mut() {
+            embedding.0 = g.tp.all_reduce(&embedding.0);
+            embedding.1 = g.tp.all_reduce(&embedding.1);
+        }
+    }
+    if p > 1 {
+        if device == p - 1 {
+            let (_, _, d_table_head) = grads[m - 1].head.as_ref().expect("head grads");
+            g.grid.send(g.peer_on_stage(0), d_table_head);
+            let combined = g.grid.recv(g.peer_on_stage(0));
+            grads[m - 1].head.as_mut().expect("head grads").2 = combined;
+        } else if device == 0 {
+            let head_grad = g.grid.recv(g.peer_on_stage(p - 1));
+            let (d_table, _) = grads[0].embedding.as_mut().expect("embedding grads");
+            d_table.add_assign(&head_grad);
+            let combined = d_table.clone();
+            g.grid.send(g.peer_on_stage(p - 1), &combined);
+        }
+    } else {
+        // Single device: both tied copies are local; combine across chunks
+        // (or within the single chunk when m = 1).
+        let head_grad = grads[m - 1].head.as_ref().expect("head grads").2.clone();
+        let (d_table, _) = grads[0].embedding.as_mut().expect("embedding grads");
+        d_table.add_assign(&head_grad);
+        let combined = d_table.clone();
+        grads[m - 1].head.as_mut().expect("head grads").2 = combined;
+    }
+
+    let loss_root = (p - 1) * tp;
+    let loss_local = Tensor::full(&[1], (loss_sum / n as f64) as f32);
+    let mean_loss = g.grid.broadcast(&loss_local, loss_root).data()[0];
+    (mean_loss, grads, peak_live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_ops_covers_every_microbatch_once() {
+        for (pp, n) in [(1usize, 4usize), (2, 4), (4, 8), (4, 2)] {
+            for stage in 0..pp {
+                let ops = stage_ops(stage, pp, n);
+                assert_eq!(ops.len(), 2 * n);
+                let fwd: Vec<usize> =
+                    ops.iter().filter(|(f, _)| *f).map(|(_, m)| *m).collect();
+                let bwd: Vec<usize> =
+                    ops.iter().filter(|(f, _)| !*f).map(|(_, m)| *m).collect();
+                assert_eq!(fwd, (0..n).collect::<Vec<_>>());
+                assert_eq!(bwd, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn stage_ops_backward_never_precedes_forward() {
+        let ops = stage_ops(1, 4, 6);
+        let mut done = [false; 6];
+        for (is_fwd, m) in ops {
+            if is_fwd {
+                done[m] = true;
+            } else {
+                assert!(done[m], "backward of {m} before its forward");
+            }
+        }
+    }
+
+    #[test]
+    fn from_gpt_slices_layers() {
+        let cfg = TransformerConfig::tiny(); // 2 layers
+        let gpt = Gpt::init(cfg, Recompute::None, 9);
+        let s0 = StageModel::from_gpt(&gpt, 2, 0, 1, 0, Recompute::None);
+        let s1 = StageModel::from_gpt(&gpt, 2, 1, 1, 0, Recompute::None);
+        assert_eq!(s0.layers.len(), 1);
+        assert_eq!(s1.layers.len(), 1);
+        assert!(s0.embedding.is_some() && s0.head.is_none());
+        assert!(s1.embedding.is_none() && s1.head.is_some());
+        assert_eq!(s0.layers[0].weights(), gpt.layers[0].weights());
+        assert_eq!(s1.layers[0].weights(), gpt.layers[1].weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn from_gpt_rejects_uneven_stages() {
+        let cfg = TransformerConfig::tiny();
+        let gpt = Gpt::init(cfg, Recompute::None, 9);
+        let _ = StageModel::from_gpt(&gpt, 3, 0, 1, 0, Recompute::None);
+    }
+}

@@ -1,0 +1,347 @@
+//! Layer and embedding weights, Megatron-style sharding, and gradients.
+
+use crate::config::TransformerConfig;
+use mt_tensor::rng::SplitMix64;
+use mt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Weights of one transformer layer.
+///
+/// `w_qkv` packs the query/key/value projections as `[h, 3h]` with column
+/// blocks `[Q | K | V]`, each block head-major (head `k` occupies columns
+/// `k·hd .. (k+1)·hd` of its block). This layout makes Megatron head
+/// sharding a contiguous column slice per block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWeights {
+    /// First LayerNorm scale, `[h]`.
+    pub ln1_gamma: Tensor,
+    /// First LayerNorm shift, `[h]`.
+    pub ln1_beta: Tensor,
+    /// Packed QKV projection, `[h, 3h]` (or `[h, 3h/t]` when sharded).
+    pub w_qkv: Tensor,
+    /// Packed QKV bias, `[3h]` (or `[3h/t]`).
+    pub b_qkv: Tensor,
+    /// Attention output projection, `[h, h]` (row-sharded to `[h/t, h]`).
+    pub w_o: Tensor,
+    /// Output projection bias, `[h]` — replicated under sharding.
+    pub b_o: Tensor,
+    /// Second LayerNorm scale, `[h]`.
+    pub ln2_gamma: Tensor,
+    /// Second LayerNorm shift, `[h]`.
+    pub ln2_beta: Tensor,
+    /// MLP h→4h weight, `[h, 4h]` (column-sharded to `[h, 4h/t]`).
+    pub w1: Tensor,
+    /// MLP first bias, `[4h]` (sharded to `[4h/t]`).
+    pub b1: Tensor,
+    /// MLP 4h→h weight, `[4h, h]` (row-sharded to `[4h/t, h]`).
+    pub w2: Tensor,
+    /// MLP second bias, `[h]` — replicated under sharding.
+    pub b2: Tensor,
+}
+
+impl LayerWeights {
+    /// Random initialization (N(0, 0.02²) for matrices, zeros for biases,
+    /// ones/zeros for LayerNorm), matching GPT conventions.
+    pub fn init(cfg: &TransformerConfig, rng: &mut SplitMix64) -> Self {
+        let h = cfg.hidden;
+        let std = 0.02;
+        LayerWeights {
+            ln1_gamma: Tensor::full(&[h], 1.0),
+            ln1_beta: Tensor::zeros(&[h]),
+            w_qkv: Tensor::rand_normal(&[h, 3 * h], std, rng),
+            b_qkv: Tensor::zeros(&[3 * h]),
+            w_o: Tensor::rand_normal(&[h, h], std, rng),
+            b_o: Tensor::zeros(&[h]),
+            ln2_gamma: Tensor::full(&[h], 1.0),
+            ln2_beta: Tensor::zeros(&[h]),
+            w1: Tensor::rand_normal(&[h, 4 * h], std, rng),
+            b1: Tensor::zeros(&[4 * h]),
+            w2: Tensor::rand_normal(&[4 * h, h], std, rng),
+            b2: Tensor::zeros(&[h]),
+        }
+    }
+
+    /// Extracts rank `rank`'s shard for `t`-way tensor parallelism:
+    /// QKV and MLP-1 column-parallel, projection and MLP-2 row-parallel,
+    /// LayerNorms and output biases replicated (Shoeybi et al.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not divide by `t` or `rank >= t`.
+    pub fn shard(&self, t: usize, rank: usize) -> LayerWeights {
+        assert!(rank < t, "rank {rank} out of range for t={t}");
+        let qkv_blocks = self.w_qkv.chunk_last_axis(3).expect("w_qkv has 3h columns");
+        let q = qkv_blocks[0].chunk_last_axis(t).expect("heads divide by t");
+        let k = qkv_blocks[1].chunk_last_axis(t).expect("heads divide by t");
+        let v = qkv_blocks[2].chunk_last_axis(t).expect("heads divide by t");
+        let b_blocks = self.b_qkv.chunk_last_axis(3).expect("b_qkv has 3h elements");
+        let bq = b_blocks[0].chunk_last_axis(t).expect("bias divides");
+        let bk = b_blocks[1].chunk_last_axis(t).expect("bias divides");
+        let bv = b_blocks[2].chunk_last_axis(t).expect("bias divides");
+        LayerWeights {
+            ln1_gamma: self.ln1_gamma.clone(),
+            ln1_beta: self.ln1_beta.clone(),
+            w_qkv: Tensor::concat_last_axis(&[q[rank].clone(), k[rank].clone(), v[rank].clone()]),
+            b_qkv: Tensor::concat_last_axis(&[bq[rank].clone(), bk[rank].clone(), bv[rank].clone()]),
+            w_o: self.w_o.chunk_axis0(t).expect("w_o rows divide")[rank].clone(),
+            b_o: self.b_o.clone(),
+            ln2_gamma: self.ln2_gamma.clone(),
+            ln2_beta: self.ln2_beta.clone(),
+            w1: self.w1.chunk_last_axis(t).expect("w1 cols divide")[rank].clone(),
+            b1: self.b1.chunk_last_axis(t).expect("b1 divides")[rank].clone(),
+            w2: self.w2.chunk_axis0(t).expect("w2 rows divide")[rank].clone(),
+            b2: self.b2.clone(),
+        }
+    }
+
+    /// Reassembles full weights from the `t` per-rank shards produced by
+    /// [`LayerWeights::shard`]. Replicated tensors are taken from rank 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shard shapes are inconsistent.
+    pub fn unshard(parts: &[LayerWeights]) -> LayerWeights {
+        assert!(!parts.is_empty(), "unshard needs at least one shard");
+        let t = parts.len();
+        if t == 1 {
+            return parts[0].clone();
+        }
+        let mut qs = Vec::with_capacity(t);
+        let mut ks = Vec::with_capacity(t);
+        let mut vs = Vec::with_capacity(t);
+        let mut bqs = Vec::with_capacity(t);
+        let mut bks = Vec::with_capacity(t);
+        let mut bvs = Vec::with_capacity(t);
+        for p in parts {
+            let blocks = p.w_qkv.chunk_last_axis(3).expect("shard has 3 QKV blocks");
+            qs.push(blocks[0].clone());
+            ks.push(blocks[1].clone());
+            vs.push(blocks[2].clone());
+            let bb = p.b_qkv.chunk_last_axis(3).expect("shard bias has 3 blocks");
+            bqs.push(bb[0].clone());
+            bks.push(bb[1].clone());
+            bvs.push(bb[2].clone());
+        }
+        LayerWeights {
+            ln1_gamma: parts[0].ln1_gamma.clone(),
+            ln1_beta: parts[0].ln1_beta.clone(),
+            w_qkv: Tensor::concat_last_axis(&[
+                Tensor::concat_last_axis(&qs),
+                Tensor::concat_last_axis(&ks),
+                Tensor::concat_last_axis(&vs),
+            ]),
+            b_qkv: Tensor::concat_last_axis(&[
+                Tensor::concat_last_axis(&bqs),
+                Tensor::concat_last_axis(&bks),
+                Tensor::concat_last_axis(&bvs),
+            ]),
+            w_o: Tensor::concat_axis0(&parts.iter().map(|p| p.w_o.clone()).collect::<Vec<_>>()),
+            b_o: parts[0].b_o.clone(),
+            ln2_gamma: parts[0].ln2_gamma.clone(),
+            ln2_beta: parts[0].ln2_beta.clone(),
+            w1: Tensor::concat_last_axis(&parts.iter().map(|p| p.w1.clone()).collect::<Vec<_>>()),
+            b1: Tensor::concat_last_axis(&parts.iter().map(|p| p.b1.clone()).collect::<Vec<_>>()),
+            w2: Tensor::concat_axis0(&parts.iter().map(|p| p.w2.clone()).collect::<Vec<_>>()),
+            b2: parts[0].b2.clone(),
+        }
+    }
+
+    /// Mutable references to every parameter tensor, in a stable order
+    /// matching the gradient order used by
+    /// [`GptGrads::tensors`](crate::gpt::GptGrads::tensors). Used by
+    /// optimizers.
+    pub fn tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.ln1_gamma,
+            &mut self.ln1_beta,
+            &mut self.w_qkv,
+            &mut self.b_qkv,
+            &mut self.w_o,
+            &mut self.b_o,
+            &mut self.ln2_gamma,
+            &mut self.ln2_beta,
+            &mut self.w1,
+            &mut self.b1,
+            &mut self.w2,
+            &mut self.b2,
+        ]
+    }
+
+    /// Total parameter elements.
+    pub fn num_parameters(&self) -> usize {
+        [
+            &self.ln1_gamma, &self.ln1_beta, &self.w_qkv, &self.b_qkv, &self.w_o, &self.b_o,
+            &self.ln2_gamma, &self.ln2_beta, &self.w1, &self.b1, &self.w2, &self.b2,
+        ]
+        .iter()
+        .map(|t| t.numel())
+        .sum()
+    }
+}
+
+/// Gradients of one layer — same shapes and sharding as [`LayerWeights`].
+pub type LayerGrads = LayerWeights;
+
+impl LayerWeights {
+    /// All-zero gradients shaped like `self`.
+    pub fn zeros_like(&self) -> LayerWeights {
+        LayerWeights {
+            ln1_gamma: Tensor::zeros(self.ln1_gamma.shape()),
+            ln1_beta: Tensor::zeros(self.ln1_beta.shape()),
+            w_qkv: Tensor::zeros(self.w_qkv.shape()),
+            b_qkv: Tensor::zeros(self.b_qkv.shape()),
+            w_o: Tensor::zeros(self.w_o.shape()),
+            b_o: Tensor::zeros(self.b_o.shape()),
+            ln2_gamma: Tensor::zeros(self.ln2_gamma.shape()),
+            ln2_beta: Tensor::zeros(self.ln2_beta.shape()),
+            w1: Tensor::zeros(self.w1.shape()),
+            b1: Tensor::zeros(self.b1.shape()),
+            w2: Tensor::zeros(self.w2.shape()),
+            b2: Tensor::zeros(self.b2.shape()),
+        }
+    }
+
+    /// Element-wise accumulation of another gradient set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, other: &LayerWeights) {
+        self.ln1_gamma.add_assign(&other.ln1_gamma);
+        self.ln1_beta.add_assign(&other.ln1_beta);
+        self.w_qkv.add_assign(&other.w_qkv);
+        self.b_qkv.add_assign(&other.b_qkv);
+        self.w_o.add_assign(&other.w_o);
+        self.b_o.add_assign(&other.b_o);
+        self.ln2_gamma.add_assign(&other.ln2_gamma);
+        self.ln2_beta.add_assign(&other.ln2_beta);
+        self.w1.add_assign(&other.w1);
+        self.b1.add_assign(&other.b1);
+        self.w2.add_assign(&other.w2);
+        self.b2.add_assign(&other.b2);
+    }
+
+    /// Maximum relative deviation from `other`, scaled by `other`'s largest
+    /// magnitude — the comparison used by the equivalence tests.
+    pub fn max_rel_diff(&self, other: &LayerWeights) -> f32 {
+        let pairs = [
+            (&self.ln1_gamma, &other.ln1_gamma),
+            (&self.ln1_beta, &other.ln1_beta),
+            (&self.w_qkv, &other.w_qkv),
+            (&self.b_qkv, &other.b_qkv),
+            (&self.w_o, &other.w_o),
+            (&self.b_o, &other.b_o),
+            (&self.ln2_gamma, &other.ln2_gamma),
+            (&self.ln2_beta, &other.ln2_beta),
+            (&self.w1, &other.w1),
+            (&self.b1, &other.b1),
+            (&self.w2, &other.w2),
+            (&self.b2, &other.b2),
+        ];
+        pairs
+            .iter()
+            .map(|(a, b)| {
+                let scale = b.max_abs().max(1e-6);
+                a.max_abs_diff(b) / scale
+            })
+            .fold(0.0_f32, f32::max)
+    }
+}
+
+/// Embedding weights: shared token table and learned positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingWeights {
+    /// Word embedding table `[v, h]` — also the (tied) output projection.
+    pub table: Tensor,
+    /// Positional embedding `[s, h]`.
+    pub positions: Tensor,
+}
+
+impl EmbeddingWeights {
+    /// Random initialization.
+    pub fn init(cfg: &TransformerConfig, rng: &mut SplitMix64) -> Self {
+        EmbeddingWeights {
+            table: Tensor::rand_normal(&[cfg.vocab, cfg.hidden], 0.02, rng),
+            positions: Tensor::rand_normal(&[cfg.seq, cfg.hidden], 0.01, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TransformerConfig {
+        TransformerConfig::tiny()
+    }
+
+    #[test]
+    fn shard_unshard_roundtrip() {
+        let mut rng = SplitMix64::new(21);
+        let w = LayerWeights::init(&cfg(), &mut rng);
+        for t in [1usize, 2, 4] {
+            let parts: Vec<_> = (0..t).map(|r| w.shard(t, r)).collect();
+            let back = LayerWeights::unshard(&parts);
+            assert_eq!(back, w, "roundtrip failed for t={t}");
+        }
+    }
+
+    #[test]
+    fn shard_shapes() {
+        let mut rng = SplitMix64::new(22);
+        let w = LayerWeights::init(&cfg(), &mut rng);
+        let s = w.shard(4, 1);
+        let h = cfg().hidden;
+        assert_eq!(s.w_qkv.shape(), &[h, 3 * h / 4]);
+        assert_eq!(s.w_o.shape(), &[h / 4, h]);
+        assert_eq!(s.w1.shape(), &[h, h]); // 4h/4
+        assert_eq!(s.w2.shape(), &[h, h]);
+        assert_eq!(s.b1.shape(), &[h]);
+        assert_eq!(s.b_o.shape(), &[h]); // replicated
+    }
+
+    #[test]
+    fn qkv_shard_contains_local_head_columns() {
+        // Column hd·head of the Q block must land on the rank owning that head.
+        let mut rng = SplitMix64::new(23);
+        let c = cfg();
+        let w = LayerWeights::init(&c, &mut rng);
+        let t = 2;
+        let local_heads = c.heads / t;
+        let hd = c.head_dim();
+        let shard1 = w.shard(t, 1);
+        // Global Q column for head 2 (first head of rank 1), dim 0:
+        let global_col = 2 * hd;
+        let local_col = (2 - local_heads) * hd;
+        for row in 0..c.hidden {
+            assert_eq!(w.w_qkv.at2(row, global_col), shard1.w_qkv.at2(row, local_col));
+        }
+    }
+
+    #[test]
+    fn accumulate_and_diff() {
+        let mut rng = SplitMix64::new(24);
+        let w = LayerWeights::init(&cfg(), &mut rng);
+        let mut acc = w.zeros_like();
+        acc.accumulate(&w);
+        acc.accumulate(&w);
+        let doubled = {
+            let mut d = w.zeros_like();
+            d.accumulate(&w);
+            d.accumulate(&w);
+            d
+        };
+        assert_eq!(acc, doubled);
+        assert!(acc.max_rel_diff(&acc) == 0.0);
+        assert!(acc.max_rel_diff(&w) > 0.5);
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let mut rng = SplitMix64::new(25);
+        let c = cfg();
+        let w = LayerWeights::init(&c, &mut rng);
+        let h = c.hidden;
+        assert_eq!(w.num_parameters(), 12 * h * h + 13 * h);
+    }
+}

@@ -1,0 +1,258 @@
+//! Data-parallel execution equivalence (Section 6.3): replicas training on
+//! disjoint microbatches plus a gradient all-reduce must match the serial
+//! model processing all the data — alone and composed with tensor,
+//! sequence, and pipeline parallelism.
+
+use mt_collectives::{run_grid3, World};
+use mt_memory::Recompute;
+use mt_model::data_parallel::{all_reduce_gpt_grads, all_reduce_stage_grads};
+use mt_model::gpt::{Gpt, GptGrads};
+use mt_model::pipeline_exec::{run_1f1b_iteration, StageModel};
+use mt_model::weights::LayerWeights;
+use mt_model::{ActivationLedger, ExecMode, TransformerConfig};
+use mt_tensor::rng::SplitMix64;
+use mt_tensor::Tensor;
+
+const SEED: u64 = 4242;
+
+fn cfg() -> TransformerConfig {
+    TransformerConfig {
+        hidden: 32,
+        heads: 4,
+        seq: 8,
+        micro_batch: 1,
+        layers: 2,
+        vocab: 32,
+        dropout_p: 0.0, // DP replicas see different data, so masks must not
+        // be the discriminating factor here; dropout-off keeps the serial
+        // reference definition unambiguous.
+        causal: true,
+    }
+}
+
+fn batches(c: &TransformerConfig, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut rng = SplitMix64::new(900);
+    (0..n)
+        .map(|_| {
+            let toks = (0..c.tokens()).map(|_| (rng.next_u64() as usize) % c.vocab).collect();
+            let tgts = (0..c.tokens()).map(|_| (rng.next_u64() as usize) % c.vocab).collect();
+            (toks, tgts)
+        })
+        .collect()
+}
+
+/// Serial reference: gradient sum over every replica's microbatch. Each
+/// microbatch keeps its own dropout stream id (its global index), matching
+/// what the replicas use.
+fn serial_sum(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> GptGrads {
+    let mut total: Option<GptGrads> = None;
+    for (m, (tokens, targets)) in data.iter().enumerate() {
+        let mut ledger = ActivationLedger::new();
+        let (_, grads) =
+            gpt.loss_and_grads(tokens, targets, m as u64, &ExecMode::Serial, &mut ledger);
+        match &mut total {
+            None => total = Some(grads),
+            Some(t) => t.accumulate(&grads),
+        }
+    }
+    total.expect("nonempty data")
+}
+
+fn assert_gpt_grads_close(a: &GptGrads, b: &GptGrads, tol: f32) {
+    let pairs: Vec<(&Tensor, &Tensor, &str)> = vec![
+        (&a.table, &b.table, "table"),
+        (&a.positions, &b.positions, "positions"),
+        (&a.final_ln_gamma, &b.final_ln_gamma, "final_ln_gamma"),
+        (&a.final_ln_beta, &b.final_ln_beta, "final_ln_beta"),
+    ];
+    for (x, y, name) in pairs {
+        let rel = x.max_abs_diff(y) / y.max_abs().max(1e-6);
+        assert!(rel < tol, "{name}: rel diff {rel}");
+    }
+    for (i, (la, lb)) in a.layers.iter().zip(&b.layers).enumerate() {
+        let rel = la.max_rel_diff(lb);
+        assert!(rel < tol, "layer {i}: rel diff {rel}");
+    }
+}
+
+#[test]
+fn pure_data_parallel_matches_serial_sum() {
+    let c = cfg();
+    let gpt = Gpt::init(c, Recompute::None, SEED);
+    let data = batches(&c, 2);
+    let serial = serial_sum(&gpt, &data);
+    let results = World::run(2, |comm| {
+        let (tokens, targets) = &data[comm.rank()];
+        let mut ledger = ActivationLedger::new();
+        let (_, mut grads) = gpt.loss_and_grads(
+            tokens,
+            targets,
+            comm.rank() as u64, // microbatch id = global index
+            &ExecMode::Serial,
+            &mut ledger,
+        );
+        all_reduce_gpt_grads(&comm, &mut grads);
+        grads
+    });
+    for grads in &results {
+        assert_gpt_grads_close(grads, &serial, 1e-4);
+    }
+}
+
+#[test]
+fn data_parallel_composes_with_tensor_parallelism() {
+    let c = cfg();
+    let gpt = Gpt::init(c, Recompute::Selective, SEED);
+    let data = batches(&c, 2);
+    let serial = serial_sum(&gpt, &data);
+    let results = run_grid3(2, 2, 1, |g| {
+        let sharded = gpt.shard(2, g.replica.tp_rank, Recompute::Selective);
+        let (tokens, targets) = &data[g.dp_rank];
+        let mut ledger = ActivationLedger::new();
+        let (_, mut grads) = sharded.loss_and_grads(
+            tokens,
+            targets,
+            g.dp_rank as u64,
+            &ExecMode::TensorParallel(&g.replica.tp),
+            &mut ledger,
+        );
+        all_reduce_gpt_grads(&g.dp, &mut grads);
+        (g.replica.tp_rank, grads)
+    });
+    // Reassemble layer shards per replica (take dp_rank 0's two tp shards —
+    // results are ordered (dp, stage, tp)).
+    let shard0 = &results[0].1;
+    let shard1 = &results[1].1;
+    for (i, serial_layer) in serial.layers.iter().enumerate() {
+        let full = LayerWeights::unshard(&[shard0.layers[i].clone(), shard1.layers[i].clone()]);
+        let rel = full.max_rel_diff(serial_layer);
+        assert!(rel < 1e-3, "layer {i} rel {rel}");
+    }
+    let rel = shard0.table.max_abs_diff(&serial.table) / serial.table.max_abs();
+    assert!(rel < 1e-3, "table rel {rel}");
+}
+
+#[test]
+fn data_parallel_composes_with_pipeline_parallelism() {
+    let c = cfg();
+    let gpt = Gpt::init(c, Recompute::None, SEED);
+    // Two replicas × two microbatches each = four microbatches total.
+    let data = batches(&c, 4);
+    let serial = serial_sum(&gpt, &data);
+    let results = run_grid3(2, 1, 2, |g| {
+        let model = StageModel::from_gpt(&gpt, 2, g.replica.stage, 1, 0, Recompute::None);
+        // Replica d takes microbatches [2d, 2d+1]; stream ids stay global
+        // because run_1f1b_iteration numbers microbatches step*n + m with
+        // n = 2 — so pass step = dp_rank to make ids 2d + m.
+        let my_data = &data[g.dp_rank * 2..g.dp_rank * 2 + 2];
+        let out = run_1f1b_iteration(&model, &g.replica, false, my_data, g.dp_rank as u64);
+        let mut grads = out.grads;
+        all_reduce_stage_grads(&g.dp, &mut grads);
+        (g.replica.stage, grads)
+    });
+    // Results ordered (dp, stage): take replica 0's stages.
+    for (stage, grads) in &results[..2] {
+        if *stage == 0 {
+            let (d_table, d_pos) = grads.embedding.as_ref().unwrap();
+            let rel = d_table.max_abs_diff(&serial.table) / serial.table.max_abs();
+            assert!(rel < 1e-3, "table rel {rel}");
+            let relp = d_pos.max_abs_diff(&serial.positions) / serial.positions.max_abs();
+            assert!(relp < 1e-3, "positions rel {relp}");
+            let rel0 = grads.layers[0].max_rel_diff(&serial.layers[0]);
+            assert!(rel0 < 1e-3, "layer 0 rel {rel0}");
+        } else {
+            let rel1 = grads.layers[0].max_rel_diff(&serial.layers[1]);
+            assert!(rel1 < 1e-3, "layer 1 rel {rel1}");
+        }
+    }
+}
+
+#[test]
+fn zero1_training_matches_replicated_adam_on_a_gpt() {
+    use mt_model::optim::Adam;
+    use mt_model::zero::ZeroAdam;
+    let c = cfg();
+    let data = batches(&c, 2);
+    const STEPS: usize = 4;
+
+    // Reference: replicated Adam over the summed gradients.
+    let mut ref_gpt = Gpt::init(c, Recompute::None, SEED);
+    let mut ref_adam = Adam::new(1e-3);
+    let mut ref_losses = Vec::new();
+    for _step in 0..STEPS {
+        let grads = serial_sum(&ref_gpt, &data);
+        let mut ledger = ActivationLedger::new();
+        let (loss, _) = ref_gpt.loss_and_grads(
+            &data[0].0,
+            &data[0].1,
+            0,
+            &ExecMode::Serial,
+            &mut ledger,
+        );
+        ref_losses.push(loss);
+        ref_adam.update(ref_gpt.param_tensors_mut(), &grads.tensors());
+    }
+
+    // ZeRO-1 over two replicas, each computing its own microbatch's grads.
+    let zero_losses = World::run(2, |comm| {
+        let mut gpt = Gpt::init(c, Recompute::None, SEED);
+        let elements: Vec<usize> =
+            gpt.param_tensors_mut().iter().map(|t| t.numel()).collect();
+        let mut zero = ZeroAdam::new(1e-3, &elements, 2, comm.rank());
+        let mut losses = Vec::new();
+        for _step in 0..STEPS {
+            let (tokens, targets) = &data[comm.rank()];
+            let mut ledger = ActivationLedger::new();
+            let (_, grads) = gpt.loss_and_grads(
+                tokens,
+                targets,
+                comm.rank() as u64,
+                &ExecMode::Serial,
+                &mut ledger,
+            );
+            // Track the same diagnostic loss as the reference (microbatch 0).
+            let mut l2 = ActivationLedger::new();
+            let (probe, _) =
+                gpt.loss_and_grads(&data[0].0, &data[0].1, 0, &ExecMode::Serial, &mut l2);
+            losses.push(probe);
+            // ZeRO's internal all-reduce sums the per-replica gradients.
+            zero.step(&comm, gpt.param_tensors_mut(), &grads.tensors());
+        }
+        // State must be roughly halved per rank.
+        let total: usize = elements.iter().sum();
+        assert!(
+            zero.owned_state_elements() < total * 6 / 10,
+            "rank holds {} of {total} state elements",
+            zero.owned_state_elements()
+        );
+        losses
+    });
+    for rank_losses in &zero_losses {
+        for (step, (a, b)) in ref_losses.iter().zip(rank_losses).enumerate() {
+            assert!((a - b).abs() < 1e-3, "step {step}: ref {a} vs zero {b}");
+        }
+    }
+}
+
+#[test]
+fn replicas_agree_after_the_all_reduce() {
+    let c = cfg();
+    let gpt = Gpt::init(c, Recompute::None, SEED);
+    let data = batches(&c, 3);
+    let results = World::run(3, |comm| {
+        let (tokens, targets) = &data[comm.rank()];
+        let mut ledger = ActivationLedger::new();
+        let (_, mut grads) = gpt.loss_and_grads(
+            tokens,
+            targets,
+            comm.rank() as u64,
+            &ExecMode::Serial,
+            &mut ledger,
+        );
+        all_reduce_gpt_grads(&comm, &mut grads);
+        grads
+    });
+    for other in &results[1..] {
+        assert_eq!(results[0], *other, "all replicas must hold identical gradients");
+    }
+}

@@ -1,0 +1,382 @@
+//! Per-layer forward / backward / recompute timing (Table 4, Figure 8).
+
+use crate::GpuSpec;
+use mt_collectives::stats::CollectiveKind;
+use mt_memory::{ModelShape, Recompute, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// HBM read/write traffic of the replicated (LayerNorm + dropout + residual)
+/// region, bytes per `sbh` element: two LayerNorms (read+write ≈ 4 B/elem
+/// each at fp16), two dropouts (read+write+mask ≈ 5 B/elem), two residual
+/// adds (2 reads + 1 write ≈ 6 B/elem) — amortized to ~22 B per element.
+const REPLICATED_REGION_BYTES_PER_ELEM: f64 = 22.0;
+
+/// HBM traffic of the attention core's element-wise work (softmax
+/// read/write, scale, dropout read/write/mask) per `as²b` element.
+const ATTENTION_CORE_BYTES_PER_ELEM: f64 = 13.0;
+
+/// HBM traffic of the sharded GEMM-region element-wise work (GeLU over the
+/// `4h`-wide activation, bias adds) per `sbh` element (already divided by
+/// `t` via the sharded tensor sizes).
+const PARALLEL_REGION_BYTES_PER_ELEM: f64 = 26.0;
+
+/// The backward pass moves more HBM traffic per op than the forward
+/// (gradients in flight plus re-read saved activations); calibrated against
+/// Table 4's 11.9 ms backward baseline.
+const BACKWARD_ELEMWISE_FACTOR: f64 = 1.2;
+
+/// Forward/backward/recompute milliseconds for one transformer layer on one
+/// tensor-parallel rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Forward-pass milliseconds.
+    pub forward_ms: f64,
+    /// Backward-pass milliseconds, excluding recomputation.
+    pub backward_ms: f64,
+    /// Recomputation milliseconds (an extra partial/full forward pass
+    /// executed inside the backward pass).
+    pub recompute_ms: f64,
+}
+
+impl LayerTiming {
+    /// Forward + backward + recompute.
+    pub fn combined_ms(&self) -> f64 {
+        self.forward_ms + self.backward_ms + self.recompute_ms
+    }
+
+    /// Backward as reported by the paper's Table 4, which folds the
+    /// recompute time into the backward column.
+    pub fn backward_with_recompute_ms(&self) -> f64 {
+        self.backward_ms + self.recompute_ms
+    }
+
+    /// Percentage overhead of this timing versus a baseline (Table 4's
+    /// rightmost column).
+    pub fn overhead_pct(&self, baseline: &LayerTiming) -> f64 {
+        100.0 * (self.combined_ms() / baseline.combined_ms() - 1.0)
+    }
+}
+
+/// Prices one transformer layer of `shape` at microbatch `b` under `t`-way
+/// tensor parallelism on `gpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTimeModel {
+    /// Hardware model.
+    pub gpu: GpuSpec,
+    shape: ModelShape,
+    micro_batch: u64,
+    tensor: u64,
+}
+
+impl LayerTimeModel {
+    /// Creates a layer timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batch` or `tensor` is zero.
+    pub fn new(gpu: GpuSpec, shape: ModelShape, micro_batch: u64, tensor: u64) -> Self {
+        assert!(micro_batch > 0 && tensor > 0, "batch and tensor size must be positive");
+        LayerTimeModel { gpu, shape, micro_batch, tensor }
+    }
+
+    fn sbh(&self) -> f64 {
+        (self.shape.seq * self.micro_batch * self.shape.hidden) as f64
+    }
+
+    fn as2b(&self) -> f64 {
+        (self.shape.heads * self.shape.seq * self.shape.seq * self.micro_batch) as f64
+    }
+
+    /// Forward GEMM FLOPs per rank: `(24bsh² + 4bs²h)/t`.
+    pub fn forward_gemm_flops(&self) -> f64 {
+        let b = self.micro_batch as f64;
+        let s = self.shape.seq as f64;
+        let h = self.shape.hidden as f64;
+        (24.0 * b * s * h * h + 4.0 * b * s * s * h) / self.tensor as f64
+    }
+
+    /// Attention-core GEMM FLOPs per rank (`QKᵀ` + `P·V`): `4bs²h/t` — what
+    /// selective recomputation replays.
+    pub fn attention_core_gemm_flops(&self) -> f64 {
+        let b = self.micro_batch as f64;
+        let s = self.shape.seq as f64;
+        (4.0 * b * s * s * self.shape.hidden as f64) / self.tensor as f64
+    }
+
+    fn gemm_time_s(&self, flops: f64) -> f64 {
+        flops / self.gpu.achieved_gemm_flops(self.shape.hidden)
+    }
+
+    fn hbm_time_s(&self, bytes: f64) -> f64 {
+        bytes / self.gpu.hbm_bytes_per_s
+    }
+
+    /// Element-wise time of the LayerNorm/dropout/residual region. Sequence
+    /// parallelism performs this work on `1/t` of the data — the paper's
+    /// 6% forward speedup.
+    fn replicated_region_time_s(&self, sequence_parallel: bool) -> f64 {
+        let divisor = if sequence_parallel { self.tensor as f64 } else { 1.0 };
+        self.hbm_time_s(REPLICATED_REGION_BYTES_PER_ELEM * self.sbh() / divisor)
+    }
+
+    fn attention_core_elemwise_time_s(&self) -> f64 {
+        self.hbm_time_s(ATTENTION_CORE_BYTES_PER_ELEM * self.as2b() / self.tensor as f64)
+    }
+
+    fn parallel_region_elemwise_time_s(&self) -> f64 {
+        self.hbm_time_s(PARALLEL_REGION_BYTES_PER_ELEM * self.sbh() / self.tensor as f64)
+    }
+
+    /// Logical payload of one `f`/`f̄`/`g`/`ḡ` collective: the full
+    /// `[s, b, h]` activation at fp16.
+    fn collective_payload_bytes(&self) -> u64 {
+        self.shape.seq * self.micro_batch * self.shape.hidden * 2
+    }
+
+    /// Forward-pass collective time: 2 all-reduces for plain TP (Figure 4),
+    /// 2 all-gathers + 2 reduce-scatters for TP+SP (Figure 5). The wire
+    /// bytes are identical; only per-call latency differs (the paper notes
+    /// the RS+AG pair executes slightly slower than a fused all-reduce).
+    fn forward_comm_time_s(&self, sequence_parallel: bool) -> f64 {
+        let bytes = self.collective_payload_bytes();
+        let n = self.tensor;
+        if n == 1 {
+            return 0.0;
+        }
+        if sequence_parallel {
+            2.0 * self.gpu.nvlink.time(CollectiveKind::AllGather, bytes, n)
+                + 2.0 * self.gpu.nvlink.time(CollectiveKind::ReduceScatter, bytes, n)
+        } else {
+            2.0 * self.gpu.nvlink.time(CollectiveKind::AllReduce, bytes, n)
+        }
+    }
+
+    /// Backward-pass visible collective time, after the overlap-with-dW
+    /// optimization hides `backward_overlap` of the conjugate collectives
+    /// and `sp_regather_overlap` of the extra Y re-gather.
+    fn backward_comm_time_s(&self, sequence_parallel: bool) -> f64 {
+        let n = self.tensor;
+        if n == 1 {
+            return 0.0;
+        }
+        let bytes = self.collective_payload_bytes();
+        let visible = 1.0 - self.gpu.backward_overlap;
+        let base = self.forward_comm_time_s(sequence_parallel) * visible;
+        if sequence_parallel {
+            let regather = 2.0 * self.gpu.nvlink.time(CollectiveKind::AllGather, bytes, n);
+            base + regather * (1.0 - self.gpu.sp_regather_overlap)
+        } else {
+            base
+        }
+    }
+
+    /// Forward-pass milliseconds per layer.
+    pub fn forward_ms(&self, sequence_parallel: bool) -> f64 {
+        1e3 * (self.gemm_time_s(self.forward_gemm_flops())
+            + self.replicated_region_time_s(sequence_parallel)
+            + self.attention_core_elemwise_time_s()
+            + self.parallel_region_elemwise_time_s()
+            + self.forward_comm_time_s(sequence_parallel))
+    }
+
+    /// Backward-pass milliseconds per layer, excluding recomputation.
+    /// GEMMs cost 2× forward; element-wise traffic is comparable to forward.
+    pub fn backward_ms(&self, sequence_parallel: bool) -> f64 {
+        let elemwise = self.replicated_region_time_s(sequence_parallel)
+            + self.attention_core_elemwise_time_s()
+            + self.parallel_region_elemwise_time_s();
+        1e3 * (self.gemm_time_s(2.0 * self.forward_gemm_flops())
+            + BACKWARD_ELEMWISE_FACTOR * elemwise
+            + self.backward_comm_time_s(sequence_parallel))
+    }
+
+    /// Recompute milliseconds per layer under a policy:
+    /// `Full` replays the entire forward; `Selective` replays only the
+    /// attention core (its small GEMMs plus its element-wise work).
+    pub fn recompute_ms(&self, strategy: Strategy) -> f64 {
+        match strategy.recompute {
+            Recompute::None => 0.0,
+            Recompute::Full => self.forward_ms(strategy.sequence_parallel),
+            Recompute::Selective => {
+                1e3 * (self.gemm_time_s(self.attention_core_gemm_flops())
+                    + self.attention_core_elemwise_time_s())
+            }
+        }
+    }
+
+    /// The full Table 4 row for a strategy.
+    pub fn times(&self, strategy: Strategy) -> LayerTiming {
+        LayerTiming {
+            forward_ms: self.forward_ms(strategy.sequence_parallel),
+            backward_ms: self.backward_ms(strategy.sequence_parallel),
+            recompute_ms: self.recompute_ms(strategy),
+        }
+    }
+
+    /// Itemized forward-pass milliseconds: `(component, ms)` pairs that sum
+    /// to [`LayerTimeModel::forward_ms`]. Useful for seeing *where* sequence
+    /// parallelism's gain comes from (the replicated LayerNorm/dropout
+    /// region) and what selective recomputation replays (the attention
+    /// core).
+    pub fn forward_breakdown(&self, sequence_parallel: bool) -> Vec<(&'static str, f64)> {
+        let attn_core_gemm = self.gemm_time_s(self.attention_core_gemm_flops());
+        let dense_gemm = self.gemm_time_s(self.forward_gemm_flops()) - attn_core_gemm;
+        vec![
+            ("dense GEMMs (QKV, proj, MLP)", 1e3 * dense_gemm),
+            ("attention-core GEMMs (QKᵀ, P·V)", 1e3 * attn_core_gemm),
+            ("attention-core element-wise", 1e3 * self.attention_core_elemwise_time_s()),
+            (
+                "LayerNorm/dropout/residual region",
+                1e3 * self.replicated_region_time_s(sequence_parallel),
+            ),
+            ("GEMM-region element-wise (GeLU, bias)", 1e3 * self.parallel_region_elemwise_time_s()),
+            ("collectives (f̄/ḡ, f/g)", 1e3 * self.forward_comm_time_s(sequence_parallel)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3's 22B configuration, on which Table 4 was measured.
+    fn model_22b() -> LayerTimeModel {
+        let shape = ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 };
+        LayerTimeModel::new(GpuSpec::a100(), shape, 4, 8)
+    }
+
+    fn pct_close(ours: f64, paper: f64, tol_pct: f64, what: &str) {
+        let rel = 100.0 * (ours - paper).abs() / paper;
+        assert!(rel < tol_pct, "{what}: ours {ours:.2} vs paper {paper:.2} ({rel:.1}% off)");
+    }
+
+    #[test]
+    fn table4_baseline_row() {
+        // Baseline no recompute: 7.7 ms fwd / 11.9 ms bwd / 19.6 combined.
+        let t = model_22b().times(Strategy::tp());
+        pct_close(t.forward_ms, 7.7, 8.0, "baseline forward");
+        pct_close(t.backward_ms, 11.9, 8.0, "baseline backward");
+        pct_close(t.combined_ms(), 19.6, 8.0, "baseline combined");
+    }
+
+    #[test]
+    fn table4_sequence_parallel_row() {
+        // Sequence parallelism: 7.2 / 11.8 / 19.0, about -3% overall.
+        let m = model_22b();
+        let t = m.times(Strategy::tp_sp());
+        pct_close(t.forward_ms, 7.2, 8.0, "sp forward");
+        pct_close(t.backward_ms, 11.8, 8.0, "sp backward");
+        let base = m.times(Strategy::tp());
+        let overhead = t.overhead_pct(&base);
+        assert!((-6.0..-1.0).contains(&overhead), "sp overhead {overhead:.1}% (paper -3%)");
+    }
+
+    #[test]
+    fn table4_full_recompute_row() {
+        // Baseline with recompute: 7.7 / 19.5 / 27.2, ~39% overhead.
+        let m = model_22b();
+        let t = m.times(Strategy::full_recompute());
+        pct_close(t.backward_with_recompute_ms(), 19.5, 8.0, "full-recompute backward");
+        pct_close(t.combined_ms(), 27.2, 8.0, "full-recompute combined");
+        let overhead = t.overhead_pct(&m.times(Strategy::tp()));
+        assert!((30.0..48.0).contains(&overhead), "full overhead {overhead:.1}% (paper 39%)");
+    }
+
+    #[test]
+    fn table4_selective_row() {
+        // Selective recompute: 7.7 / 13.2 / 20.9, ~7% overhead.
+        let m = model_22b();
+        let t = m.times(Strategy::tp_selective());
+        pct_close(t.backward_with_recompute_ms(), 13.2, 10.0, "selective backward");
+        let overhead = t.overhead_pct(&m.times(Strategy::tp()));
+        assert!((3.0..11.0).contains(&overhead), "selective overhead {overhead:.1}% (paper 7%)");
+    }
+
+    #[test]
+    fn table4_selective_plus_sequence_row() {
+        // Selective + sequence: 7.2 / 13.1 / 20.3, ~4% overhead.
+        let m = model_22b();
+        let t = m.times(Strategy::tp_sp_selective());
+        pct_close(t.combined_ms(), 20.3, 8.0, "present-work combined");
+        let overhead = t.overhead_pct(&m.times(Strategy::tp()));
+        assert!((0.0..8.0).contains(&overhead), "present-work overhead {overhead:.1}% (paper 4%)");
+    }
+
+    #[test]
+    fn figure8_overhead_shrinks_with_model_size() {
+        // Figure 8: "as the model size grows, the reduction in overhead also
+        // increases" — for 530B and 1T, selective+SP overhead is ~2% while
+        // full recompute stays ~36%.
+        let configs = [
+            (ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 }, 1),
+            (ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 }, 1),
+            (ModelShape { heads: 160, hidden: 25600, layers: 128, seq: 2048, vocab: 51200 }, 1),
+        ];
+        let mut prev_overhead = f64::INFINITY;
+        for (shape, b) in configs {
+            let m = LayerTimeModel::new(GpuSpec::a100(), shape, b, 8);
+            let base = m.times(Strategy::tp());
+            let present = m.times(Strategy::tp_sp_selective());
+            let full = m.times(Strategy::full_recompute());
+            let overhead = present.overhead_pct(&base);
+            assert!(overhead < prev_overhead + 0.5, "overhead should shrink: {overhead:.2}%");
+            assert!(
+                full.overhead_pct(&base) > 30.0,
+                "full recompute stays expensive: {:.1}%",
+                full.overhead_pct(&base)
+            );
+            prev_overhead = overhead;
+        }
+        // Largest models land near the paper's 2%.
+        assert!(prev_overhead < 4.0, "1T present-work overhead {prev_overhead:.1}% (paper 2%)");
+    }
+
+    #[test]
+    fn selective_recompute_is_much_cheaper_than_full() {
+        let m = model_22b();
+        let sel = m.recompute_ms(Strategy::tp_selective());
+        let full = m.recompute_ms(Strategy::full_recompute());
+        assert!(sel < full / 4.0, "selective {sel:.2} ms vs full {full:.2} ms");
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_forward_time() {
+        let m = model_22b();
+        for sp in [false, true] {
+            let total: f64 = m.forward_breakdown(sp).iter().map(|(_, ms)| ms).sum();
+            assert!(
+                (total - m.forward_ms(sp)).abs() < 1e-9,
+                "sp={sp}: breakdown {total} vs forward {}",
+                m.forward_ms(sp)
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_locates_the_sequence_parallel_gain() {
+        // The only component SP changes is the replicated region.
+        let m = model_22b();
+        let tp = m.forward_breakdown(false);
+        let sp = m.forward_breakdown(true);
+        for ((name, a), (_, b)) in tp.iter().zip(&sp) {
+            if *name == "LayerNorm/dropout/residual region" {
+                assert!(a > b, "{name}: {a} vs {b}");
+            } else if name.contains("collectives") {
+                // Identical wire bytes; per-step latency may differ slightly.
+                assert!((a - b).abs() / a < 0.2, "{name}");
+            } else {
+                assert!((a - b).abs() < 1e-12, "{name} should be unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn t_equals_one_has_no_comm() {
+        let shape = ModelShape { heads: 8, hidden: 1024, layers: 4, seq: 512, vocab: 1000 };
+        let m = LayerTimeModel::new(GpuSpec::a100(), shape, 1, 1);
+        let tp = m.times(Strategy::tp());
+        let sp = m.times(Strategy::tp_sp());
+        // Without a group, TP and TP+SP degenerate to the same serial time.
+        assert!((tp.combined_ms() - sp.combined_ms()).abs() < 1e-12);
+    }
+}

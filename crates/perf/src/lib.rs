@@ -1,0 +1,111 @@
+//! # mt-perf
+//!
+//! A calibrated per-layer GPU timing model reproducing the execution-time
+//! results of *"Reducing Activation Recomputation in Large Transformer
+//! Models"* (Table 4, Figure 8) and feeding the pipeline simulator that
+//! reproduces Table 5.
+//!
+//! The model prices one transformer layer as
+//!
+//! * **GEMM time** — FLOPs ÷ (peak · achievable efficiency),
+//! * **element-wise time** — bytes moved ÷ HBM bandwidth, split into the
+//!   replicated LayerNorm/dropout/residual region (which sequence
+//!   parallelism divides by `t` — the source of the paper's 7.7 → 7.2 ms
+//!   forward improvement), the attention core, and the sharded GEMM
+//!   epilogues,
+//! * **collective time** — α–β ring costs from `mt-collectives`, with the
+//!   paper's backward-pass overlap optimization (all-reduce hidden behind
+//!   weight-gradient GEMMs) applied.
+//!
+//! Calibration: the constants in [`GpuSpec::a100`] are chosen once so the
+//! 22B configuration lands on Table 4's baseline row (7.7 ms forward /
+//! 11.9 ms backward); every other number in Table 4, Figure 8, and Table 5
+//! is then *predicted*. Tests pin the predictions to the paper's values
+//! with explicit tolerances.
+
+#![warn(missing_docs)]
+
+mod aux_costs;
+mod layer_time;
+mod offload;
+
+pub use aux_costs::AuxCostModel;
+pub use layer_time::{LayerTimeModel, LayerTiming};
+pub use offload::OffloadModel;
+
+use mt_collectives::cost::CommCostModel;
+use serde::{Deserialize, Serialize};
+
+/// Hardware description used by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Peak dense fp16 FLOP/s (A100: 312e12).
+    pub peak_flops: f64,
+    /// Asymptotic fraction of peak that very large GEMMs achieve; see
+    /// [`GpuSpec::effective_gemm_efficiency`] for the size-dependent value.
+    pub gemm_efficiency: f64,
+    /// Hidden size at which achieved efficiency is half the gap below the
+    /// asymptote: `eff(h) = gemm_efficiency · h / (h + gemm_half_hidden)`.
+    /// Larger GEMMs run closer to peak — the reason the paper's HFU climbs
+    /// from 43.7% (22B) to 57.0% (1T).
+    pub gemm_half_hidden: f64,
+    /// HBM bandwidth, bytes/s (A100-80GB: ~2.0e12).
+    pub hbm_bytes_per_s: f64,
+    /// Intra-node interconnect for tensor-parallel collectives.
+    pub nvlink: CommCostModel,
+    /// Inter-node interconnect for pipeline point-to-point transfers.
+    pub interconnect: CommCostModel,
+    /// Fraction of backward-pass collective time hidden by overlapping with
+    /// weight-gradient GEMMs (the Table 4 footnote optimization).
+    pub backward_overlap: f64,
+    /// Fraction of the sequence-parallel *extra* backward all-gather (the
+    /// re-gather of the unsaved `Y`) that overlap hides (Section 4.2.2).
+    pub sp_regather_overlap: f64,
+}
+
+impl GpuSpec {
+    /// The paper's platform: NVIDIA A100-80GB in a DGX node (NVLink3) with
+    /// HDR InfiniBand between nodes.
+    ///
+    /// The efficiency curve (asymptote 0.75, half-gap at h ≈ 1288) is
+    /// calibrated so `h = 6144` (the 22B model) lands at 0.62, which puts
+    /// that layer at Table 4's 7.7 ms forward / 11.9 ms backward baseline.
+    pub fn a100() -> Self {
+        GpuSpec {
+            peak_flops: 312e12,
+            gemm_efficiency: 0.75,
+            gemm_half_hidden: 1288.0,
+            hbm_bytes_per_s: 2.0e12,
+            nvlink: CommCostModel::nvlink_dgx_a100(),
+            interconnect: CommCostModel::infiniband_hdr(),
+            backward_overlap: 1.0,
+            sp_regather_overlap: 0.5,
+        }
+    }
+
+    /// Size-dependent achieved GEMM efficiency:
+    /// `gemm_efficiency · h / (h + gemm_half_hidden)`.
+    pub fn effective_gemm_efficiency(&self, hidden: u64) -> f64 {
+        let h = hidden as f64;
+        self.gemm_efficiency * h / (h + self.gemm_half_hidden)
+    }
+
+    /// Achieved GEMM FLOP/s for a model of hidden size `hidden`.
+    pub fn achieved_gemm_flops(&self, hidden: u64) -> f64 {
+        self.peak_flops * self.effective_gemm_efficiency(hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_spec_is_sane() {
+        let g = GpuSpec::a100();
+        assert!(g.peak_flops > 1e14);
+        assert!((0.0..=1.0).contains(&g.gemm_efficiency));
+        assert!((0.0..=1.0).contains(&g.backward_overlap));
+        assert!(g.nvlink.beta_bytes_per_s > g.interconnect.beta_bytes_per_s);
+    }
+}

@@ -1,0 +1,126 @@
+//! Activation offloading to host memory — the Related Work alternative
+//! ("offloading data to CPU memory [14, 17]") priced against selective
+//! recomputation, quantifying the paper's remark that such techniques have
+//! "a larger impact on compute efficiency than the techniques presented in
+//! this paper".
+//!
+//! Offloading removes the same activation bytes selective recomputation
+//! does, but pays PCIe transfer time twice (out during forward, back during
+//! backward) instead of a replay. The comparison is a pure bandwidth
+//! argument: the attention core holds `5·as²b/t` bytes per layer but costs
+//! only `4bs²h/t` FLOPs to replay — at A100 ratios the replay wins except
+//! when PCIe is idle anyway (which per-layer execution does not allow).
+
+use crate::{GpuSpec, LayerTimeModel};
+use mt_memory::{ActivationMemoryModel, ModelShape, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Host-link description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadModel {
+    /// Effective host-link bandwidth, bytes/s (PCIe 4.0 x16 ≈ 25 GB/s
+    /// achievable per direction).
+    pub pcie_bytes_per_s: f64,
+    /// Fraction of the transfer hidden by overlap with compute (offload
+    /// engines overlap well in the steady state; 1.0 would mean free).
+    pub overlap: f64,
+}
+
+impl OffloadModel {
+    /// PCIe 4.0 x16 with a typical 50% effective overlap.
+    pub fn pcie_gen4() -> Self {
+        OffloadModel { pcie_bytes_per_s: 25e9, overlap: 0.5 }
+    }
+
+    /// Visible milliseconds to offload **and** fetch back `bytes` of
+    /// activations for one layer.
+    pub fn round_trip_ms(&self, bytes: f64) -> f64 {
+        1e3 * 2.0 * bytes / self.pcie_bytes_per_s * (1.0 - self.overlap)
+    }
+
+    /// Visible per-layer cost of offloading exactly the activation bytes
+    /// selective recomputation would instead recompute (the `5as²b/t`
+    /// attention-core tensors).
+    pub fn attention_core_offload_ms(
+        &self,
+        shape: ModelShape,
+        micro_batch: u64,
+        tensor: u64,
+    ) -> f64 {
+        let act = ActivationMemoryModel::new(shape, micro_batch, tensor);
+        let with = act.per_layer_bytes(Strategy::tp_sp());
+        let without = act.per_layer_bytes(Strategy::tp_sp_selective());
+        self.round_trip_ms(with - without)
+    }
+
+    /// Head-to-head per-layer comparison: `(offload ms, recompute ms)` for
+    /// removing the same attention-core bytes.
+    pub fn versus_selective_recompute(
+        &self,
+        gpu: GpuSpec,
+        shape: ModelShape,
+        micro_batch: u64,
+        tensor: u64,
+    ) -> (f64, f64) {
+        let offload = self.attention_core_offload_ms(shape, micro_batch, tensor);
+        let layer = LayerTimeModel::new(gpu, shape, micro_batch, tensor);
+        let recompute = layer.recompute_ms(Strategy::tp_sp_selective());
+        (offload, recompute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> [(ModelShape, u64); 3] {
+        [
+            (ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 }, 4),
+            (ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 }, 1),
+            (ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 }, 1),
+        ]
+    }
+
+    #[test]
+    fn recompute_beats_offload_for_the_paper_models() {
+        // The paper's claim, quantified: replaying the attention core is
+        // cheaper than shipping its bytes over PCIe for all Table 3 models.
+        let off = OffloadModel::pcie_gen4();
+        for (shape, b) in shapes() {
+            let (o, r) = off.versus_selective_recompute(GpuSpec::a100(), shape, b, 8);
+            assert!(
+                r < o,
+                "h={}: recompute {r:.2} ms should beat offload {o:.2} ms",
+                shape.hidden
+            );
+        }
+    }
+
+    #[test]
+    fn offload_cost_scales_with_bytes() {
+        let off = OffloadModel::pcie_gen4();
+        assert!(off.round_trip_ms(2e9) > off.round_trip_ms(1e9));
+        assert_eq!(off.round_trip_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn perfect_overlap_makes_offload_free() {
+        let off = OffloadModel { pcie_bytes_per_s: 25e9, overlap: 1.0 };
+        assert_eq!(off.round_trip_ms(1e9), 0.0);
+    }
+
+    #[test]
+    fn offload_ships_exactly_the_selective_savings() {
+        // Consistency with the memory model: the transferred bytes equal the
+        // 5as²b/t attention-core term.
+        let (shape, b) = shapes()[1];
+        let t = 8;
+        let act = ActivationMemoryModel::new(shape, b, t);
+        let core_bytes = act.per_layer_bytes(Strategy::tp_sp())
+            - act.per_layer_bytes(Strategy::tp_sp_selective());
+        let sbh = (shape.seq * b * shape.hidden) as f64;
+        // The Table 2 difference is the 5as/h coefficient over sbh/t bytes.
+        let expect = shape.attention_coefficient() * sbh / t as f64;
+        assert!((core_bytes - expect).abs() < 1.0, "{core_bytes} vs {expect}");
+    }
+}

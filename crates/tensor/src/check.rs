@@ -1,0 +1,72 @@
+//! Numerical gradient checking helpers used throughout the workspace's test
+//! suites.
+
+use crate::Tensor;
+
+/// Central-difference numerical gradient of a scalar function `f` at `x`.
+///
+/// Each element is perturbed by ±`1e-2` (a relatively large step — `f32`
+/// arithmetic makes smaller steps noisier, and the ops under test are smooth).
+pub fn finite_diff(x: &Tensor, mut f: impl FnMut(&Tensor) -> f32) -> Tensor {
+    const EPS: f32 = 1e-2;
+    let mut grad = Tensor::zeros(x.shape());
+    let mut probe = x.clone();
+    for i in 0..x.numel() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + EPS;
+        let up = f(&probe);
+        probe.data_mut()[i] = orig - EPS;
+        let down = f(&probe);
+        probe.data_mut()[i] = orig;
+        grad.data_mut()[i] = (up - down) / (2.0 * EPS);
+    }
+    grad
+}
+
+/// Whether an analytic gradient matches a finite-difference gradient.
+///
+/// Uses a combined criterion: cosine similarity above 0.999 **and** max
+/// absolute deviation below `0.05 · (1 + max|fd|)`. Cosine similarity is
+/// robust to the uniform noise floor of `f32` central differences while the
+/// absolute bound catches systematically wrong scales.
+pub fn grads_close(analytic: &Tensor, fd: &Tensor) -> bool {
+    assert_eq!(analytic.shape(), fd.shape(), "grads_close: shape mismatch");
+    let (a, b) = (analytic.data(), fd.data());
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+    let na: f64 = a.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+    if na < 1e-9 && nb < 1e-9 {
+        return true; // both zero
+    }
+    let cos = dot / (na * nb + 1e-30);
+    let max_dev = analytic.max_abs_diff(fd);
+    let tol = 0.05 * (1.0 + fd.max_abs());
+    cos > 0.999 && max_dev < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_diff_of_quadratic() {
+        // f(x) = sum(x^2) => grad = 2x
+        let x = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.5]).unwrap();
+        let fd = finite_diff(&x, |t| t.data().iter().map(|v| v * v).sum());
+        let exact = x.scale(2.0);
+        assert!(grads_close(&exact, &fd));
+    }
+
+    #[test]
+    fn grads_close_rejects_wrong_scale() {
+        let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let wrong = x.scale(5.0);
+        assert!(!grads_close(&wrong, &x));
+    }
+
+    #[test]
+    fn grads_close_accepts_zero_grads() {
+        let z = Tensor::zeros(&[4]);
+        assert!(grads_close(&z, &z));
+    }
+}

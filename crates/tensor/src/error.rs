@@ -1,0 +1,47 @@
+//! Error types for tensor construction and reshaping.
+
+use std::fmt;
+
+/// Errors returned by fallible [`Tensor`](crate::Tensor) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis split was requested that does not divide the axis evenly.
+    UnevenSplit {
+        /// Axis length being split.
+        axis_len: usize,
+        /// Number of requested parts.
+        parts: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::UnevenSplit { axis_len, parts } => {
+                write!(f, "axis of length {axis_len} cannot be split into {parts} equal parts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

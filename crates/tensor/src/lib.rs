@@ -1,0 +1,47 @@
+//! # mt-tensor
+//!
+//! A small, deterministic, CPU-only tensor library that provides exactly the
+//! operations a GPT-style transformer needs — each with a hand-written
+//! backward pass — so that the rest of the workspace can *execute* the
+//! parallelism and recomputation strategies described in
+//! *"Reducing Activation Recomputation in Large Transformer Models"*
+//! (Korthikanti et al., MLSys 2023) rather than merely model them.
+//!
+//! Design points:
+//!
+//! * **Determinism.** All randomness flows through [`rng::SplitMix64`]
+//!   (initialization) or [`rng::CounterRng`] (dropout masks). A counter-based
+//!   RNG lets a recomputation pass regenerate *bit-identical* dropout masks
+//!   from a `(seed, stream, offset)` triple without storing the mask — the
+//!   same trick CUDA's Philox RNG state-replay plays in Megatron-LM.
+//! * **Explicit activation accounting.** Ops do not hide what they keep for
+//!   the backward pass: every op is a pair of pure functions
+//!   (`forward` → output + whatever must be saved, `backward` ← gradients),
+//!   so the model layer above can put each saved tensor on a ledger and
+//!   compare measured bytes against the paper's Equations 1–6.
+//! * **`f32` math, paper-accounted bytes.** We compute in `f32` for
+//!   simplicity; the memory model accounts activations at the paper's 2
+//!   bytes/element (fp16) and 1 byte/element for dropout masks.
+//!
+//! ## Example
+//!
+//! ```
+//! use mt_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+//! let b = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap();
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[4., 5., 10., 11.]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod error;
+pub mod ops;
+pub mod rng;
+mod tensor;
+
+pub use error::TensorError;
+pub use tensor::Tensor;

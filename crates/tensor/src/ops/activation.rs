@@ -1,0 +1,71 @@
+//! GeLU non-linearity (tanh approximation, as used by GPT models).
+
+use crate::Tensor;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// GeLU forward: `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+///
+/// Backward needs the **input saved** — this is the `8sbh` GeLU term in the
+/// paper's MLP accounting (Section 4.1), since the GeLU input lives in the
+/// widened `4h` space.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_C * v * v * v)).tanh()))
+}
+
+/// Backward of [`gelu`]: given saved input `x` and upstream `dy`, returns
+/// `dx`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape(), "gelu_backward: shape mismatch");
+    let mut out = x.clone();
+    for (o, (&xv, &dv)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(x.data().iter().zip(dy.data()))
+    {
+        let inner = SQRT_2_OVER_PI * (xv + GELU_C * xv * xv * xv);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * xv * xv);
+        *o = dv * (0.5 * (1.0 + t) + 0.5 * xv * sech2 * dinner);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 1.0]).unwrap();
+        let y = gelu(&x);
+        assert!(y.data()[1].abs() < 1e-7);
+        assert!((y.data()[2] - 0.841_192).abs() < 1e-3);
+        assert!((y.data()[0] + 0.158_808).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_difference() {
+        let mut rng = crate::rng::SplitMix64::new(3);
+        let x = Tensor::rand_uniform(&[4, 5], -2.0, 2.0, &mut rng);
+        let dy = Tensor::full(&[4, 5], 1.0);
+        let dx = gelu_backward(&x, &dy);
+        let fd = crate::check::finite_diff(&x, |t| gelu(t).sum());
+        assert!(crate::check::grads_close(&dx, &fd));
+    }
+
+    #[test]
+    fn gelu_is_monotone_on_positives() {
+        let x = Tensor::from_fn(&[100], |i| i as f32 * 0.1);
+        let y = gelu(&x);
+        for w in y.data().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Embedding-table gather and scatter-add backward.
+
+use crate::Tensor;
+
+/// Embedding lookup: for each id, copies the corresponding row of the
+/// `[vocab, hidden]` table, producing `[ids.len(), hidden]`.
+///
+/// Backward ([`embedding_backward`]) needs only the integer **ids** saved —
+/// which is why the paper notes the embedding itself contributes no
+/// meaningful activation memory (Section 4.3); only its trailing dropout
+/// does.
+///
+/// # Panics
+///
+/// Panics if any id is out of range for the table.
+pub fn embedding(ids: &[usize], table: &Tensor) -> Tensor {
+    assert_eq!(table.rank(), 2, "embedding: table must be [vocab, hidden]");
+    let (v, h) = (table.dim(0), table.dim(1));
+    let mut out = Tensor::zeros(&[ids.len(), h]);
+    for (r, &id) in ids.iter().enumerate() {
+        assert!(id < v, "embedding: id {id} out of range (vocab {v})");
+        out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&table.data()[id * h..(id + 1) * h]);
+    }
+    out
+}
+
+/// Backward of [`embedding`]: scatter-adds each upstream gradient row into
+/// the gradient of the table.
+///
+/// # Panics
+///
+/// Panics if `dy` rows differ from `ids.len()` or an id exceeds `vocab`.
+pub fn embedding_backward(ids: &[usize], dy: &Tensor, vocab: usize) -> Tensor {
+    assert_eq!(dy.rows(), ids.len(), "embedding_backward: row mismatch");
+    let h = dy.cols();
+    let mut dtable = Tensor::zeros(&[vocab, h]);
+    for (r, &id) in ids.iter().enumerate() {
+        assert!(id < vocab, "embedding_backward: id {id} out of range");
+        let src = &dy.data()[r * h..(r + 1) * h];
+        let dst = &mut dtable.data_mut()[id * h..(id + 1) * h];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    dtable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_copies_rows() {
+        let table = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let out = embedding(&[2, 0, 2], &table);
+        assert_eq!(out.data(), &[4., 5., 0., 1., 4., 5.]);
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let dy = Tensor::full(&[3, 2], 1.0);
+        let dt = embedding_backward(&[2, 0, 2], &dy, 4);
+        assert_eq!(dt.data(), &[1., 1., 0., 0., 2., 2., 0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_ids() {
+        let table = Tensor::zeros(&[4, 2]);
+        let _ = embedding(&[5], &table);
+    }
+}

@@ -1,0 +1,79 @@
+//! Bias / residual helpers around the linear layers.
+
+use crate::Tensor;
+
+/// Adds a bias row-broadcast: `y[r, :] = x[r, :] + b`.
+///
+/// The bias backward (`db = Σ_r dy[r, :]`, see [`bias_grad`]) needs nothing
+/// saved, which is why biases never appear in the paper's activation
+/// accounting.
+///
+/// # Panics
+///
+/// Panics if `bias.numel()` differs from the trailing axis of `x`.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Tensor {
+    let cols = x.cols();
+    assert_eq!(bias.numel(), cols, "add_bias: bias length mismatch");
+    let mut out = x.clone();
+    let b = bias.data();
+    for r in 0..x.rows() {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for (o, &bv) in row.iter_mut().zip(b) {
+            *o += bv;
+        }
+    }
+    out
+}
+
+/// Bias gradient: column sums of the upstream gradient.
+pub fn bias_grad(dy: &Tensor) -> Tensor {
+    let cols = dy.cols();
+    let mut out = Tensor::zeros(&[cols]);
+    for r in 0..dy.rows() {
+        let row = &dy.data()[r * cols..(r + 1) * cols];
+        for (o, &v) in out.data_mut().iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Residual connection: `y = x + r`. Backward is the identity on both
+/// branches, so nothing is saved.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn residual_add(x: &Tensor, r: &Tensor) -> Tensor {
+    x.add(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_broadcasts_rows() {
+        let x = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let b = Tensor::from_vec(vec![3], vec![10., 20., 30.]).unwrap();
+        let y = add_bias(&x, &b);
+        assert_eq!(y.data(), &[10., 21., 32., 13., 24., 35.]);
+    }
+
+    #[test]
+    fn bias_grad_sums_columns() {
+        let dy = Tensor::from_fn(&[3, 2], |i| i as f32);
+        let db = bias_grad(&dy);
+        assert_eq!(db.data(), &[0. + 2. + 4., 1. + 3. + 5.]);
+    }
+
+    #[test]
+    fn bias_grad_matches_finite_difference() {
+        let mut rng = crate::rng::SplitMix64::new(13);
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng);
+        let db = bias_grad(&Tensor::full(&[4, 3], 1.0));
+        let fd = crate::check::finite_diff(&b, |t| add_bias(&x, t).sum());
+        assert!(crate::check::grads_close(&db, &fd));
+    }
+}

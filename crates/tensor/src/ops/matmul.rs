@@ -1,0 +1,153 @@
+//! Dense matrix multiplication and its backward pass.
+
+use crate::Tensor;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Backward needs **both inputs saved**: `dA = dC · Bᵀ` and `dB = Aᵀ · dC`.
+/// This is why the paper charges the attention and MLP GEMMs for their input
+/// activations (e.g. the `2sbh` term for the h→4h linear in Section 4.1).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or either tensor is not rank 2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: A must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul: B must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+    let mut out = vec![0.0_f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    // i-k-j loop order: streams through B and C rows for cache friendliness.
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul: internal shape invariant")
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — used for `dA = dC · Bᵀ`
+/// without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if the contraction dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_nt: A must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_nt: B must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_nt: contraction dims {k} vs {k2}");
+    let mut out = vec![0.0_f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul_nt: internal shape invariant")
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — used for `dW = Xᵀ · dY`
+/// without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if the contraction dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_tn: A must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_tn: B must be rank 2");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_tn: contraction dims {k} vs {k2}");
+    let mut out = vec![0.0_f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("matmul_tn: internal shape invariant")
+}
+
+/// Backward of [`matmul`]: given saved inputs `a`, `b` and upstream `dc`,
+/// returns `(dA, dB)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with a forward `matmul(a, b)`.
+pub fn matmul_backward(a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
+    let da = matmul_nt(dc, b);
+    let db = matmul_tn(a, dc);
+    (da, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transpose() {
+        let mut rng = crate::rng::SplitMix64::new(1);
+        let a = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[6, 5], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+        assert!(matmul_nt(&a, &b).allclose(&matmul(&a, &b.transpose2()), 1e-5, 1e-6));
+        assert!(matmul_tn(&c, &b.transpose2().transpose2().transpose2())
+            .allclose(&matmul(&c.transpose2(), &b.transpose2()), 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = crate::rng::SplitMix64::new(2);
+        let a = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        // Loss = sum(A·B); upstream gradient is all ones.
+        let dc = Tensor::full(&[3, 2], 1.0);
+        let (da, db) = matmul_backward(&a, &b, &dc);
+        let fd_da = crate::check::finite_diff(&a, |t| matmul(t, &b).sum());
+        let fd_db = crate::check::finite_diff(&b, |t| matmul(&a, t).sum());
+        assert!(crate::check::grads_close(&da, &fd_da), "dA mismatch");
+        assert!(crate::check::grads_close(&db, &fd_db), "dB mismatch");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

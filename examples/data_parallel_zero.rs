@@ -1,0 +1,112 @@
+//! The Section 6.3 story, executed: data-parallel replicas (each a
+//! tensor-parallel group) training with a gradient all-reduce, then the same
+//! run with mini ZeRO-1 optimizer-state sharding — identical training
+//! trajectories, very different optimizer-state footprints.
+//!
+//! ```text
+//! cargo run --example data_parallel_zero
+//! ```
+
+use megatron_repro::collectives::{run_grid3, World};
+use megatron_repro::memory::Recompute;
+use megatron_repro::model::gpt::Gpt;
+use megatron_repro::model::data_parallel::all_reduce_gpt_grads;
+use megatron_repro::model::optim::Adam;
+use megatron_repro::model::zero::ZeroAdam;
+use megatron_repro::model::{ActivationLedger, ExecMode, TransformerConfig};
+use megatron_repro::tensor::rng::SplitMix64;
+
+const STEPS: usize = 10;
+const SEED: u64 = 555;
+
+fn cfg() -> TransformerConfig {
+    TransformerConfig {
+        hidden: 32,
+        heads: 4,
+        seq: 8,
+        micro_batch: 2,
+        layers: 2,
+        vocab: 48,
+        dropout_p: 0.0,
+        causal: true,
+    }
+}
+
+fn main() {
+    let c = cfg();
+    let mut rng = SplitMix64::new(12);
+    // Two replicas, each with its own microbatch stream.
+    let replica_data: Vec<(Vec<usize>, Vec<usize>)> = (0..2)
+        .map(|_| {
+            (
+                (0..c.tokens()).map(|_| (rng.next_u64() as usize) % c.vocab).collect(),
+                (0..c.tokens()).map(|_| (rng.next_u64() as usize) % c.vocab).collect(),
+            )
+        })
+        .collect();
+
+    println!("dp=2 × tp=2 grid (4 ranks), {STEPS} steps, plain DP all-reduce:\n");
+    let dp_losses = run_grid3(2, 2, 1, |g| {
+        let mut gpt = Gpt::init(c, Recompute::Selective, SEED).shard(
+            2,
+            g.replica.tp_rank,
+            Recompute::Selective,
+        );
+        let mut adam = Adam::new(2e-3);
+        let mut losses = Vec::new();
+        for step in 0..STEPS {
+            let (tokens, targets) = &replica_data[g.dp_rank];
+            let mut ledger = ActivationLedger::new();
+            let (loss, mut grads) = gpt.loss_and_grads(
+                tokens,
+                targets,
+                (g.dp_rank * STEPS + step) as u64,
+                &ExecMode::TensorParallel(&g.replica.tp),
+                &mut ledger,
+            );
+            all_reduce_gpt_grads(&g.dp, &mut grads);
+            adam.update(gpt.param_tensors_mut(), &grads.tensors());
+            losses.push(loss);
+        }
+        (g.dp_rank, g.replica.tp_rank, losses)
+    });
+    for (dp, tp, losses) in dp_losses.iter().filter(|(_, tp, _)| *tp == 0) {
+        println!(
+            "  replica {dp} (tp_rank {tp}): loss {:.4} -> {:.4}",
+            losses[0],
+            losses[STEPS - 1]
+        );
+    }
+
+    println!("\nsame run with ZeRO-1 optimizer-state sharding across dp=2 (tp=1 for clarity):\n");
+    let zero_out = World::run(2, |comm| {
+        let mut gpt = Gpt::init(c, Recompute::Selective, SEED);
+        let elements: Vec<usize> = gpt.param_tensors_mut().iter().map(|t| t.numel()).collect();
+        let total: usize = elements.iter().sum();
+        let mut zero = ZeroAdam::new(2e-3, &elements, 2, comm.rank());
+        let mut last = 0.0;
+        for step in 0..STEPS {
+            let (tokens, targets) = &replica_data[comm.rank()];
+            let mut ledger = ActivationLedger::new();
+            let (loss, grads) = gpt.loss_and_grads(
+                tokens,
+                targets,
+                (comm.rank() * STEPS + step) as u64,
+                &ExecMode::Serial,
+                &mut ledger,
+            );
+            zero.step(&comm, gpt.param_tensors_mut(), &grads.tensors());
+            last = loss;
+        }
+        (comm.rank(), last, zero.owned_state_elements(), total)
+    });
+    for (rank, loss, owned, total) in &zero_out {
+        println!(
+            "  replica {rank}: final loss {loss:.4}, optimizer state {owned}/{total} elements ({:.0}%)",
+            100.0 * *owned as f64 / *total as f64
+        );
+    }
+    println!("\nZeRO-1 halves each replica's optimizer-state memory (12 B/param -> 6 B/param at");
+    println!("dp=2) while following the exact replicated-Adam trajectory — the Related Work");
+    println!("data-parallel technique the paper positions its model-parallel approach against.");
+}

@@ -1,0 +1,71 @@
+//! Memory planner: sweep every strategy for a Table 3 model under a memory
+//! budget, show the per-pipeline-rank profile (Figure 9), and compute
+//! Appendix C microbatch storage budgets.
+//!
+//! ```text
+//! cargo run --example memory_planner -- [22B|175B|530B|1T] [budget-GB]
+//! ```
+
+use megatron_repro::core::{Estimator, ModelZoo, TrainingPlanner};
+use megatron_repro::memory::Strategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("530B");
+    let budget_gb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(80.0);
+
+    let model = ModelZoo::all()
+        .into_iter()
+        .find(|m| m.name.contains(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {name:?}; choose 22B, 175B, 530B, or 1T");
+            std::process::exit(1);
+        });
+    let est = Estimator::for_paper_model(&model);
+    let planner = TrainingPlanner::new(est, budget_gb * 1e9);
+
+    println!("== {} under a {budget_gb:.0} GB/GPU budget ==\n", model.name);
+    let outcome = planner.plan();
+    println!(
+        "{:<55} {:>10} {:>10} {:>6}",
+        "strategy", "iter s", "peak GB", "fits"
+    );
+    for (s, iter_s, bytes, fits) in &outcome.candidates {
+        println!(
+            "{:<55} {:>10.2} {:>10.1} {:>6}",
+            s.label(),
+            iter_s,
+            bytes / 1e9,
+            if *fits { "yes" } else { "no" }
+        );
+    }
+    match outcome.strategy {
+        Some(s) => println!("\n-> planner picks: {}", s.label()),
+        None => println!("\n-> nothing fits; increase parallelism or the budget"),
+    }
+
+    if model.parallel.pipeline > 1 {
+        let strategy = outcome.strategy.unwrap_or(Strategy::tp_sp_selective());
+        println!("\nper-pipeline-rank activation memory (Appendix B), {}:", strategy.label());
+        let with = est.pipeline_memory_profile(strategy, true);
+        let without = est.pipeline_memory_profile(strategy, false);
+        for (rank, (a, b)) in with.iter().zip(&without).enumerate().take(8) {
+            println!("  rank {rank:>2}: {:>6.2} GB (without dealloc: {:>6.2} GB)", a / 1e9, b / 1e9);
+        }
+        if with.len() > 8 {
+            println!("  … ({} more ranks, linearly decreasing)", with.len() - 8);
+        }
+
+        let budgets = planner.appendix_c_budgets(strategy);
+        println!(
+            "\nAppendix C storage budgets (microbatches stored in full per stage):\n  first 8 stages: {:?}  last stage: {}",
+            &budgets[..8.min(budgets.len())],
+            budgets.last().unwrap()
+        );
+        let with_storage_s = est.iteration_ms_with_storage(strategy, &budgets) / 1e3;
+        let base_s = est.time_report(strategy).iteration_s;
+        println!(
+            "  iteration: {base_s:.2} s -> {with_storage_s:.2} s with microbatch-level storage"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: estimate memory and iteration time for a paper-scale model
+//! and let the planner pick the right recomputation strategy.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use megatron_repro::core::{Estimator, ModelZoo, TrainingPlanner};
+use megatron_repro::memory::{Strategy, A100_80GB_BYTES};
+
+fn main() {
+    // The paper's 175B GPT-3 configuration (Table 3): t=8, p=8, m=3, 64 GPUs.
+    let model = ModelZoo::gpt3_175b();
+    let est = Estimator::for_paper_model(&model);
+
+    println!("model: {} ({:.0}B parameters, {} GPUs)\n", model.name,
+        model.shape.parameters() as f64 / 1e9, model.gpus());
+
+    // --- memory: the Figure 1 / Figure 7 story -----------------------------
+    for strategy in [
+        Strategy::tp(),
+        Strategy::tp_sp(),
+        Strategy::tp_selective(),
+        Strategy::tp_sp_selective(),
+        Strategy::full_recompute(),
+    ] {
+        let mem = est.memory_report(strategy);
+        println!(
+            "{:<55} {:>6.1} GB activations ({:>5.1}% of baseline){}",
+            strategy.label(),
+            mem.activation_bytes / 1e9,
+            mem.percent_of_tp_baseline,
+            if mem.fits_a100_80gb { "" } else { "  ** exceeds 80 GB **" }
+        );
+    }
+
+    // --- time: the Table 5 story -------------------------------------------
+    let full = est.time_report(Strategy::full_recompute());
+    let present = est.time_report(Strategy::tp_sp_selective());
+    println!(
+        "\nfull recomputation : {:.2} s/iteration (MFU {:.1}%)",
+        full.iteration_s,
+        100.0 * full.mfu
+    );
+    println!(
+        "present work       : {:.2} s/iteration (MFU {:.1}%, HFU {:.1}%)",
+        present.iteration_s,
+        100.0 * present.mfu,
+        100.0 * present.hfu
+    );
+    println!(
+        "throughput increase: {:.1}% (paper reports 29-32%)",
+        100.0 * (full.iteration_s / present.iteration_s - 1.0)
+    );
+
+    // --- the planner picks it automatically --------------------------------
+    let plan = TrainingPlanner::new(est, A100_80GB_BYTES).plan();
+    match plan.strategy {
+        Some(s) => println!(
+            "\nplanner choice at 80 GB/GPU: {} ({:.2} s/iteration, {:.1} GB peak)",
+            s.label(),
+            plan.iteration_s.unwrap(),
+            plan.peak_bytes.unwrap() / 1e9
+        ),
+        None => println!("\nno strategy fits the budget"),
+    }
+}

@@ -1,0 +1,67 @@
+//! Explores pipeline schedules with the discrete-event simulator: how the
+//! bubble shrinks with more microbatches and interleaving, and what
+//! Appendix C microbatch-level storage buys at different memory budgets.
+//!
+//! ```text
+//! cargo run --example schedule_explorer
+//! ```
+
+use megatron_repro::core::{Estimator, ModelZoo, TrainingPlanner};
+use megatron_repro::memory::Strategy;
+use megatron_repro::pipeline::{PipelineSim, StageCosts};
+
+fn main() {
+    // --- bubble anatomy on a uniform pipeline -------------------------------
+    println!("pipeline bubble vs microbatch count (p=8, f=1 ms, b=2 ms):");
+    let costs = StageCosts::new(1.0, 2.0, 0.0);
+    for n in [8u64, 16, 32, 64, 128] {
+        let sim = PipelineSim::uniform(costs, 8, n, 0.05);
+        let r = sim.simulate_1f1b(None);
+        println!(
+            "  n={n:<4} makespan {:>8.1} ms   bubble {:>5.1}%   interleaved m=3 {:>8.1} ms",
+            r.makespan_ms,
+            100.0 * r.bubble_fraction(),
+            sim.interleaved_ms(3)
+        );
+    }
+
+    // --- recompute cost inside the schedule ----------------------------------
+    println!("\nrecompute inside the pipeline (p=8, n=64):");
+    for (label, recompute) in [("no recompute", 0.0), ("selective (~5%)", 0.15), ("full (~100%)", 1.0)] {
+        let sim = PipelineSim::uniform(StageCosts::new(1.0, 2.0, recompute), 8, 64, 0.05);
+        let r = sim.simulate_1f1b(None);
+        println!("  {label:<18} makespan {:>8.1} ms", r.makespan_ms);
+    }
+
+    // --- Appendix C sweep on the 530B configuration --------------------------
+    println!("\nAppendix C on the 530B model — storage budget vs iteration time:");
+    let model = ModelZoo::mtnlg_530b();
+    let est = Estimator::for_paper_model(&model);
+    let strategy = Strategy::tp_sp_selective();
+    let base_s = est.time_report(strategy).iteration_s;
+    println!("  baseline (selective + SP)            : {base_s:.2} s/iteration");
+    for budget_gb in [70.0, 80.0, 100.0, 120.0] {
+        let planner = TrainingPlanner::new(est, budget_gb * 1e9);
+        let budgets = planner.appendix_c_budgets(strategy);
+        let stored: u64 = budgets.iter().sum();
+        let with_s = est.iteration_ms_with_storage(strategy, &budgets) / 1e3;
+        println!(
+            "  {budget_gb:>5.0} GB budget: {stored:>5} stored microbatch-slots -> {with_s:.2} s/iteration ({:+.2}%)",
+            100.0 * (with_s / base_s - 1.0)
+        );
+    }
+
+    // --- peak in-flight microbatches (the Figure 9 driver) -------------------
+    println!("\npeak in-flight microbatches per stage (p=8, n=64) — the Appendix B pattern:");
+    let sim = PipelineSim::uniform(costs, 8, 64, 0.05);
+    let r = sim.simulate_1f1b(None);
+    println!("  {:?}  (= p - stage, as Equation 5 assumes)", r.peak_in_flight);
+
+    // --- the Figure 10 diagram, drawn from an executed trace -----------------
+    println!("\nFigure 10, regenerated (p=4, n=8, Appendix C budget 1 per stage):");
+    let sim = PipelineSim::uniform(StageCosts::new(1.0, 2.0, 0.6), 4, 8, 0.05);
+    let (_, events) = sim.trace_1f1b(Some(&[1, 1, 1, 1]));
+    println!("{}", megatron_repro::pipeline::render_schedule(&events));
+    println!("time-scaled view:");
+    println!("{}", megatron_repro::pipeline::render_timeline(&events, 100));
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the reproduction of *"Reducing Activation Recomputation
+//! in Large Transformer Models"* (Korthikanti et al., MLSys 2023).
+//!
+//! This crate re-exports every sub-crate of the workspace so that examples and
+//! integration tests can reach the whole system through a single dependency.
+//! The interesting code lives in the `crates/` directory:
+//!
+//! * [`tensor`] — CPU tensor library with forward/backward transformer ops.
+//! * [`collectives`] — thread-rank process groups (all-reduce, all-gather,
+//!   reduce-scatter, …) plus an analytical communication cost model.
+//! * [`model`] — the transformer itself: serial reference, tensor-parallel,
+//!   and tensor+sequence-parallel layers with `none`/`full`/`selective`
+//!   activation-recomputation policies.
+//! * [`memory`] — the paper's activation-memory model (Equations 1–6,
+//!   Table 2) plus parameter/optimizer state accounting.
+//! * [`flops`] — model/hardware FLOPs and MFU/HFU (Appendix A).
+//! * [`perf`] — calibrated per-layer timing model (Table 4, Figure 8).
+//! * [`pipeline`] — 1F1B / interleaved pipeline schedule simulator
+//!   (Table 5, Figure 9, Appendix C).
+//! * [`core`] — top-level planner/estimator API and the Table 3 model zoo.
+
+pub use mt_collectives as collectives;
+pub use mt_core as core;
+pub use mt_data as data;
+pub use mt_flops as flops;
+pub use mt_memory as memory;
+pub use mt_model as model;
+pub use mt_perf as perf;
+pub use mt_pipeline as pipeline;
+pub use mt_tensor as tensor;

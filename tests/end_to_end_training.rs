@@ -1,0 +1,163 @@
+//! End-to-end user journey: tokenize a corpus (`mt-data`), train with the
+//! harness (`mt-model::trainer`) under the paper's recipe, checkpoint,
+//! evaluate, and generate — the full downstream-adopter path through the
+//! public API.
+
+use megatron_repro::data::{CharVocab, MicrobatchSampler, PackedDataset};
+use megatron_repro::memory::Recompute;
+use megatron_repro::model::gpt::Gpt;
+use megatron_repro::model::trainer::{LrSchedule, Trainer, TrainerConfig};
+use megatron_repro::model::{ActivationLedger, ExecMode, TransformerConfig};
+use megatron_repro::tensor::ops;
+
+const CORPUS: &str = "abcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabc";
+
+fn setup() -> (TransformerConfig, CharVocab, PackedDataset) {
+    let vocab = CharVocab::from_corpus(CORPUS);
+    let tokens = vocab.encode(CORPUS);
+    let cfg = TransformerConfig {
+        hidden: 16,
+        heads: 2,
+        seq: 6,
+        micro_batch: 2,
+        layers: 2,
+        vocab: vocab.len(),
+        dropout_p: 0.0,
+        causal: true,
+    };
+    let ds = PackedDataset::new(tokens, cfg.seq);
+    (cfg, vocab, ds)
+}
+
+fn train(cfg: TransformerConfig, ds: &PackedDataset, steps: usize) -> Trainer {
+    let gpt = Gpt::init(cfg, Recompute::Selective, 321);
+    let mut trainer = Trainer::new(
+        gpt,
+        TrainerConfig {
+            schedule: LrSchedule { base_lr: 1e-2, warmup_steps: 5, decay_steps: 200, min_lr: 1e-3 },
+            weight_decay: 0.0,
+            clip_norm: Some(1.0),
+        },
+    );
+    let mut sampler = MicrobatchSampler::new(ds, cfg.micro_batch, 3);
+    for _ in 0..steps {
+        let (tokens, targets) = ds.microbatch(&sampler.next_indices());
+        trainer.step(&tokens, &targets, &ExecMode::Serial);
+    }
+    trainer
+}
+
+/// Mean loss over every dataset window (batched), on an eval (dropout-off)
+/// copy.
+fn eval_loss(gpt: &Gpt, cfg: &TransformerConfig, ds: &PackedDataset) -> f32 {
+    let model = gpt.eval();
+    let mut total = 0.0_f64;
+    let mut batches = 0;
+    let mut i = 0;
+    while i + cfg.micro_batch <= ds.len() {
+        let indices: Vec<usize> = (i..i + cfg.micro_batch).collect();
+        let (tokens, targets) = ds.microbatch(&indices);
+        let logits = model.logits(&tokens, 0);
+        total += ops::cross_entropy(&logits, &targets).loss as f64;
+        batches += 1;
+        i += cfg.micro_batch;
+    }
+    (total / batches as f64) as f32
+}
+
+#[test]
+fn the_abc_model_learns_its_corpus() {
+    let (cfg, _, ds) = setup();
+    let fresh = Gpt::init(cfg, Recompute::Selective, 321);
+    let before = eval_loss(&fresh, &cfg, &ds);
+    let trained = train(cfg, &ds, 120).into_model();
+    let after = eval_loss(&trained, &cfg, &ds);
+    assert!(
+        after < before * 0.25,
+        "eval loss should collapse on a 3-periodic corpus: {before} -> {after}"
+    );
+    // On a perfectly periodic corpus the model should get close to zero.
+    assert!(after < 0.5, "eval loss {after}");
+}
+
+#[test]
+fn the_trained_model_generates_the_period() {
+    let (cfg, vocab, ds) = setup();
+    let trained = train(cfg, &ds, 120).into_model();
+    // Rebuild at micro_batch 1 for generation via checkpoint surgery.
+    let mut ckpt = trained.to_checkpoint();
+    ckpt.cfg.micro_batch = 1;
+    let gen_model = Gpt::from_checkpoint(ckpt);
+    let out = gen_model.generate(&vocab.encode("ab"), 9);
+    let text = vocab.decode(&out);
+    assert_eq!(text, "abcabcabcab", "greedy generation should lock onto the period");
+}
+
+#[test]
+fn checkpoint_preserves_training_progress() {
+    let (cfg, _, ds) = setup();
+    let trained = train(cfg, &ds, 60).into_model();
+    let mut buf = Vec::new();
+    trained.save_json(&mut buf).expect("serialize");
+    let restored = Gpt::load_json(buf.as_slice()).expect("deserialize");
+    assert_eq!(eval_loss(&trained, &cfg, &ds), eval_loss(&restored, &cfg, &ds));
+}
+
+#[test]
+fn trainer_works_under_tensor_parallelism() {
+    use megatron_repro::collectives::World;
+    let (cfg, _, ds) = setup();
+    // Serial trajectory.
+    // Clipping uses the rank-local norm, so disable it on both sides for an
+    // exact trajectory comparison (a sharding-exact clip would all-reduce
+    // the squared norms first, as `clip_grad_norm`'s docs describe).
+    let mut serial = Trainer::new(
+        Gpt::init(cfg, Recompute::None, 321),
+        TrainerConfig {
+            schedule: LrSchedule::constant(5e-3),
+            weight_decay: 0.01,
+            clip_norm: None,
+        },
+    );
+    let mut sampler = MicrobatchSampler::new(&ds, cfg.micro_batch, 4);
+    let batches: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..6).map(|_| ds.microbatch(&sampler.next_indices())).collect();
+    let serial_losses: Vec<f32> = batches
+        .iter()
+        .map(|(t, g)| serial.step(t, g, &ExecMode::Serial).loss)
+        .collect();
+
+    let template = Gpt::init(cfg, Recompute::None, 321);
+    let parallel_losses = World::run(2, |comm| {
+        let mut trainer = Trainer::new(
+            template.shard(2, comm.rank(), Recompute::None),
+            TrainerConfig {
+                schedule: LrSchedule::constant(5e-3),
+                weight_decay: 0.01,
+                clip_norm: None,
+            },
+        );
+        batches
+            .iter()
+            .map(|(t, g)| trainer.step(t, g, &ExecMode::TensorParallel(&comm)).loss)
+            .collect::<Vec<f32>>()
+    });
+    for rank_losses in &parallel_losses {
+        for (a, b) in serial_losses.iter().zip(rank_losses) {
+            assert!((a - b).abs() < 1e-3, "serial {a} vs parallel {b}");
+        }
+    }
+}
+
+#[test]
+fn ledger_is_populated_through_the_trainer_path() {
+    // The trainer internally records activations; verify the underlying
+    // model path still reports Table 2-consistent bytes via a direct call.
+    let (cfg, _, ds) = setup();
+    let gpt = Gpt::init(cfg, Recompute::Selective, 321);
+    let (tokens, targets) = ds.microbatch(&[0, 1]);
+    let mut ledger = ActivationLedger::new();
+    let _ = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+    let per_layer = 34 * cfg.sbh();
+    assert!(ledger.paper_bytes() >= per_layer * cfg.layers as u64);
+}

@@ -1,0 +1,159 @@
+//! The paper's headline quantitative claims, checked end-to-end against the
+//! reproduction (abstract, Sections 5–6, Appendices A–C).
+
+use megatron_repro::core::{Estimator, ModelZoo, TrainingPlanner};
+use megatron_repro::flops::FlopsModel;
+use megatron_repro::memory::{ActivationMemoryModel, Strategy, A100_80GB_BYTES};
+
+/// Abstract: "our method reduces activation memory by 5×".
+#[test]
+fn five_x_activation_memory_reduction() {
+    for model in ModelZoo::all() {
+        let act = ActivationMemoryModel::new(model.shape, model.batch.micro, 8);
+        let reduction = act.per_layer_bytes(Strategy::tp())
+            / act.per_layer_bytes(Strategy::tp_sp_selective());
+        assert!(
+            (4.0..7.0).contains(&reduction),
+            "{}: reduction {reduction:.2}x (paper ~5x)",
+            model.name
+        );
+    }
+}
+
+/// Abstract: "reducing execution time overhead from activation recomputation
+/// by over 90%" — the present work's overhead over the no-recompute baseline
+/// is less than 10% of full recomputation's overhead (for the larger
+/// models; the 22B pays a slightly larger share, per Figure 8).
+#[test]
+fn ninety_percent_of_recompute_overhead_eliminated() {
+    for model in [ModelZoo::mtnlg_530b(), ModelZoo::gpt_1t()] {
+        let layer = megatron_repro::perf::LayerTimeModel::new(
+            megatron_repro::perf::GpuSpec::a100(),
+            model.shape,
+            model.batch.micro,
+            model.parallel.tensor,
+        );
+        let base = layer.times(Strategy::tp());
+        let full_overhead = layer.times(Strategy::full_recompute()).overhead_pct(&base);
+        let present_overhead = layer.times(Strategy::tp_sp_selective()).overhead_pct(&base);
+        let eliminated = 1.0 - present_overhead.max(0.0) / full_overhead;
+        assert!(
+            eliminated > 0.9,
+            "{}: eliminated {:.0}% of the overhead (paper >90%)",
+            model.name,
+            100.0 * eliminated
+        );
+    }
+}
+
+/// Section 6.3 / abstract: ~30% throughput increase for every Table 3 model.
+#[test]
+fn throughput_increase_close_to_thirty_percent() {
+    for model in ModelZoo::all() {
+        let est = Estimator::for_paper_model(&model);
+        let full = est.time_report(Strategy::full_recompute()).iteration_s;
+        let present = est.time_report(Strategy::tp_sp_selective()).iteration_s;
+        let gain = 100.0 * (full / present - 1.0);
+        assert!(
+            (22.0..45.0).contains(&gain),
+            "{}: {gain:.1}% (paper 29.0–32.1%)",
+            model.name
+        );
+    }
+}
+
+/// Abstract: the 530B model at 8-way DP (2240 GPUs) reaches an MFU in the
+/// mid-50s, a small drop from the non-DP MFU.
+#[test]
+fn dp_extension_mfu_stays_high() {
+    let model = ModelZoo::mtnlg_530b();
+    let est = Estimator::for_paper_model(&model);
+    let base = est.time_report(Strategy::tp_sp_selective());
+    let new_iter = base.iteration_s + est.data_parallel_overhead_s(8);
+    let new_mfu = base.mfu * base.iteration_s / new_iter;
+    assert!(new_mfu > 0.45, "DP MFU {:.3} (paper 0.542)", new_mfu);
+    assert!(base.mfu - new_mfu < 0.05, "drop {:.3} should be modest", base.mfu - new_mfu);
+}
+
+/// Section 1: "we observe 30-40% execution time overhead when full
+/// activation recomputation is used".
+#[test]
+fn full_recompute_costs_thirty_to_forty_percent() {
+    for model in ModelZoo::all() {
+        let layer = megatron_repro::perf::LayerTimeModel::new(
+            megatron_repro::perf::GpuSpec::a100(),
+            model.shape,
+            model.batch.micro,
+            model.parallel.tensor,
+        );
+        let overhead = layer
+            .times(Strategy::full_recompute())
+            .overhead_pct(&layer.times(Strategy::tp()));
+        assert!(
+            (30.0..45.0).contains(&overhead),
+            "{}: {overhead:.1}%",
+            model.name
+        );
+    }
+}
+
+/// Appendix A: hardware/model FLOPs ratio ≈ 1 + s/6h for every model.
+#[test]
+fn hardware_model_ratio_approximation() {
+    for model in ModelZoo::all() {
+        let f = FlopsModel::new(model.shape, model.batch.global);
+        let exact = f.hardware_flops(megatron_repro::memory::Recompute::Selective)
+            / f.model_flops();
+        let approx = f.selective_ratio_approx();
+        assert!(
+            (exact - approx).abs() / approx < 0.01,
+            "{}: exact {exact:.4} vs approx {approx:.4}",
+            model.name
+        );
+    }
+}
+
+/// Section 5: "without the memory savings provided by sequence parallelism
+/// and selective recompute together, none of these models will fit into
+/// memory" — and the planner picks exactly that combination.
+#[test]
+fn planner_requires_both_techniques_at_80gb() {
+    for model in ModelZoo::all() {
+        let plan = TrainingPlanner::new(Estimator::for_paper_model(&model), A100_80GB_BYTES).plan();
+        assert_eq!(
+            plan.strategy,
+            Some(Strategy::tp_sp_selective()),
+            "{}: planner chose {:?}",
+            model.name,
+            plan.strategy
+        );
+        // For the larger models neither technique alone fits (the 22B sits
+        // close enough to the line that selective alone squeezes in under
+        // our 16 B/param optimizer accounting).
+        let fits = |s: Strategy| plan.candidates.iter().find(|c| c.0 == s).unwrap().3;
+        assert!(!fits(Strategy::tp()), "{}: the TP baseline must not fit", model.name);
+        if model.name != "22B" {
+            assert!(!fits(Strategy::tp_sp()), "{}: SP alone must not fit", model.name);
+            assert!(!fits(Strategy::tp_selective()), "{}: selective alone must not fit", model.name);
+        }
+        assert!(fits(Strategy::full_recompute()), "{}: full recompute is the fallback", model.name);
+    }
+}
+
+/// Table 5's MFU trend: utilization improves with model size and tops out
+/// in the mid-to-high 50s.
+#[test]
+fn mfu_trend_matches_table5() {
+    let mfus: Vec<(String, f64)> = ModelZoo::all()
+        .iter()
+        .map(|m| {
+            let est = Estimator::for_paper_model(m);
+            (m.name.to_string(), est.time_report(Strategy::tp_sp_selective()).mfu)
+        })
+        .collect();
+    assert!(mfus[0].1 > 0.37 && mfus[0].1 < 0.50, "22B MFU {:.3} (paper 0.415)", mfus[0].1);
+    for (name, mfu) in &mfus[1..] {
+        assert!((0.45..0.66).contains(mfu), "{name} MFU {mfu:.3} (paper 0.51–0.56)");
+    }
+    assert!(mfus[2].1 > mfus[0].1, "bigger models reach higher MFU");
+}
