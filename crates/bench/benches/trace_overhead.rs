@@ -1,0 +1,40 @@
+//! Tracing-overhead benchmarks: the disabled-tracer path must be near-free
+//! (one `Option` check, no allocation), so instrumented hot paths cost the
+//! same as before the instrumentation existed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_trace::{ArgValue, Tracer};
+
+fn bench_disabled_span(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    let disabled = Tracer::disabled();
+    g.bench_function("disabled_span", |b| {
+        b.iter(|| {
+            let _span = disabled.span("hot");
+        })
+    });
+    g.bench_function("disabled_span_args", |b| {
+        // The args closure must not run on the disabled path; this measures
+        // exactly the cost an instrumented collective pays with no tracer.
+        b.iter(|| {
+            let _span = disabled.span_args("hot", || {
+                vec![("bytes", ArgValue::U64(1 << 20)), ("n", ArgValue::U64(8))]
+            });
+        })
+    });
+    g.bench_function("disabled_counter", |b| {
+        b.iter(|| disabled.counter("alloc.allocated_bytes", 42.0))
+    });
+    let enabled = Tracer::enabled();
+    g.bench_function("enabled_span_args", |b| {
+        b.iter(|| {
+            let _span = enabled.span_args("hot", || {
+                vec![("bytes", ArgValue::U64(1 << 20)), ("n", ArgValue::U64(8))]
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_disabled_span);
+criterion_main!(benches);

@@ -924,6 +924,11 @@ pub fn render_sweeps() -> String {
 
 /// Every artifact as one JSON value, for EXPERIMENTS.md regeneration.
 pub fn all_reports_json() -> serde_json::Value {
+    let (dp_iteration_s, dp_mfu) = table5_dp_extension();
+    let table5_dp = serde_json::json!({
+        "iteration_s": dp_iteration_s,
+        "mfu": dp_mfu,
+    });
     serde_json::json!({
         "table2_22b": table2_rows(&ModelZoo::gpt_22b()),
         "figure1": figure1_rows(),
@@ -931,10 +936,7 @@ pub fn all_reports_json() -> serde_json::Value {
         "table4": table4_rows(),
         "figure8": figure8_rows(),
         "table5": table5_rows(),
-        "table5_dp_extension": {
-            "iteration_s": table5_dp_extension().0,
-            "mfu": table5_dp_extension().1,
-        },
+        "table5_dp_extension": table5_dp,
         "figure9": figure9_rows(),
         "flops": flops_rows(),
         "selective": selective_rows(),

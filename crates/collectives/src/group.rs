@@ -1,8 +1,9 @@
 //! The thread-rank runtime: [`World`] and [`Communicator`].
 
-use crate::stats::{CollectiveKind, CommStats};
+use crate::stats::{CollectiveKind, CommStats, FP16_BYTES};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mt_tensor::Tensor;
+use mt_trace::{ArgValue, SpanGuard, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -82,6 +83,7 @@ pub struct World {
     // p2p[from][to] channel endpoints, created once up front.
     senders: Vec<Vec<Sender<Tensor>>>,
     receivers: Vec<Vec<Option<Receiver<Tensor>>>>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for World {
@@ -112,12 +114,24 @@ impl World {
                 receivers[to][from] = Some(rx);
             }
         }
-        World { size, exchange: Arc::new(Exchange::new(size)), senders, receivers }
+        World {
+            size,
+            exchange: Arc::new(Exchange::new(size)),
+            senders,
+            receivers,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Attaches a tracer. Communicators extracted afterwards record each
+    /// collective as a span on their rank's track.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Extracts the communicator for `rank`. Each rank may be taken once.
@@ -140,6 +154,7 @@ impl World {
             outboxes: self.senders[rank].clone(),
             inboxes,
             stats: RefCell::new(CommStats::new()),
+            tracer: self.tracer.with_track(rank as u32),
         }
     }
 
@@ -154,12 +169,35 @@ impl World {
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
+        Self::run_traced(size, &Tracer::disabled(), f)
+    }
+
+    /// [`World::run`] with tracing: each rank thread gets a communicator
+    /// whose collectives record spans on track `rank`, and the tracer is
+    /// installed as the thread's current tracer so instrumentation deeper
+    /// in the stack (model phases, allocator watermarks) attributes to the
+    /// same rank lane.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any rank thread.
+    pub fn run_traced<T, F>(size: usize, tracer: &Tracer, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
         let mut world = World::new(size);
+        world.set_tracer(tracer.clone());
         let comms: Vec<Communicator> = (0..size).map(|r| world.communicator(r)).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|comm| scope.spawn(|| f(comm)))
+                .map(|comm| {
+                    scope.spawn(|| {
+                        let _installed = mt_trace::install(comm.tracer().clone());
+                        f(comm)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -185,6 +223,7 @@ pub struct Communicator {
     outboxes: Vec<Sender<Tensor>>,
     inboxes: Vec<Receiver<Tensor>>,
     stats: RefCell<CommStats>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -212,15 +251,36 @@ impl Communicator {
         self.stats.borrow().clone()
     }
 
+    /// The tracer this communicator records spans on (disabled unless the
+    /// world had one attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records the stats entry for one collective call and opens its span,
+    /// tagged with the kind, logical payload bytes, analytical ring wire
+    /// bytes, and group size. The span covers the blocking exchange.
+    fn record_traced(&self, kind: CollectiveKind, payload_elems: u64) -> SpanGuard {
+        self.stats.borrow_mut().record(kind, payload_elems, self.size as u64);
+        let payload_bytes = payload_elems * FP16_BYTES;
+        let n = self.size as u64;
+        self.tracer.span_args(kind.name(), move || {
+            vec![
+                ("kind", ArgValue::Str(kind.name().to_string())),
+                ("payload_bytes", ArgValue::U64(payload_bytes)),
+                ("wire_bytes", ArgValue::U64(kind.ring_wire_bytes(payload_bytes, n))),
+                ("group_size", ArgValue::U64(n)),
+            ]
+        })
+    }
+
     /// Element-wise sum across ranks; every rank receives the full result.
     ///
     /// # Panics
     ///
     /// Panics if ranks contribute tensors of different shapes.
     pub fn all_reduce(&self, x: &Tensor) -> Tensor {
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::AllReduce, x.numel() as u64, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
         self.exchange.exchange(self.rank, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
@@ -238,9 +298,7 @@ impl Communicator {
     ///
     /// Panics if ranks contribute tensors of different shapes.
     pub fn all_reduce_max(&self, x: &Tensor) -> Tensor {
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::AllReduce, x.numel() as u64, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
         self.exchange.exchange(self.rank, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
@@ -263,9 +321,7 @@ impl Communicator {
     /// Panics if shard trailing shapes differ across ranks.
     pub fn all_gather(&self, shard: &Tensor) -> Tensor {
         let full_elems = (shard.numel() * self.size) as u64;
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::AllGather, full_elems, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::AllGather, full_elems);
         self.exchange.exchange(self.rank, shard.clone(), |deposits| {
             let parts: Vec<Tensor> =
                 deposits.iter().map(|d| d.as_ref().expect("deposit present").clone()).collect();
@@ -282,9 +338,7 @@ impl Communicator {
     /// Panics if the tensors' axis 0 is not divisible by the group size or
     /// shapes differ across ranks.
     pub fn reduce_scatter(&self, x: &Tensor) -> Tensor {
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::ReduceScatter, x.numel() as u64, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::ReduceScatter, x.numel() as u64);
         let n = self.size;
         self.exchange.exchange(self.rank, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
@@ -303,9 +357,7 @@ impl Communicator {
     /// Panics if `root` is out of range.
     pub fn broadcast(&self, x: &Tensor, root: usize) -> Tensor {
         assert!(root < self.size, "broadcast: root {root} out of range");
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::Broadcast, x.numel() as u64, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::Broadcast, x.numel() as u64);
         self.exchange.exchange(self.rank, x.clone(), |deposits| {
             let chosen = deposits[root].take().expect("root deposit present");
             vec![chosen; deposits.len()]
@@ -314,7 +366,7 @@ impl Communicator {
 
     /// Synchronizes all ranks without moving data.
     pub fn barrier(&self) {
-        self.stats.borrow_mut().record(CollectiveKind::Barrier, 0, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::Barrier, 0);
         let _ = self
             .exchange
             .exchange(self.rank, Tensor::zeros(&[0]), |d| vec![Tensor::zeros(&[0]); d.len()]);
@@ -327,9 +379,7 @@ impl Communicator {
     /// Panics if `to` is out of range or the destination hung up.
     pub fn send(&self, to: usize, x: &Tensor) {
         assert!(to < self.size, "send: destination {to} out of range");
-        self.stats
-            .borrow_mut()
-            .record(CollectiveKind::SendRecv, x.numel() as u64, self.size as u64);
+        let _span = self.record_traced(CollectiveKind::SendRecv, x.numel() as u64);
         self.outboxes[to].send(x.clone()).expect("send: peer disconnected");
     }
 
@@ -340,6 +390,9 @@ impl Communicator {
     /// Panics if `from` is out of range or the source hung up.
     pub fn recv(&self, from: usize) -> Tensor {
         assert!(from < self.size, "recv: source {from} out of range");
+        let _span = self
+            .tracer
+            .span_args("recv", || vec![("from", ArgValue::U64(from as u64))]);
         self.inboxes[from].recv().expect("recv: peer disconnected")
     }
 }
@@ -347,6 +400,53 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traced_collectives_emit_spans_matching_stats() {
+        let tracer = Tracer::enabled();
+        let stats = World::run_traced(4, &tracer, |c| {
+            let x = Tensor::from_fn(&[6], |i| i as f32);
+            c.all_reduce(&x);
+            let shard = Tensor::full(&[2], c.rank() as f32);
+            c.all_gather(&shard);
+            c.barrier();
+            c.stats()
+        });
+        let events = tracer.events();
+        // Every rank records one span per collective, on its own track.
+        for rank in 0..4u32 {
+            let lane: Vec<_> = events.iter().filter(|e| e.track == rank).collect();
+            let names: Vec<&str> = lane.iter().map(|e| e.name.as_ref()).collect();
+            assert_eq!(names, ["all_reduce", "all_gather", "barrier"], "rank {rank}");
+        }
+        // Span wire-bytes args agree exactly with the CommStats ledger and
+        // the analytical ring formula.
+        let per_rank_wire: u64 = events
+            .iter()
+            .filter(|e| e.track == 0)
+            .flat_map(|e| e.args.iter())
+            .filter(|(k, _)| *k == "wire_bytes")
+            .map(|(_, v)| match v {
+                ArgValue::U64(b) => *b,
+                other => panic!("wire_bytes arg not U64: {other:?}"),
+            })
+            .sum();
+        assert_eq!(per_rank_wire, stats[0].total_wire_bytes());
+        assert_eq!(
+            per_rank_wire,
+            CollectiveKind::AllReduce.ring_wire_bytes(6 * FP16_BYTES, 4)
+                + CollectiveKind::AllGather.ring_wire_bytes(4 * 2 * FP16_BYTES, 4)
+        );
+    }
+
+    #[test]
+    fn untraced_world_records_no_events() {
+        let tracer = Tracer::disabled();
+        World::run_traced(2, &tracer, |c| {
+            c.all_reduce(&Tensor::full(&[2], 1.0));
+        });
+        assert!(tracer.events().is_empty());
+    }
 
     #[test]
     fn all_reduce_sums_across_ranks() {

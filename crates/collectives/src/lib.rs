@@ -44,4 +44,4 @@ pub mod stats;
 
 pub use grid::{run_grid, run_grid3, Grid3Comm, GridComm};
 pub use group::{Communicator, World};
-pub use stats::{CollectiveKind, CommStats};
+pub use stats::{CollectiveKind, CommStats, KindStats, FP16_BYTES};

@@ -25,6 +25,19 @@ pub enum CollectiveKind {
 }
 
 impl CollectiveKind {
+    /// Stable snake_case name, used as the span name and metric-key segment
+    /// for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::SendRecv => "send_recv",
+            CollectiveKind::Barrier => "barrier",
+        }
+    }
+
     /// Bytes each rank puts on the wire for a ring implementation of this
     /// collective, given the *logical full tensor* payload in bytes and the
     /// group size `n`.
@@ -115,6 +128,32 @@ impl CommStats {
     pub fn iter(&self) -> impl Iterator<Item = (CollectiveKind, KindStats)> + '_ {
         self.by_kind.iter().map(|(k, v)| (*k, *v))
     }
+
+    /// World-level aggregation: sums per-rank ledgers into one. The result's
+    /// `wire_bytes` is the total traffic all ranks put on the wire — the
+    /// quantity a cluster-level bandwidth budget sees.
+    pub fn aggregate<'a>(per_rank: impl IntoIterator<Item = &'a CommStats>) -> CommStats {
+        let mut total = CommStats::new();
+        for s in per_rank {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Publishes this ledger into a metrics registry under
+    /// `{prefix}.{kind}.{calls,payload_bytes,wire_bytes}` counters plus
+    /// `{prefix}.total_calls` / `{prefix}.total_wire_bytes`. Counters
+    /// accumulate, so publish a ledger once (or publish per-step deltas).
+    pub fn publish(&self, registry: &mt_trace::MetricsRegistry, prefix: &str) {
+        for (kind, ks) in self.iter() {
+            let base = format!("{prefix}.{}", kind.name());
+            registry.counter_add(&format!("{base}.calls"), ks.calls);
+            registry.counter_add(&format!("{base}.payload_bytes"), ks.payload_bytes);
+            registry.counter_add(&format!("{base}.wire_bytes"), ks.wire_bytes);
+        }
+        registry.counter_add(&format!("{prefix}.total_calls"), self.total_calls());
+        registry.counter_add(&format!("{prefix}.total_wire_bytes"), self.total_wire_bytes());
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +182,51 @@ mod tests {
         ] {
             assert_eq!(kind.ring_wire_bytes(1 << 20, 1), 0);
         }
+    }
+
+    #[test]
+    fn aggregate_sums_ranks_and_matches_ring_totals() {
+        // Four ranks, each all-reducing the same 100-element tensor twice
+        // and all-gathering once: the world total is rank count × per-rank.
+        let n = 4u64;
+        let per_rank: Vec<CommStats> = (0..n)
+            .map(|_| {
+                let mut s = CommStats::new();
+                s.record(CollectiveKind::AllReduce, 100, n);
+                s.record(CollectiveKind::AllReduce, 100, n);
+                s.record(CollectiveKind::AllGather, 80, n);
+                s
+            })
+            .collect();
+        let world = CommStats::aggregate(&per_rank);
+        assert_eq!(world.kind(CollectiveKind::AllReduce).calls, 2 * n);
+        assert_eq!(
+            world.kind(CollectiveKind::AllReduce).wire_bytes,
+            n * 2 * CollectiveKind::AllReduce.ring_wire_bytes(100 * FP16_BYTES, n)
+        );
+        assert_eq!(
+            world.kind(CollectiveKind::AllGather).wire_bytes,
+            n * CollectiveKind::AllGather.ring_wire_bytes(80 * FP16_BYTES, n)
+        );
+        assert_eq!(world.total_calls(), 3 * n);
+        // Aggregating nothing is the empty ledger.
+        assert_eq!(CommStats::aggregate([]), CommStats::new());
+    }
+
+    #[test]
+    fn publish_writes_counters_under_prefix() {
+        let mut s = CommStats::new();
+        s.record(CollectiveKind::AllReduce, 100, 4);
+        s.record(CollectiveKind::Barrier, 0, 4);
+        let reg = mt_trace::MetricsRegistry::new();
+        s.publish(&reg, "comm");
+        assert_eq!(reg.get("comm.all_reduce.calls").unwrap().as_u64(), 1);
+        assert_eq!(
+            reg.get("comm.all_reduce.wire_bytes").unwrap().as_u64(),
+            CollectiveKind::AllReduce.ring_wire_bytes(200, 4)
+        );
+        assert_eq!(reg.get("comm.barrier.calls").unwrap().as_u64(), 1);
+        assert_eq!(reg.get("comm.total_calls").unwrap().as_u64(), 2);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct AllocatorStats {
     pub allocated: u64,
     /// High-water mark of allocated bytes.
     pub peak_allocated: u64,
+    /// High-water mark of the arena **footprint**: the largest end-offset any
+    /// live block has ever reached. Fragmentation shows up as the gap between
+    /// this and `peak_allocated` — holes between live blocks push later
+    /// placements towards the end of the arena even when the sum of live
+    /// bytes is small.
+    pub peak_footprint: u64,
     /// Number of successful allocations.
     pub allocs: u64,
     /// Number of frees.
@@ -78,12 +84,31 @@ pub struct AllocatorStats {
     pub fragmentation_failures: u64,
 }
 
+impl AllocatorStats {
+    /// Publishes the snapshot into a metrics registry under
+    /// `{prefix}.{allocated,peak_allocated,peak_footprint,allocs,frees,fragmentation_failures}`.
+    /// Peaks go in as high-water marks, so repeated publishes (or publishes
+    /// from several allocators under one prefix) keep the maximum.
+    pub fn publish(&self, registry: &mt_trace::MetricsRegistry, prefix: &str) {
+        registry.gauge_set(&format!("{prefix}.allocated"), self.allocated as f64);
+        registry.high_water(&format!("{prefix}.peak_allocated"), self.peak_allocated);
+        registry.high_water(&format!("{prefix}.peak_footprint"), self.peak_footprint);
+        registry.counter_add(&format!("{prefix}.allocs"), self.allocs);
+        registry.counter_add(&format!("{prefix}.frees"), self.frees);
+        registry.counter_add(
+            &format!("{prefix}.fragmentation_failures"),
+            self.fragmentation_failures,
+        );
+    }
+}
+
 /// A fixed-capacity best-fit allocator with splitting and coalescing.
 #[derive(Debug, Clone)]
 pub struct CachingAllocator {
     capacity: u64,
     blocks: Vec<Block>, // sorted by offset, covering [0, capacity)
     stats: AllocatorStats,
+    tracer: mt_trace::Tracer,
 }
 
 impl CachingAllocator {
@@ -98,12 +123,33 @@ impl CachingAllocator {
             capacity,
             blocks: vec![Block { offset: 0, size: capacity, free: true }],
             stats: AllocatorStats::default(),
+            tracer: mt_trace::Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every successful `malloc`/`free` then emits
+    /// `alloc.allocated_bytes` and `alloc.footprint_bytes` counter samples,
+    /// which render as the allocator watermark curves in a Chrome trace.
+    pub fn set_tracer(&mut self, tracer: mt_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Arena capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Current arena footprint: the end offset of the highest live block
+    /// (0 when nothing is allocated).
+    pub fn footprint(&self) -> u64 {
+        self.blocks.iter().filter(|b| !b.free).map(|b| b.offset + b.size).max().unwrap_or(0)
+    }
+
+    fn emit_watermarks(&self) {
+        if self.tracer.is_enabled() {
+            self.tracer.counter("alloc.allocated_bytes", self.stats.allocated as f64);
+            self.tracer.counter("alloc.footprint_bytes", self.footprint() as f64);
+        }
     }
 
     /// Current statistics.
@@ -183,7 +229,11 @@ impl CachingAllocator {
         self.blocks[i].free = false;
         self.stats.allocated += size;
         self.stats.peak_allocated = self.stats.peak_allocated.max(self.stats.allocated);
+        // The live footprint only grows when a placement ends past it, so the
+        // high-water mark needs just the new block's end.
+        self.stats.peak_footprint = self.stats.peak_footprint.max(offset + size);
         self.stats.allocs += 1;
+        self.emit_watermarks();
         Ok(AllocId(offset))
     }
 
@@ -210,6 +260,7 @@ impl CachingAllocator {
             self.blocks[i - 1].size += self.blocks[i].size;
             self.blocks.remove(i);
         }
+        self.emit_watermarks();
     }
 
     /// Internal consistency check: blocks tile `[0, capacity)` exactly.
@@ -304,6 +355,72 @@ mod tests {
         assert_eq!(s.peak_allocated, 60);
         assert_eq!(s.allocs, 2);
         assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn peak_footprint_tracks_highest_live_end_offset() {
+        // Hand-walked sequence. Best fit places into the lowest-offset
+        // tightest hole, so offsets are deterministic.
+        let mut a = CachingAllocator::new(100);
+        let x = a.malloc(30).unwrap(); // [0,30)            footprint 30
+        let y = a.malloc(20).unwrap(); // [30,50)           footprint 50
+        assert_eq!(a.footprint(), 50);
+        assert_eq!(a.stats().peak_footprint, 50);
+        a.free(x); // live: [30,50)                          footprint 50
+        assert_eq!(a.footprint(), 50);
+        // 40 doesn't fit the 30-byte front hole: placed at [50,90).
+        let z = a.malloc(40).unwrap();
+        assert_eq!(a.footprint(), 90);
+        assert_eq!(a.stats().peak_footprint, 90);
+        // Even though only 60 bytes are live, fragmentation pushed the
+        // footprint high-water past the allocated high-water.
+        assert_eq!(a.stats().allocated, 60);
+        assert!(a.stats().peak_footprint > a.stats().peak_allocated);
+        a.free(y);
+        a.free(z);
+        assert_eq!(a.footprint(), 0, "no live blocks");
+        assert_eq!(a.stats().peak_footprint, 90, "peak is a high-water mark");
+        // Re-filling from the front does not raise the peak.
+        let _ = a.malloc(10).unwrap();
+        assert_eq!(a.stats().peak_footprint, 90);
+    }
+
+    #[test]
+    fn publish_surfaces_stats_through_the_registry() {
+        let mut a = CachingAllocator::new(100);
+        let x = a.malloc(60).unwrap();
+        a.free(x);
+        let _ = a.malloc(30).unwrap();
+        let reg = mt_trace::MetricsRegistry::new();
+        a.stats().publish(&reg, "rank0.alloc");
+        assert_eq!(reg.get("rank0.alloc.allocated").unwrap().as_f64(), 30.0);
+        assert_eq!(reg.get("rank0.alloc.peak_allocated").unwrap().as_u64(), 60);
+        assert_eq!(reg.get("rank0.alloc.peak_footprint").unwrap().as_u64(), 60);
+        assert_eq!(reg.get("rank0.alloc.allocs").unwrap().as_u64(), 2);
+        assert_eq!(reg.get("rank0.alloc.frees").unwrap().as_u64(), 1);
+        // High-water marks survive a second publish from a smaller snapshot.
+        let b = CachingAllocator::new(100);
+        b.stats().publish(&reg, "rank0.alloc");
+        assert_eq!(reg.get("rank0.alloc.peak_footprint").unwrap().as_u64(), 60);
+    }
+
+    #[test]
+    fn traced_allocator_emits_watermark_counters() {
+        let tracer = mt_trace::Tracer::enabled();
+        let mut a = CachingAllocator::new(100);
+        a.set_tracer(tracer.clone());
+        let x = a.malloc(40).unwrap();
+        a.free(x);
+        let samples: Vec<f64> = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "alloc.allocated_bytes")
+            .map(|e| match e.kind {
+                mt_trace::EventKind::Counter { value } => value,
+                _ => panic!("watermark must be a counter event"),
+            })
+            .collect();
+        assert_eq!(samples, [40.0, 0.0]);
     }
 
     #[test]

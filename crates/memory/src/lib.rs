@@ -48,6 +48,7 @@ mod model_state;
 mod pipeline_profile;
 
 pub use activations::ActivationMemoryModel;
+pub use allocator::{AllocError, AllocId, AllocatorStats, CachingAllocator};
 pub use config::{Batch, ModelShape, Parallelism, Recompute, Strategy};
 pub use mixed::{MixedLayerCheckpointing, MixedOption};
 pub use model_state::{ModelStateMemory, ADAM_MIXED_PRECISION_BYTES_PER_PARAM};

@@ -40,7 +40,9 @@ mod tests {
     use mt_memory::Recompute;
     use mt_tensor::rng::SplitMix64;
 
-    fn fixtures() -> (Gpt, Vec<(Vec<usize>, Vec<usize>)>) {
+    type Batches = Vec<(Vec<usize>, Vec<usize>)>;
+
+    fn fixtures() -> (Gpt, Batches) {
         let cfg = TransformerConfig {
             hidden: 16,
             heads: 2,

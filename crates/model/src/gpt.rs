@@ -233,6 +233,11 @@ impl Gpt {
         let row0 = if sp { mode.rank() * rows } else { 0 };
         let ids_local = &tokens[row0..row0 + rows];
 
+        let tracer = mt_trace::current();
+        let fwd_span = tracer.span_args("forward", || {
+            vec![("micro", mt_trace::ArgValue::U64(micro))]
+        });
+
         // --- forward: embedding ---
         let mut x = ops::embedding(ids_local, &self.embedding.table);
         for r in 0..rows {
@@ -267,6 +272,10 @@ impl Gpt {
         ledger.record(Category::ProjectionInput, y_ln.numel() as u64);
         ledger.record(Category::Logits, logits.numel() as u64);
         let ce = ops::cross_entropy(&logits, targets);
+        drop(fwd_span);
+        let bwd_span = tracer.span_args("backward", || {
+            vec![("micro", mt_trace::ArgValue::U64(micro))]
+        });
 
         // --- backward: head ---
         let d_y_ln = ops::matmul(&ce.dlogits, &self.embedding.table);
@@ -310,6 +319,7 @@ impl Gpt {
             d_positions = c.all_reduce(&d_positions);
         }
         let d_table = d_table_embed.add(&d_table_head);
+        drop(bwd_span);
 
         (
             ce.loss,

@@ -377,6 +377,7 @@ impl TransformerLayer {
                 if st.attn.is_none() {
                     // Selective recomputation: replay the attention core from
                     // the stored Q and K (Section 5).
+                    let _span = mt_trace::current().span("recompute_attention");
                     let ap = self.attn_params(mode, st.micro);
                     st.attn = Some(attention_recompute(&ap, &self.rng, &st.q, &st.k));
                 }
@@ -385,6 +386,7 @@ impl TransformerLayer {
             LayerState::Checkpoint { x, micro } => {
                 // Full recomputation: one extra forward pass (the 30-40%
                 // overhead the paper eliminates).
+                let _span = mt_trace::current().span("recompute_layer");
                 let (_, st) = self.forward_full(&x, micro, mode);
                 Box::new(st)
             }

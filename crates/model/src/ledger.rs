@@ -124,6 +124,18 @@ impl ActivationLedger {
     pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
         self.elements.iter().map(|(c, e)| (*c, *e))
     }
+
+    /// Publishes the ledger into a metrics registry: per-category byte
+    /// high-water marks under `{prefix}.{category:?}_bytes` plus
+    /// `{prefix}.paper_bytes` / `{prefix}.total_bytes`. High-water semantics
+    /// make repeated per-step publishes record the worst step.
+    pub fn publish(&self, registry: &mt_trace::MetricsRegistry, prefix: &str) {
+        for (c, _) in self.iter() {
+            registry.high_water(&format!("{prefix}.{c:?}_bytes"), self.bytes(c));
+        }
+        registry.high_water(&format!("{prefix}.paper_bytes"), self.paper_bytes());
+        registry.high_water(&format!("{prefix}.total_bytes"), self.total_bytes());
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +156,20 @@ mod tests {
         ledger.record(Category::SmallStatistics, 1_000_000);
         assert_eq!(ledger.paper_bytes(), 200);
         assert_eq!(ledger.total_bytes(), 200 + 2_000_000);
+    }
+
+    #[test]
+    fn publish_records_high_water_bytes() {
+        let mut ledger = ActivationLedger::new();
+        ledger.record(Category::QueryKey, 10); // 20 bytes
+        ledger.record(Category::SoftmaxDropoutMask, 8); // 8 bytes
+        let reg = mt_trace::MetricsRegistry::new();
+        ledger.publish(&reg, "rank0.act");
+        assert_eq!(reg.get("rank0.act.QueryKey_bytes").unwrap().as_u64(), 20);
+        assert_eq!(reg.get("rank0.act.paper_bytes").unwrap().as_u64(), 28);
+        // A smaller later publish doesn't lower the mark.
+        ActivationLedger::new().publish(&reg, "rank0.act");
+        assert_eq!(reg.get("rank0.act.paper_bytes").unwrap().as_u64(), 28);
     }
 
     #[test]

@@ -123,8 +123,24 @@ impl Trainer {
     /// Panics under the same conditions as
     /// [`Gpt::loss_and_grads`](crate::gpt::Gpt::loss_and_grads).
     pub fn step(&mut self, tokens: &[usize], targets: &[usize], mode: &ExecMode<'_>) -> StepStats {
+        self.step_with_ledger(tokens, targets, mode).0
+    }
+
+    /// [`Trainer::step`], also returning the activation ledger the forward
+    /// pass filled — the measured counterpart to the analytical memory model.
+    pub fn step_with_ledger(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+        mode: &ExecMode<'_>,
+    ) -> (StepStats, ActivationLedger) {
+        let tracer = mt_trace::current();
+        let step_no = self.step;
+        let _step_span =
+            tracer.span_args("step", move || vec![("step", mt_trace::ArgValue::U64(step_no))]);
         let mut ledger = ActivationLedger::new();
         let (loss, mut grads) = self.gpt.loss_and_grads(tokens, targets, self.step, mode, &mut ledger);
+        let opt_span = tracer.span("optimizer");
         let grad_norm = match self.cfg.clip_norm {
             Some(max) => clip_grad_norm(grads.tensors_mut(), max),
             None => 0.0,
@@ -132,9 +148,10 @@ impl Trainer {
         let lr = self.cfg.schedule.lr_at(self.step);
         self.opt.set_lr(lr);
         self.opt.update(self.gpt.param_tensors_mut(), &grads.tensors());
+        drop(opt_span);
         let stats = StepStats { step: self.step, loss, grad_norm, lr };
         self.step += 1;
-        stats
+        (stats, ledger)
     }
 }
 
@@ -218,6 +235,40 @@ mod tests {
         }
         assert!(last < first, "loss should fall: {first} -> {last}");
         assert_eq!(trainer.steps_done(), 40);
+    }
+
+    #[test]
+    fn traced_step_emits_phase_spans() {
+        let c = cfg();
+        let gpt = Gpt::init(c, Recompute::Full, 79);
+        let mut trainer = Trainer::new(gpt, TrainerConfig::default());
+        let (tokens, targets) = data(&c);
+        let tracer = mt_trace::Tracer::enabled();
+        {
+            let _installed = mt_trace::install(tracer.clone());
+            trainer.step(&tokens, &targets, &ExecMode::Serial);
+        }
+        let events = tracer.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("step"), 1);
+        assert_eq!(count("forward"), 1);
+        assert_eq!(count("backward"), 1);
+        assert_eq!(count("optimizer"), 1);
+        // Full recomputation replays every layer's forward in the backward.
+        assert_eq!(count("recompute_layer"), c.layers);
+        // The step span encloses the phases.
+        let span = |name: &str| {
+            let e = events.iter().find(|e| e.name == name).unwrap();
+            match e.kind {
+                mt_trace::EventKind::Complete { dur_us } => (e.ts_us, e.ts_us + dur_us),
+                _ => panic!("{name} is not a complete event"),
+            }
+        };
+        let (s0, s1) = span("step");
+        for phase in ["forward", "backward", "optimizer"] {
+            let (p0, p1) = span(phase);
+            assert!(s0 <= p0 && p1 <= s1, "{phase} outside step span");
+        }
     }
 
     #[test]

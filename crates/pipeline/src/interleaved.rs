@@ -106,6 +106,55 @@ impl InterleavedSim {
     /// Panics if dimensions are zero or `num_micro` is not a multiple of the
     /// device count.
     pub fn simulate(&self) -> SimResult {
+        self.simulate_core().0
+    }
+
+    /// [`InterleavedSim::simulate`], additionally replaying the schedule onto
+    /// `tracer` as one `fwd_chunk`/`bwd_chunk` span per (virtual stage,
+    /// microbatch) unit. Spans use the **simulated** clock (1 simulated ms =
+    /// 1 µs of trace time) and land on track = device index, so the Chrome
+    /// trace renders the familiar pipeline "staircase" with one lane per
+    /// device.
+    pub fn simulate_traced(&self, tracer: &mt_trace::Tracer) -> SimResult {
+        let (result, f_end, b_end) = self.simulate_core();
+        if !tracer.is_enabled() {
+            return result;
+        }
+        let p = self.devices;
+        let fwd_dur = self.chunk_costs.forward_ms;
+        let bwd_dur = self.chunk_costs.backward_ms + self.chunk_costs.recompute_ms;
+        for (vs, (f_row, b_row)) in f_end.iter().zip(&b_end).enumerate() {
+            let device = vs % p;
+            let chunk = vs / p;
+            for micro in 0..f_row.len() {
+                let args = move || {
+                    vec![
+                        ("chunk", mt_trace::ArgValue::U64(chunk as u64)),
+                        ("micro", mt_trace::ArgValue::U64(micro as u64)),
+                        ("virtual_stage", mt_trace::ArgValue::U64(vs as u64)),
+                    ]
+                };
+                // The event loop sets end = start + dur, so start = end − dur.
+                tracer.complete_at(
+                    "fwd_chunk",
+                    device as u32,
+                    (f_row[micro] - fwd_dur) * 1_000.0,
+                    fwd_dur * 1_000.0,
+                    args(),
+                );
+                tracer.complete_at(
+                    "bwd_chunk",
+                    device as u32,
+                    (b_row[micro] - bwd_dur) * 1_000.0,
+                    bwd_dur * 1_000.0,
+                    args(),
+                );
+            }
+        }
+        result
+    }
+
+    fn simulate_core(&self) -> (SimResult, Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let p = self.devices;
         let m = self.chunks;
         let n = self.num_micro as usize;
@@ -197,12 +246,16 @@ impl InterleavedSim {
             })
             .collect();
 
-        SimResult {
-            makespan_ms: makespan,
-            stage_busy_ms: busy,
-            peak_in_flight,
-            stored_full: vec![0; p],
-        }
+        (
+            SimResult {
+                makespan_ms: makespan,
+                stage_busy_ms: busy,
+                peak_in_flight,
+                stored_full: vec![0; p],
+            },
+            f_end,
+            b_end,
+        )
     }
 
     /// The analytic iteration time the paper's schedule analysis predicts:
@@ -335,6 +388,41 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn rejects_micro_count_not_divisible_by_devices() {
         let _ = sim(4, 2, 6).simulate();
+    }
+
+    #[test]
+    fn traced_simulation_emits_one_span_per_unit_on_its_device_lane() {
+        let s = sim(4, 3, 8);
+        let tracer = mt_trace::Tracer::enabled();
+        let result = s.simulate_traced(&tracer);
+        assert_eq!(result.makespan_ms, s.simulate().makespan_ms, "tracing must not change the sim");
+        let events = tracer.events();
+        // One fwd + one bwd span per (virtual stage, microbatch).
+        let units = 4 * 3 * 8;
+        assert_eq!(events.len(), 2 * units);
+        for d in 0..4u32 {
+            // Each device lane holds exactly its share, never overlapping:
+            // a device executes one chunk-unit at a time.
+            let mut lane: Vec<(f64, f64)> = events
+                .iter()
+                .filter(|e| e.track == d)
+                .map(|e| match e.kind {
+                    mt_trace::EventKind::Complete { dur_us } => (e.ts_us, e.ts_us + dur_us),
+                    _ => panic!("pipeline trace must be all complete events"),
+                })
+                .collect();
+            assert_eq!(lane.len(), 2 * 3 * 8, "device {d}");
+            lane.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in lane.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "device {d} spans overlap: {w:?}");
+            }
+            // The lane ends exactly at the simulated makespan (µs = ms·1000).
+            let end = lane.iter().fold(0.0_f64, |a, s| a.max(s.1));
+            assert!(end <= result.makespan_ms * 1_000.0 + 1e-6);
+        }
+        // The trace is a well-formed Chrome trace.
+        let json = mt_trace::export::chrome_trace(&events);
+        mt_trace::export::validate_chrome_trace(&json).expect("valid chrome trace");
     }
 
     #[test]

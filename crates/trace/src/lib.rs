@@ -1,0 +1,38 @@
+//! `mt-trace`: structured tracing and metrics for the training stack.
+//!
+//! Three pieces, deliberately dependency-free beyond serde:
+//!
+//! * [`Tracer`] — produces nested **spans** (scoped begin/end intervals) and
+//!   **instant events**, each attributed to a *track* (a rank or thread
+//!   lane). A disabled tracer ([`Tracer::disabled`]) costs one `Option`
+//!   check per call and allocates nothing, so instrumentation can stay in
+//!   hot paths permanently.
+//! * [`MetricsRegistry`] — a typed registry of counters, gauges, and
+//!   high-water marks that the runtime's existing ledgers (`CommStats`,
+//!   `AllocatorStats`, `ActivationLedger`) publish into, giving one flat
+//!   namespace for everything measurable.
+//! * [`export`] — converts recorded events into the Chrome `trace_event`
+//!   JSON format (loadable in `chrome://tracing` / Perfetto), a per-rank
+//!   ASCII timeline for terminals, and a flat JSON metrics dump for
+//!   `reports/`.
+//!
+//! Instrumented call sites that cannot thread a `Tracer` through their
+//! signatures (deep model internals) use the thread-local *current tracer*:
+//! [`install`] a tracer for a scope and [`current`] returns it (or a
+//! disabled tracer when none is installed).
+
+mod export_impl;
+mod metrics;
+mod tracer;
+
+pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot};
+pub use tracer::{
+    current, install, ArgValue, EventKind, InstalledTracer, SpanGuard, TraceEvent, Tracer,
+};
+
+/// Exporters for recorded trace events.
+pub mod export {
+    pub use crate::export_impl::{
+        ascii_timeline, chrome_trace, chrome_trace_string, validate_chrome_trace,
+    };
+}

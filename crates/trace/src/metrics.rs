@@ -1,0 +1,193 @@
+//! The typed metrics registry.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A single published metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Monotonically increasing count (calls, bytes moved).
+    Counter(u64),
+    /// Last-write-wins sampled value.
+    Gauge(f64),
+    /// Maximum ever observed (peak bytes, peak in-flight).
+    HighWater(u64),
+}
+
+impl Metric {
+    /// The value as a float, whatever the variant.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Metric::Counter(v) | Metric::HighWater(v) => v as f64,
+            Metric::Gauge(v) => v,
+        }
+    }
+
+    /// The value as an integer; gauges are truncated.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            Metric::Counter(v) | Metric::HighWater(v) => v,
+            Metric::Gauge(v) => v as u64,
+        }
+    }
+}
+
+/// A shared, thread-safe registry of named metrics.
+///
+/// Names are dotted paths by convention (`comm.all_reduce.wire_bytes`,
+/// `allocator.peak_footprint`). Publishers — `CommStats`,
+/// `AllocatorStats`, the activation ledger — write their totals here so one
+/// snapshot captures the whole system. Clones share the same store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Adds `delta` to a counter, creating it at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with(|m| {
+            match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+                Metric::Counter(v) => *v += delta,
+                other => panic!("metric {name:?} is {other:?}, not a counter"),
+            }
+        });
+    }
+
+    /// Sets a gauge to `value`, creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with(|m| {
+            match m.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+                Metric::Gauge(v) => *v = value,
+                other => panic!("metric {name:?} is {other:?}, not a gauge"),
+            }
+        });
+    }
+
+    /// Raises a high-water mark to `value` if it exceeds the stored peak,
+    /// creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn high_water(&self, name: &str, value: u64) {
+        self.with(|m| {
+            match m.entry(name.to_string()).or_insert(Metric::HighWater(value)) {
+                Metric::HighWater(v) => *v = (*v).max(value),
+                other => panic!("metric {name:?} is {other:?}, not a high-water mark"),
+            }
+        });
+    }
+
+    /// Reads one metric.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.with(|m| m.get(name).copied())
+    }
+
+    /// An owned, serializable copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { metrics: self.with(|m| m.clone()) }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], serializable for report
+/// files and round-trippable through JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Name → metric, sorted by name.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Reads one metric.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics.get(name).copied()
+    }
+
+    /// The flat `name → number` JSON object used for `reports/` dumps
+    /// (type information dropped; use serde on the snapshot itself for a
+    /// lossless round trip).
+    pub fn flat_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(
+            self.metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let v = match metric {
+                        Metric::Counter(c) => serde_json::to_value(c),
+                        Metric::HighWater(h) => serde_json::to_value(h),
+                        Metric::Gauge(g) => serde_json::to_value(g),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite_highwater_maxes() {
+        let r = MetricsRegistry::new();
+        r.counter_add("calls", 2);
+        r.counter_add("calls", 3);
+        r.gauge_set("temp", 1.5);
+        r.gauge_set("temp", 0.5);
+        r.high_water("peak", 10);
+        r.high_water("peak", 7);
+        r.high_water("peak", 12);
+        assert_eq!(r.get("calls"), Some(Metric::Counter(5)));
+        assert_eq!(r.get("temp"), Some(Metric::Gauge(0.5)));
+        assert_eq!(r.get("peak"), Some(Metric::HighWater(12)));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let r = MetricsRegistry::new();
+        let r2 = r.clone();
+        r.counter_add("n", 1);
+        r2.counter_add("n", 1);
+        assert_eq!(r.get("n"), Some(Metric::Counter(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("x", 1.0);
+        r.counter_add("x", 1);
+    }
+
+    #[test]
+    fn flat_json_is_name_to_number() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a.calls", 4);
+        r.gauge_set("b.frac", 0.25);
+        r.high_water("c.peak", 9);
+        let flat = r.snapshot().flat_json();
+        assert_eq!(flat["a.calls"], 4u64);
+        assert_eq!(flat["b.frac"], 0.25);
+        assert_eq!(flat["c.peak"], 9u64);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`pipeline`] — 1F1B / interleaved pipeline schedule simulator
 //!   (Table 5, Figure 9, Appendix C).
 //! * [`core`] — top-level planner/estimator API and the Table 3 model zoo.
+//! * [`trace`] — structured tracing, metrics registry, and Chrome-trace
+//!   export across all of the above.
 
 pub use mt_collectives as collectives;
 pub use mt_core as core;
@@ -28,3 +30,4 @@ pub use mt_model as model;
 pub use mt_perf as perf;
 pub use mt_pipeline as pipeline;
 pub use mt_tensor as tensor;
+pub use mt_trace as trace;

@@ -1,0 +1,165 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! median-of-samples wall clock; `--test` (as passed by
+//! `cargo bench -- --test`) runs each benchmark body once and reports
+//! nothing, which is what CI uses as a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state, passed to each registered bench function.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Builds a harness from process arguments. Unknown flags (e.g. the
+    /// `--bench` cargo appends) are ignored; `--test` switches to
+    /// run-once smoke mode.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, default_samples: 10 }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.default_samples);
+        run_one(&full, self.parent.test_mode, samples, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Median time per iteration, filled by `iter`.
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, storing the median per-iteration wall time across the
+    /// configured samples. In `--test` mode the body runs exactly once.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(body());
+            return;
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.elapsed = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, samples: usize, f: &mut F) {
+    let mut b = Bencher { test_mode, samples: samples.max(1), elapsed: None };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else {
+        match b.elapsed {
+            Some(d) => println!("bench {name:<48} median {d:>12.3?} ({samples} samples)"),
+            None => println!("bench {name:<48} (no iter() call)"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run_bodies() {
+        let mut calls = 0usize;
+        let mut c = Criterion { test_mode: true, default_samples: 3 };
+        c.bench_function("unit", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| {
+            b.iter(|| 2 * 2);
+        });
+        g.finish();
+        calls += 1;
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_records_median() {
+        let mut b = Bencher { test_mode: false, samples: 3, elapsed: None };
+        b.iter(|| std::hint::black_box(42));
+        assert!(b.elapsed.is_some());
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline vendored stand-in for `parking_lot`, wrapping `std::sync`
+//! primitives behind parking_lot's poison-free API (`lock()` returns the
+//! guard directly; a poisoned std lock is recovered, matching parking_lot's
+//! behavior of not propagating panics through locks).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion lock with parking_lot's infallible `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]. Wraps the std guard in an `Option` so [`Condvar`]
+/// can temporarily take ownership during a wait.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex { inner: sync::Mutex::new(t) }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside of condvar wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside of condvar wait")
+    }
+}
+
+/// A condition variable compatible with [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically releases the guard's lock and waits; re-acquires before
+    /// returning. Spurious wakeups are possible, as with std/parking_lot.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A reader-writer lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock.
+    pub const fn new(t: T) -> Self {
+        RwLock { inner: sync::RwLock::new(t) }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_coordinate_threads() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let worker = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (m, cv) = &*state;
+                let mut guard = m.lock();
+                *guard = 1;
+                cv.notify_all();
+                while *guard != 2 {
+                    cv.wait(&mut guard);
+                }
+            })
+        };
+        {
+            let (m, cv) = &*state;
+            let mut guard = m.lock();
+            while *guard != 1 {
+                cv.wait(&mut guard);
+            }
+            *guard = 2;
+            cv.notify_all();
+        }
+        worker.join().unwrap();
+    }
+}

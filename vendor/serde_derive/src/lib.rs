@@ -1,0 +1,451 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports the shapes this
+//! workspace actually derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (serde's externally-tagged
+//!   representation: `"Variant"` / `{"Variant": ...}`).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; the macro
+//! panics with a clear message if it meets them, rather than silently
+//! producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct NamedField {
+    name: String,
+    optional: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives `serde::Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("derive(Deserialize): generated code must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...`, detecting `Option<...>` fields so missing JSON
+/// keys can default to `None` the way serde's `Option` handling behaves.
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other}"),
+        }
+        // The field type: consume until a comma at angle-bracket depth 0.
+        let mut optional = false;
+        let mut first_type_token = true;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(id) if first_type_token && id.to_string() == "Option" => {
+                    optional = true;
+                }
+                _ => {}
+            }
+            first_type_token = false;
+            i += 1;
+        }
+        fields.push(NamedField { name, optional });
+    }
+    Fields::Named(fields)
+}
+
+/// Counts tuple-struct fields: top-level commas at angle depth 0, plus one
+/// for a trailing non-empty segment.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut segment_empty = true;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                segment_empty = true;
+                continue;
+            }
+            _ => {}
+        }
+        segment_empty = false;
+    }
+    if segment_empty {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the next variant (past the separating comma).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_named_fields(prefix: &str, fields: &[NamedField]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => serialize_named_fields("self.", fs),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs.iter().map(|f| named_field_init(name, f)).collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"{name}: expected object, found {{v:?}}\")))?;\n\
+                 let _ = &obj;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"{name}: expected array, found {{v:?}}\")))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(format!(\
+                         \"{name}: expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = v; Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `field: <lookup + from_value>` for one named field. Missing keys become
+/// `Null`, which deserializes to `None` for `Option` fields and errors (with
+/// the field name) for everything else.
+fn named_field_init(type_name: &str, f: &NamedField) -> String {
+    let n = &f.name;
+    if f.optional {
+        format!(
+            "{n}: ::serde::Deserialize::from_value(\
+                 v.get(\"{n}\").unwrap_or(&::serde::Value::Null))?"
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_value(v.get(\"{n}\").ok_or_else(|| \
+                 ::serde::DeError::new(\"{type_name}: missing field `{n}`\"))?)?"
+        )
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|var| {
+            let v = &var.name;
+            match &var.fields {
+                Fields::Unit => format!(
+                    "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                    let obj = serialize_named_fields("", fs);
+                    format!(
+                        "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), {obj})]),",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings; data-carrying variants as
+    // single-key objects (serde's externally-tagged encoding).
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|var| {
+            let v = &var.name;
+            match &var.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{v}: expected array payload\"))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return Err(::serde::DeError::new(\"{name}::{v}: wrong arity\"));\n\
+                             }}\n\
+                             return Ok({name}::{v}({items}));\n\
+                         }}",
+                        items = items.join(", ")
+                    ))
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            let field = NamedField { name: f.name.clone(), optional: f.optional };
+                            named_field_init(name, &field).replace("v.get(", "payload.get(")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => return Ok({name}::{v} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                     match s {{\n{units}\n_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some(pairs) = v.as_object() {{\n\
+                     if pairs.len() == 1 {{\n\
+                         let (tag, payload) = (&pairs[0].0, &pairs[0].1);\n\
+                         let _ = &payload;\n\
+                         match tag.as_str() {{\n{tagged}\n_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(format!(\"{name}: unrecognized value {{v:?}}\")))\n\
+             }}\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n")
+    )
+}

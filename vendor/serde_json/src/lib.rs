@@ -1,0 +1,346 @@
+//! Offline vendored stand-in for `serde_json`, backed by the vendored
+//! `serde`'s [`Value`] data model: render to JSON text, parse JSON text, and
+//! a reduced `json!` macro covering flat object/array literals.
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization / deserialization / IO error.
+#[derive(Debug)]
+pub enum Error {
+    /// JSON text could not be parsed or mapped onto the target type.
+    De(DeError),
+    /// Parse error with byte position.
+    Syntax {
+        /// Explanation of the failure.
+        msg: String,
+        /// Byte offset in the input.
+        pos: usize,
+    },
+    /// An underlying reader/writer failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::De(e) => write!(f, "{e}"),
+            Error::Syntax { msg, pos } => write!(f, "JSON syntax error at byte {pos}: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::De(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Lowers any serializable value into a [`Value`] (used by `json!`).
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+/// Raises a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(Error::De)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    Ok(serde::render(&t.to_value(), false))
+}
+
+/// Serializes to two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    Ok(serde::render(&t.to_value(), true))
+}
+
+/// Serializes compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    t: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string(t)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes pretty JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    t: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(t)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a typed value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value).map_err(Error::De)
+}
+
+/// Parses a typed value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::Syntax { msg: format!("invalid utf-8: {e}"), pos: 0 })?;
+    from_str(s)
+}
+
+/// Parses a typed value from a reader.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Builds a [`Value`] from a literal. Reduced grammar compared to the real
+/// `serde_json::json!`: object values and array elements must be plain
+/// expressions (hoist nested `{...}` literals into a `let` first).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($k:literal : $v:expr),+ $(,)? }) => {
+        $crate::Value::Object(vec![$(($k.to_string(), $crate::to_value(&$v))),+])
+    };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$v)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses JSON text into a [`Value`].
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::Syntax { msg: "trailing characters".into(), pos });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(msg: impl Into<String>, pos: usize) -> Error {
+    Error::Syntax { msg: msg.into(), pos }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(err("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(err("expected `:` after object key", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(err("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(err(format!("expected `{kw}`"), *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(err("expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| err("bad \\u escape", *pos))?,
+                            16,
+                        )
+                        .map_err(|_| err("bad \\u escape", *pos))?;
+                        // Surrogate pairs are not needed for this workspace's
+                        // ASCII-dominated payloads; map lone surrogates to
+                        // the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| err("invalid utf-8 in string", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err("bad number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(err("expected value", start));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| err(format!("invalid number `{text}`"), start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = json!({
+            "a": 1u64,
+            "b": -2i64,
+            "c": 1.5f64,
+            "d": "text with \"quotes\" and \\slashes",
+            "e": true,
+            "f": [1u64, 2u64, 3u64],
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integral_floats_reparse_as_numbers() {
+        let v = Value::Float(1234.0);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "1234.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.as_f64(), Some(1234.0));
+    }
+
+    #[test]
+    fn indexing_and_comparisons() {
+        let v: Value = from_str(r#"[{"ph": "X", "ts": 3}]"#).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1);
+        assert_eq!(v[0]["ph"], "X");
+        assert_eq!(v[0]["ts"].as_u64(), Some(3));
+        assert!(v[0]["missing"].is_null());
+    }
+}
