@@ -1,0 +1,282 @@
+//! Micro-benchmarks for the `mt-kernels` compute kernels, written to
+//! `reports/BENCH_kernels.json`.
+//!
+//! ```text
+//! kernel_bench [--smoke] [--threads N]
+//! ```
+//!
+//! For every kernel/shape the harness first checks that the threaded backend
+//! is **bit-identical** to serial (the crate's determinism contract — a
+//! benchmark of wrong results is worthless), then times both backends and
+//! records the best-of-N wall time and derived GFLOP/s. `--smoke` shrinks
+//! shapes and repetitions to a CI-friendly second while still exercising the
+//! whole schema; `--threads` overrides the threaded worker count (default:
+//! 4, the shape of the paper-style "one socket" comparison).
+//!
+//! Speedups shown are honest wall-clock for *this* machine: on a single-core
+//! container the threaded backend ties or loses to serial (scoped-thread
+//! overhead), and the JSON says so rather than extrapolating.
+
+use mt_kernels::{gemm, Backend};
+use std::time::Instant;
+
+const SCHEMA_VERSION: u64 = 1;
+
+struct Entry {
+    kernel: &'static str,
+    kind: String,
+    m: usize,
+    n: usize,
+    k: usize,
+    backend: &'static str,
+    threads: usize,
+    reps: usize,
+    best_ms: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut threads = 4usize;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        threads = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            });
+    }
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            a.as_str() != "--smoke"
+                && a.as_str() != "--threads"
+                && !(*i > 0 && args[i - 1] == "--threads")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument {bad}\nusage: kernel_bench [--smoke] [--threads N]");
+        std::process::exit(2);
+    }
+
+    let reps = if smoke { 3 } else { 7 };
+    let gemm_shapes: &[(usize, usize, usize)] = if smoke {
+        &[(64, 64, 64), (96, 48, 80)]
+    } else {
+        &[(128, 128, 128), (256, 256, 256), (512, 512, 512)]
+    };
+    let (rows, cols) = if smoke { (256, 64) } else { (4096, 512) };
+
+    let mut results: Vec<Entry> = Vec::new();
+    println!(
+        "kernel_bench: {} mode, threaded = {threads} workers, best of {reps}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    for &(m, n, k) in gemm_shapes {
+        for (ta, tb) in [(false, false), (false, true), (true, false)] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut serial_out = vec![0.0f32; m * n];
+            let mut threaded_out = vec![0.0f32; m * n];
+            gemm::gemm(Backend::Serial, ta, tb, m, n, k, &a, &b, &mut serial_out);
+            gemm::gemm(Backend::Threaded { threads }, ta, tb, m, n, k, &a, &b, &mut threaded_out);
+            assert!(
+                serial_out.iter().zip(&threaded_out).all(|(s, t)| s.to_bits() == t.to_bits()),
+                "determinism violation: gemm {} {m}x{n}x{k} threaded != serial",
+                gemm::kind_label(ta, tb)
+            );
+            let flops = 2.0 * m as f64 * n as f64 * k as f64;
+            for backend in [Backend::Serial, Backend::Threaded { threads }] {
+                let best_ms = best_of(reps, || {
+                    gemm::gemm(backend, ta, tb, m, n, k, &a, &b, &mut serial_out);
+                });
+                push(
+                    &mut results,
+                    Entry {
+                        kernel: "gemm",
+                        kind: gemm::kind_label(ta, tb).to_string(),
+                        m,
+                        n,
+                        k,
+                        backend: backend.label(),
+                        threads: backend.threads(),
+                        reps,
+                        best_ms,
+                        gflops: flops / (best_ms / 1e3) / 1e9,
+                    },
+                );
+            }
+        }
+    }
+
+    // Row-wise kernels: one representative shape each. Approximate flop
+    // counts per element (exp/tanh counted as one) keep the GFLOP/s column
+    // comparable across runs, not across kernels.
+    let x = fill(rows * cols, 3);
+    let gamma = fill(cols, 4);
+    let beta = fill(cols, 5);
+
+    {
+        let mut s = x.clone();
+        mt_kernels::softmax_rows(Backend::Serial, rows, cols, true, &mut s);
+        let mut t = x.clone();
+        mt_kernels::softmax_rows(Backend::Threaded { threads }, rows, cols, true, &mut t);
+        assert!(
+            s.iter().zip(&t).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "determinism violation: softmax threaded != serial"
+        );
+        let flops = 5.0 * (rows * cols) as f64;
+        for backend in [Backend::Serial, Backend::Threaded { threads }] {
+            let mut buf = x.clone();
+            let best_ms = best_of(reps, || {
+                buf.copy_from_slice(&x);
+                mt_kernels::softmax_rows(backend, rows, cols, true, &mut buf);
+            });
+            push(
+                &mut results,
+                Entry {
+                    kernel: "softmax",
+                    kind: "causal".to_string(),
+                    m: rows,
+                    n: cols,
+                    k: 0,
+                    backend: backend.label(),
+                    threads: backend.threads(),
+                    reps,
+                    best_ms,
+                    gflops: flops / (best_ms / 1e3) / 1e9,
+                },
+            );
+        }
+    }
+
+    {
+        let mut outs = [vec![0.0f32; rows * cols], vec![0.0f32; rows * cols]];
+        let mut mean = vec![0.0f32; rows];
+        let mut rstd = vec![0.0f32; rows];
+        mt_kernels::layer_norm(Backend::Serial, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[0], &mut mean, &mut rstd);
+        mt_kernels::layer_norm(Backend::Threaded { threads }, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[1], &mut mean, &mut rstd);
+        assert!(
+            outs[0].iter().zip(&outs[1]).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "determinism violation: layer_norm threaded != serial"
+        );
+        let flops = 8.0 * (rows * cols) as f64;
+        for backend in [Backend::Serial, Backend::Threaded { threads }] {
+            let best_ms = best_of(reps, || {
+                mt_kernels::layer_norm(backend, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[0], &mut mean, &mut rstd);
+            });
+            push(
+                &mut results,
+                Entry {
+                    kernel: "layer_norm",
+                    kind: "forward".to_string(),
+                    m: rows,
+                    n: cols,
+                    k: 0,
+                    backend: backend.label(),
+                    threads: backend.threads(),
+                    reps,
+                    best_ms,
+                    gflops: flops / (best_ms / 1e3) / 1e9,
+                },
+            );
+        }
+    }
+
+    {
+        let mut outs = [vec![0.0f32; rows * cols], vec![0.0f32; rows * cols]];
+        mt_kernels::gelu(Backend::Serial, &x, &mut outs[0]);
+        mt_kernels::gelu(Backend::Threaded { threads }, &x, &mut outs[1]);
+        assert!(
+            outs[0].iter().zip(&outs[1]).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "determinism violation: gelu threaded != serial"
+        );
+        let flops = 14.0 * (rows * cols) as f64;
+        for backend in [Backend::Serial, Backend::Threaded { threads }] {
+            let best_ms = best_of(reps, || {
+                mt_kernels::gelu(backend, &x, &mut outs[0]);
+            });
+            push(
+                &mut results,
+                Entry {
+                    kernel: "gelu",
+                    kind: "forward".to_string(),
+                    m: rows * cols,
+                    n: 1,
+                    k: 0,
+                    backend: backend.label(),
+                    threads: backend.threads(),
+                    reps,
+                    best_ms,
+                    gflops: flops / (best_ms / 1e3) / 1e9,
+                },
+            );
+        }
+    }
+
+    let result_values: Vec<serde_json::Value> = results
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "kernel": e.kernel,
+                "kind": e.kind,
+                "m": e.m,
+                "n": e.n,
+                "k": e.k,
+                "backend": e.backend,
+                "threads": e.threads,
+                "reps": e.reps,
+                "best_ms": e.best_ms,
+                "gflops": e.gflops,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "kernel_bench",
+        "smoke": smoke,
+        "threaded_workers": threads,
+        "available_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "results": result_values,
+    });
+    std::fs::create_dir_all("reports").expect("create reports/");
+    std::fs::write(
+        "reports/BENCH_kernels.json",
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write reports/BENCH_kernels.json");
+    println!("\nwrote reports/BENCH_kernels.json ({} entries)", results.len());
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn push(results: &mut Vec<Entry>, e: Entry) {
+    println!(
+        "  {:<11} {:<7} {:>4}x{:<4}x{:<4} {:<8} t={:<3} {:>9.3} ms {:>8.2} GFLOP/s",
+        e.kernel, e.kind, e.m, e.n, e.k, e.backend, e.threads, e.best_ms, e.gflops
+    );
+    results.push(e);
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}

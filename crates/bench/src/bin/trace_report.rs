@@ -93,7 +93,7 @@ fn main() {
         let mode = ExecMode::TensorSequenceParallel(&comm);
         let mut ledger = ActivationLedger::new();
         for _ in 0..STEPS {
-            ledger = trainer.step_with_ledger(&tokens, &targets, &mode).1;
+            ledger = trainer.step_with_ledger(&tokens, &targets, mode).1;
         }
         (comm.stats(), ledger)
     });

@@ -1,0 +1,140 @@
+//! The [`Backend`] selector and the process-wide default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads; keeps a typo'd `MT_KERNEL_THREADS` from
+/// spawning an absurd number of scoped workers.
+const MAX_THREADS: usize = 256;
+
+/// How kernels execute.
+///
+/// Both variants run the *same* tiled kernel code over the same fixed work
+/// units, so they produce bit-identical results; `Threaded` merely fans the
+/// units out over scoped worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// All work units run on the calling thread, in unit order. The
+    /// reference backend.
+    Serial,
+    /// Work units are dealt round-robin across `threads` scoped workers
+    /// (the calling thread is worker 0).
+    Threaded {
+        /// Worker count; clamped to `1..=256`. `Threaded { threads: 1 }`
+        /// executes like `Serial`.
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// The worker count this backend runs with (1 for [`Backend::Serial`]).
+    pub fn threads(&self) -> usize {
+        match *self {
+            Backend::Serial => 1,
+            Backend::Threaded { threads } => threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// Short label for reports and trace args (`"serial"` / `"threaded"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Threaded { .. } => "threaded",
+        }
+    }
+
+    /// Builds a backend from the environment:
+    ///
+    /// * `MT_KERNEL_BACKEND` — `serial` (default) or `threaded`;
+    /// * `MT_KERNEL_THREADS` — worker count for `threaded`; defaults to
+    ///   [`std::thread::available_parallelism`].
+    ///
+    /// Unrecognized values fall back to `Serial`, so a typo degrades to the
+    /// reference backend rather than failing.
+    pub fn from_env() -> Backend {
+        let threaded = matches!(
+            std::env::var("MT_KERNEL_BACKEND").as_deref(),
+            Ok("threaded") | Ok("THREADED") | Ok("Threaded")
+        );
+        if !threaded {
+            return Backend::Serial;
+        }
+        let threads = std::env::var("MT_KERNEL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Backend::Threaded { threads: threads.clamp(1, MAX_THREADS) }
+    }
+}
+
+/// Process-wide default backend, encoded in one atomic:
+/// `0` = not yet initialized, `1` = `Serial`, `t + 1` = `Threaded { t }`.
+static DEFAULT: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(b: Backend) -> usize {
+    match b {
+        Backend::Serial => 1,
+        Backend::Threaded { threads } => threads.clamp(1, MAX_THREADS) + 1,
+    }
+}
+
+fn decode(v: usize) -> Backend {
+    match v {
+        0 | 1 => Backend::Serial,
+        t => Backend::Threaded { threads: t - 1 },
+    }
+}
+
+/// The backend kernels use when none is passed explicitly
+/// (e.g. `mt-tensor`'s `Gemm::apply`).
+///
+/// First call resolves [`Backend::from_env`] and caches it; later calls are
+/// a single atomic load. [`set_default_backend`] overrides it at any time.
+pub fn default_backend() -> Backend {
+    let v = DEFAULT.load(Ordering::Relaxed);
+    if v != 0 {
+        return decode(v);
+    }
+    let resolved = Backend::from_env();
+    // Racing first calls may both read the env; they store the same value.
+    DEFAULT.store(encode(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the process-wide default backend (used by benches and tests;
+/// normal configuration goes through the environment variables).
+pub fn set_default_backend(backend: Backend) {
+    DEFAULT.store(encode(backend), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_are_clamped() {
+        assert_eq!(Backend::Serial.threads(), 1);
+        assert_eq!(Backend::Threaded { threads: 0 }.threads(), 1);
+        assert_eq!(Backend::Threaded { threads: 4 }.threads(), 4);
+        assert_eq!(Backend::Threaded { threads: 100_000 }.threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for b in [Backend::Serial, Backend::Threaded { threads: 1 }, Backend::Threaded { threads: 7 }] {
+            let rt = decode(encode(b));
+            assert_eq!(rt.threads(), b.threads());
+        }
+        // Threaded { 1 } and Serial intentionally decode to the same work
+        // distribution (single worker).
+        assert_eq!(decode(encode(Backend::Threaded { threads: 1 })), Backend::Threaded { threads: 1 });
+    }
+
+    #[test]
+    fn set_default_overrides() {
+        set_default_backend(Backend::Threaded { threads: 3 });
+        assert_eq!(default_backend(), Backend::Threaded { threads: 3 });
+        set_default_backend(Backend::Serial);
+        assert_eq!(default_backend(), Backend::Serial);
+    }
+}

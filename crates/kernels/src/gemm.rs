@@ -1,0 +1,284 @@
+//! The unified GEMM kernel: `C = op(A) · op(B)` with independent transpose
+//! flags, cache-blocked and threaded over output row bands.
+//!
+//! One entry point ([`gemm`]) replaces the former `matmul` / `matmul_nt` /
+//! `matmul_tn` triplication: the `(transpose_a, transpose_b)` pair selects
+//! the operand layout and the kernel dispatches internally. The output is
+//! always row-major `[m, n]`:
+//!
+//! | flags      | A layout | B layout | computes  |
+//! |------------|----------|----------|-----------|
+//! | `(f, f)`   | `[m, k]` | `[k, n]` | `A · B`   |
+//! | `(f, t)`   | `[m, k]` | `[n, k]` | `A · Bᵀ`  |
+//! | `(t, f)`   | `[k, m]` | `[k, n]` | `Aᵀ · B`  |
+//! | `(t, t)`   | `[k, m]` | `[n, k]` | `Aᵀ · Bᵀ` |
+//!
+//! ## Blocking and determinism
+//!
+//! `C` is split into row bands of [`TILE_M`] rows (the last band may be
+//! ragged); each band is one work unit, computed entirely by one worker.
+//! Inside a band the contraction runs over `k` in [`BLOCK_K`]-sized blocks,
+//! ascending, accumulating into the band — so every `C[i][j]` is the sum
+//! `Σₖ a·b` taken in strictly ascending `k` with a single accumulator chain.
+//! Both properties are independent of the thread count, which is what makes
+//! `Threaded` bit-identical to `Serial` (see the crate docs).
+
+use crate::backend::Backend;
+use crate::pool;
+use mt_trace::ArgValue;
+
+/// Rows of `C` per work unit (one band = one unit).
+pub const TILE_M: usize = 32;
+
+/// Contraction-block length: `B` (or `A` for the `TN` case) is streamed in
+/// `BLOCK_K`-row slabs so a slab stays cache-resident while the band's rows
+/// reuse it.
+pub const BLOCK_K: usize = 64;
+
+/// `C = op(A) · op(B)` into `out` (`[m, n]`, row-major, fully overwritten).
+///
+/// `m`/`n` are the output dimensions and `k` the contraction length; the
+/// operand layouts implied by the flags are listed in the module docs.
+///
+/// The requested thread count is honored exactly (capped only by the band
+/// count); deciding whether a problem is big enough to be *worth* threads is
+/// the caller's policy — `mt-tensor`'s `Gemm::apply` drops tiny problems to
+/// one thread, and results are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its implied layout.
+#[allow(clippy::too_many_arguments)] // flat slice ABI; mt-tensor's Gemm descriptor is the ergonomic entry
+pub fn gemm(
+    backend: Backend,
+    transpose_a: bool,
+    transpose_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length vs m*k");
+    assert_eq!(b.len(), k * n, "gemm: B length vs k*n");
+    assert_eq!(out.len(), m * n, "gemm: C length vs m*n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let bands = m.div_ceil(TILE_M);
+    let threads = backend.threads();
+    let kind = kind_label(transpose_a, transpose_b);
+    let tracer = mt_trace::current();
+    let _span = tracer.span_args("kernel_gemm", || {
+        vec![
+            ("kind", ArgValue::from(kind)),
+            ("m", ArgValue::from(m)),
+            ("n", ArgValue::from(n)),
+            ("k", ArgValue::from(k)),
+            ("tiles", ArgValue::from(bands)),
+            ("threads", ArgValue::from(threads)),
+        ]
+    });
+    let chunks: Vec<&mut [f32]> = out.chunks_mut(TILE_M * n).collect();
+    pool::run_indexed(threads, chunks, |band, c_band| {
+        let row0 = band * TILE_M;
+        let rows = c_band.len() / n;
+        c_band.fill(0.0);
+        match (transpose_a, transpose_b) {
+            (false, false) => band_nn(row0, rows, n, k, a, b, c_band),
+            (false, true) => band_nt(row0, rows, n, k, a, b, c_band),
+            (true, false) => band_tn(row0, rows, m, n, k, a, b, c_band),
+            (true, true) => band_tt(row0, rows, m, n, k, a, b, c_band),
+        }
+    });
+}
+
+/// Trace/report label for a transpose-flag pair (`"nn"`, `"nt"`, `"tn"`,
+/// `"tt"`).
+pub fn kind_label(transpose_a: bool, transpose_b: bool) -> &'static str {
+    match (transpose_a, transpose_b) {
+        (false, false) => "nn",
+        (false, true) => "nt",
+        (true, false) => "tn",
+        (true, true) => "tt",
+    }
+}
+
+/// `C[i][j] += A[i][kk] · B[kk][j]` — the k-blocked i-k-j order streams a
+/// `BLOCK_K × n` slab of `B` across the band's rows.
+fn band_nn(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..rows {
+            let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let av = arow[kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C[i][j] = Σ A[i][kk] · B[j][kk]` — row-row dot products; both operands
+/// are streamed along their contiguous axis.
+fn band_nt(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// `C[i][j] += A[kk][i] · B[kk][j]` — for each `kk` one row of `B` is
+/// broadcast-accumulated into every band row, k-blocked like `nn`.
+#[allow(clippy::too_many_arguments)]
+fn band_tn(row0: usize, rows: usize, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for kk in k0..k1 {
+            let acol = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for i in 0..rows {
+                let av = acol[row0 + i];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C[i][j] = Σ A[kk][i] · B[j][kk]` — the doubly-strided case; kept for
+/// descriptor completeness (no call site in the model uses it on a hot
+/// path).
+#[allow(clippy::too_many_arguments)]
+fn band_tt(row0: usize, rows: usize, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..rows {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (kk, &bv) in brow.iter().enumerate() {
+                acc += a[kk * m + row0 + i] * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference with the same ascending-k per-element order.
+    fn reference(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    let av = if ta { a[kk * m + i] } else { a[i * k + kk] };
+                    let bv = if tb { b[j * k + kk] } else { b[kk * n + j] };
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn known_values_nn() {
+        let a = [1., 2., 3., 4., 5., 6.];
+        let b = [7., 8., 9., 10., 11., 12.];
+        let mut c = [0.0f32; 4];
+        gemm(Backend::Serial, false, false, 2, 2, 3, &a, &b, &mut c);
+        assert_eq!(c, [58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn all_kinds_match_reference_on_ragged_shapes() {
+        // m = 33 and 70 force ragged final bands (TILE_M = 32); k = 65
+        // forces a ragged final k-block (BLOCK_K = 64).
+        for &(m, n, k) in &[(1, 1, 1), (33, 5, 65), (70, 7, 3), (32, 64, 64)] {
+            let a_len = m * k;
+            let b_len = k * n;
+            for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
+                let a = filled(a_len, 1);
+                let b = filled(b_len, 2);
+                let want = reference(ta, tb, m, n, k, &a, &b);
+                let mut got = vec![0.0f32; m * n];
+                gemm(Backend::Serial, ta, tb, m, n, k, &a, &b, &mut got);
+                let max_diff = want
+                    .iter()
+                    .zip(&got)
+                    .map(|(w, g)| (w - g).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    max_diff <= 1e-4,
+                    "{} m={m} n={n} k={k}: max diff {max_diff}",
+                    kind_label(ta, tb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_is_bit_identical_to_serial() {
+        let (m, n, k) = (70, 19, 65);
+        let a = filled(m * k, 3);
+        let b = filled(k * n, 4);
+        for (ta, tb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut serial = vec![0.0f32; m * n];
+            gemm(Backend::Serial, ta, tb, m, n, k, &a, &b, &mut serial);
+            for threads in 1..=8 {
+                let mut mt = vec![0.0f32; m * n];
+                gemm(Backend::Threaded { threads }, ta, tb, m, n, k, &a, &b, &mut mt);
+                assert!(
+                    serial.iter().zip(&mt).all(|(s, t)| s.to_bits() == t.to_bits()),
+                    "{} threads={threads}: not bit-identical",
+                    kind_label(ta, tb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_overwritten_not_accumulated() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [1.0f32, 2.0, 3.0, 4.0];
+        let mut c = [9.0f32; 4]; // stale garbage must be cleared
+        gemm(Backend::Serial, false, false, 2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "A length")]
+    fn rejects_bad_lengths() {
+        let mut c = [0.0f32; 4];
+        gemm(Backend::Serial, false, false, 2, 2, 3, &[0.0; 5], &[0.0; 6], &mut c);
+    }
+}

@@ -1,0 +1,99 @@
+//! A minimal scoped worker pool: deal owned work items round-robin across
+//! scoped threads.
+//!
+//! This is the workspace's vendored stand-in for a thread-pool registry
+//! dependency (rayon et al.), in the same spirit as the `vendor/` crates:
+//! the subset of behavior the kernels need, built on
+//! [`std::thread::scope`] so borrowed data (input slices, disjoint
+//! `&mut` output chunks) flows into workers without `'static` bounds or
+//! `unsafe`.
+//!
+//! Determinism: item `i` is always processed by worker `i % threads`, and a
+//! single-worker run processes items in ascending order on the calling
+//! thread. Since every item owns a *disjoint* piece of the output, the
+//! result is independent of scheduling — the assignment only decides which
+//! worker does the arithmetic, never the order of any floating-point
+//! reduction (each reduction lives entirely inside one item, or is combined
+//! by the caller in item order afterwards).
+
+/// Runs `f(index, item)` for every item, fanned out over `threads` scoped
+/// workers (the calling thread acts as worker 0).
+///
+/// With `threads <= 1` — or a single item — everything runs inline on the
+/// calling thread with no spawning at all, which is the serial reference
+/// path.
+pub fn run_indexed<T, F>(threads: usize, items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    // Deal items round-robin so worker w owns items w, w+threads, … .
+    let mut per_worker: Vec<Vec<(usize, T)>> =
+        (0..threads).map(|w| Vec::with_capacity(n / threads + usize::from(w < n % threads))).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        per_worker[i % threads].push((i, item));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut batches = per_worker.into_iter();
+        let mine = batches.next().expect("threads >= 1");
+        for batch in batches {
+            scope.spawn(move || {
+                for (i, item) in batch {
+                    f(i, item);
+                }
+            });
+        }
+        for (i, item) in mine {
+            f(i, item);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut out = vec![0u32; 13];
+            let chunks: Vec<&mut u32> = out.iter_mut().collect();
+            run_indexed(threads, chunks, |i, slot| *slot = i as u32 + 1);
+            let expect: Vec<u32> = (1..=13).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        let ran = AtomicUsize::new(0);
+        run_indexed(4, Vec::<usize>::new(), |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn disjoint_mut_chunks_are_written_in_parallel() {
+        let mut data = vec![0.0f32; 100];
+        let chunks: Vec<&mut [f32]> = data.chunks_mut(7).collect();
+        run_indexed(5, chunks, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, (j / 7) as f32);
+        }
+    }
+}

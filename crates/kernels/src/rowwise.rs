@@ -1,0 +1,428 @@
+//! Row-parallel kernels: softmax, LayerNorm, GeLU (forward + backward).
+//!
+//! Work units are fixed-size row blocks ([`ROW_BLOCK`] rows) or element
+//! chunks ([`CHUNK`] elements, GeLU only) — never a function of the thread
+//! count — and each unit is computed by exactly one worker. The only
+//! cross-unit reduction in this module (LayerNorm's `dγ`/`dβ`) is written to
+//! per-block partial buffers and combined on the calling thread in ascending
+//! block order, so every backend/thread-count combination produces
+//! bit-identical results (see the crate docs for the full contract).
+
+use crate::backend::Backend;
+use crate::pool;
+use mt_trace::ArgValue;
+
+/// Rows per work unit for the row-parallel kernels.
+pub const ROW_BLOCK: usize = 64;
+
+/// Elements per work unit for the element-parallel GeLU kernels.
+pub const CHUNK: usize = 16 * 1024;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+fn span(
+    tracer: &mt_trace::Tracer,
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+    units: usize,
+    threads: usize,
+) -> mt_trace::SpanGuard {
+    tracer.span_args(name, move || {
+        vec![
+            ("rows", ArgValue::from(rows)),
+            ("cols", ArgValue::from(cols)),
+            ("tiles", ArgValue::from(units)),
+            ("threads", ArgValue::from(threads)),
+        ]
+    })
+}
+
+/// Numerically-stable row softmax over `x` (`[rows, cols]`, in place), with
+/// an optional causal mask.
+///
+/// Causal masking follows the convention of the tensor layer above: row `r`
+/// attends to columns `0 ..= r % cols` (stacked square score matrices restart
+/// the mask every `cols` rows), and masked entries become exactly `0.0`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols`.
+pub fn softmax_rows(backend: Backend, rows: usize, cols: usize, causal: bool, x: &mut [f32]) {
+    assert_eq!(x.len(), rows * cols, "softmax_rows: length vs rows*cols");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let units = rows.div_ceil(ROW_BLOCK);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_softmax", rows, cols, units, threads);
+    let chunks: Vec<&mut [f32]> = x.chunks_mut(ROW_BLOCK * cols).collect();
+    pool::run_indexed(threads, chunks, |block, chunk| {
+        let row0 = block * ROW_BLOCK;
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            let limit = if causal { ((row0 + i) % cols) + 1 } else { cols };
+            let max = row[..limit].iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0;
+            for (j, v) in row.iter_mut().enumerate() {
+                if j < limit {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                } else {
+                    *v = 0.0;
+                }
+            }
+            for v in row[..limit].iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
+}
+
+/// Backward of [`softmax_rows`]: `dx = y ⊙ (dy − ⟨dy, y⟩_row)` into `out`.
+///
+/// Masked positions need no special handling: they have `y = 0`.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `rows * cols`.
+pub fn softmax_rows_backward(
+    backend: Backend,
+    rows: usize,
+    cols: usize,
+    y: &[f32],
+    dy: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(y.len(), rows * cols, "softmax_rows_backward: y length");
+    assert_eq!(dy.len(), rows * cols, "softmax_rows_backward: dy length");
+    assert_eq!(out.len(), rows * cols, "softmax_rows_backward: out length");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let units = rows.div_ceil(ROW_BLOCK);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_softmax_backward", rows, cols, units, threads);
+    let chunks: Vec<&mut [f32]> = out.chunks_mut(ROW_BLOCK * cols).collect();
+    pool::run_indexed(threads, chunks, |block, chunk| {
+        let base = block * ROW_BLOCK * cols;
+        for (i, orow) in chunk.chunks_mut(cols).enumerate() {
+            let yrow = &y[base + i * cols..base + (i + 1) * cols];
+            let drow = &dy[base + i * cols..base + (i + 1) * cols];
+            let dot: f32 = yrow.iter().zip(drow).map(|(a, b)| a * b).sum();
+            for ((o, &yv), &dv) in orow.iter_mut().zip(yrow).zip(drow) {
+                *o = yv * (dv - dot);
+            }
+        }
+    });
+}
+
+/// LayerNorm forward over the trailing axis:
+/// `out = γ ⊙ (x − μ)/σ + β`, also filling per-row `mean` and `rstd`
+/// (`1/√(var + eps)`) for the backward pass.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `rows`/`cols`.
+#[allow(clippy::too_many_arguments)] // flat slice API; the Tensor wrapper is the ergonomic entry
+pub fn layer_norm(
+    backend: Backend,
+    rows: usize,
+    cols: usize,
+    eps: f32,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    mean: &mut [f32],
+    rstd: &mut [f32],
+) {
+    assert_eq!(x.len(), rows * cols, "layer_norm: x length");
+    assert_eq!(gamma.len(), cols, "layer_norm: gamma length");
+    assert_eq!(beta.len(), cols, "layer_norm: beta length");
+    assert_eq!(out.len(), rows * cols, "layer_norm: out length");
+    assert_eq!(mean.len(), rows, "layer_norm: mean length");
+    assert_eq!(rstd.len(), rows, "layer_norm: rstd length");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let units = rows.div_ceil(ROW_BLOCK);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_layer_norm", rows, cols, units, threads);
+    let items: Vec<(&mut [f32], &mut [f32], &mut [f32])> = out
+        .chunks_mut(ROW_BLOCK * cols)
+        .zip(mean.chunks_mut(ROW_BLOCK))
+        .zip(rstd.chunks_mut(ROW_BLOCK))
+        .map(|((o, m), r)| (o, m, r))
+        .collect();
+    pool::run_indexed(threads, items, |block, (ochunk, mchunk, rchunk)| {
+        let base = block * ROW_BLOCK * cols;
+        for (i, orow) in ochunk.chunks_mut(cols).enumerate() {
+            let xrow = &x[base + i * cols..base + (i + 1) * cols];
+            let mu: f32 = xrow.iter().sum::<f32>() / cols as f32;
+            let var: f32 = xrow.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let rs = 1.0 / (var + eps).sqrt();
+            mchunk[i] = mu;
+            rchunk[i] = rs;
+            for ((o, &xv), (&g, &b)) in
+                orow.iter_mut().zip(xrow).zip(gamma.iter().zip(beta))
+            {
+                *o = g * (xv - mu) * rs + b;
+            }
+        }
+    });
+}
+
+/// LayerNorm backward: fills `dx` and **overwrites** `dgamma`/`dbeta` with
+/// the row-summed parameter gradients.
+///
+/// `dγ`/`dβ` are reduced across rows via per-block partials combined in
+/// ascending block order on the calling thread — the one cross-unit
+/// reduction in this crate, ordered so the result is independent of the
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `rows`/`cols`.
+#[allow(clippy::too_many_arguments)] // flat slice API; the Tensor wrapper is the ergonomic entry
+pub fn layer_norm_backward(
+    backend: Backend,
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    gamma: &[f32],
+    mean: &[f32],
+    rstd: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    assert_eq!(x.len(), rows * cols, "layer_norm_backward: x length");
+    assert_eq!(gamma.len(), cols, "layer_norm_backward: gamma length");
+    assert_eq!(mean.len(), rows, "layer_norm_backward: mean length");
+    assert_eq!(rstd.len(), rows, "layer_norm_backward: rstd length");
+    assert_eq!(dy.len(), rows * cols, "layer_norm_backward: dy length");
+    assert_eq!(dx.len(), rows * cols, "layer_norm_backward: dx length");
+    assert_eq!(dgamma.len(), cols, "layer_norm_backward: dgamma length");
+    assert_eq!(dbeta.len(), cols, "layer_norm_backward: dbeta length");
+    dgamma.fill(0.0);
+    dbeta.fill(0.0);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let units = rows.div_ceil(ROW_BLOCK);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_layer_norm_backward", rows, cols, units, threads);
+    let mut partial_g = vec![0.0f32; units * cols];
+    let mut partial_b = vec![0.0f32; units * cols];
+    let items: Vec<(&mut [f32], &mut [f32], &mut [f32])> = dx
+        .chunks_mut(ROW_BLOCK * cols)
+        .zip(partial_g.chunks_mut(cols))
+        .zip(partial_b.chunks_mut(cols))
+        .map(|((d, g), b)| (d, g, b))
+        .collect();
+    pool::run_indexed(threads, items, |block, (dchunk, pg, pb)| {
+        let row0 = block * ROW_BLOCK;
+        for (i, dxrow) in dchunk.chunks_mut(cols).enumerate() {
+            let r = row0 + i;
+            let xrow = &x[r * cols..(r + 1) * cols];
+            let drow = &dy[r * cols..(r + 1) * cols];
+            let (mu, rs) = (mean[r], rstd[r]);
+            // xhat_j = (x_j - mu) * rs
+            // dx = rs * (dyg - mean(dyg) - xhat * mean(dyg * xhat))
+            //   where dyg_j = dy_j * gamma_j
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xhat = 0.0f32;
+            for j in 0..cols {
+                let xhat = (xrow[j] - mu) * rs;
+                let dyg = drow[j] * gamma[j];
+                sum_dyg += dyg;
+                sum_dyg_xhat += dyg * xhat;
+                pg[j] += drow[j] * xhat;
+                pb[j] += drow[j];
+            }
+            let inv_n = 1.0 / cols as f32;
+            for j in 0..cols {
+                let xhat = (xrow[j] - mu) * rs;
+                let dyg = drow[j] * gamma[j];
+                dxrow[j] = rs * (dyg - inv_n * sum_dyg - xhat * inv_n * sum_dyg_xhat);
+            }
+        }
+    });
+    // Cross-block reduction in ascending block order, on this thread.
+    for block in 0..units {
+        let pg = &partial_g[block * cols..(block + 1) * cols];
+        let pb = &partial_b[block * cols..(block + 1) * cols];
+        for j in 0..cols {
+            dgamma[j] += pg[j];
+            dbeta[j] += pb[j];
+        }
+    }
+}
+
+/// GeLU forward (tanh approximation): `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn gelu(backend: Backend, x: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), x.len(), "gelu: out length");
+    let units = x.len().div_ceil(CHUNK).max(1);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_gelu", x.len(), 1, units, threads);
+    let chunks: Vec<&mut [f32]> = out.chunks_mut(CHUNK).collect();
+    pool::run_indexed(threads, chunks, |ci, chunk| {
+        let base = ci * CHUNK;
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let v = x[base + i];
+            *o = 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_C * v * v * v)).tanh());
+        }
+    });
+}
+
+/// Backward of [`gelu`]: `dx = dy ⊙ gelu'(x)` into `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn gelu_backward(backend: Backend, x: &[f32], dy: &[f32], out: &mut [f32]) {
+    assert_eq!(dy.len(), x.len(), "gelu_backward: dy length");
+    assert_eq!(out.len(), x.len(), "gelu_backward: out length");
+    let units = x.len().div_ceil(CHUNK).max(1);
+    let threads = backend.threads();
+    let tracer = mt_trace::current();
+    let _span = span(&tracer, "kernel_gelu_backward", x.len(), 1, units, threads);
+    let chunks: Vec<&mut [f32]> = out.chunks_mut(CHUNK).collect();
+    pool::run_indexed(threads, chunks, |ci, chunk| {
+        let base = ci * CHUNK;
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let xv = x[base + i];
+            let dv = dy[base + i];
+            let inner = SQRT_2_OVER_PI * (xv + GELU_C * xv * xv * xv);
+            let t = inner.tanh();
+            let sech2 = 1.0 - t * t;
+            let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * xv * xv);
+            *o = dv * (0.5 * (1.0 + t) + 0.5 * xv * sech2 * dinner);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_mask_holds() {
+        let (rows, cols) = (130, 5); // 3 blocks, ragged tail
+        let mut x = filled(rows * cols, 1);
+        softmax_rows(Backend::Threaded { threads: 3 }, rows, cols, true, &mut x);
+        for r in 0..rows {
+            let row = &x[r * cols..(r + 1) * cols];
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            for (c, &v) in row.iter().enumerate() {
+                if c > r % cols {
+                    assert_eq!(v, 0.0, "unmasked future position ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_serial_bitwise_across_kernels() {
+        let (rows, cols) = (150, 17);
+        let x = filled(rows * cols, 2);
+        let dy = filled(rows * cols, 3);
+        let gamma = filled(cols, 4);
+        let beta = filled(cols, 5);
+        for threads in [2, 5, 8] {
+            let mt = Backend::Threaded { threads };
+
+            let mut s = x.clone();
+            softmax_rows(Backend::Serial, rows, cols, false, &mut s);
+            let mut t = x.clone();
+            softmax_rows(mt, rows, cols, false, &mut t);
+            assert_eq!(bits(&s), bits(&t), "softmax threads={threads}");
+
+            let (mut sb, mut tb) = (vec![0.0; rows * cols], vec![0.0; rows * cols]);
+            softmax_rows_backward(Backend::Serial, rows, cols, &s, &dy, &mut sb);
+            softmax_rows_backward(mt, rows, cols, &s, &dy, &mut tb);
+            assert_eq!(bits(&sb), bits(&tb), "softmax_backward threads={threads}");
+
+            let mut out = [vec![0.0; rows * cols], vec![0.0; rows * cols]];
+            let mut mean = [vec![0.0; rows], vec![0.0; rows]];
+            let mut rstd = [vec![0.0; rows], vec![0.0; rows]];
+            for (i, b) in [Backend::Serial, mt].into_iter().enumerate() {
+                layer_norm(b, rows, cols, 1e-5, &x, &gamma, &beta, &mut out[i], &mut mean[i], &mut rstd[i]);
+            }
+            assert_eq!(bits(&out[0]), bits(&out[1]), "layer_norm threads={threads}");
+
+            let mut dx = [vec![0.0; rows * cols], vec![0.0; rows * cols]];
+            let mut dg = [vec![0.0; cols], vec![0.0; cols]];
+            let mut db = [vec![0.0; cols], vec![0.0; cols]];
+            for (i, b) in [Backend::Serial, mt].into_iter().enumerate() {
+                layer_norm_backward(
+                    b, rows, cols, &x, &gamma, &mean[0], &rstd[0], &dy, &mut dx[i], &mut dg[i], &mut db[i],
+                );
+            }
+            assert_eq!(bits(&dx[0]), bits(&dx[1]), "ln_backward dx threads={threads}");
+            assert_eq!(bits(&dg[0]), bits(&dg[1]), "ln_backward dgamma threads={threads}");
+            assert_eq!(bits(&db[0]), bits(&db[1]), "ln_backward dbeta threads={threads}");
+
+            let (mut gs, mut gt) = (vec![0.0; rows * cols], vec![0.0; rows * cols]);
+            gelu(Backend::Serial, &x, &mut gs);
+            gelu(mt, &x, &mut gt);
+            assert_eq!(bits(&gs), bits(&gt), "gelu threads={threads}");
+
+            let (mut gbs, mut gbt) = (vec![0.0; rows * cols], vec![0.0; rows * cols]);
+            gelu_backward(Backend::Serial, &x, &dy, &mut gbs);
+            gelu_backward(mt, &x, &dy, &mut gbt);
+            assert_eq!(bits(&gbs), bits(&gbt), "gelu_backward threads={threads}");
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn layer_norm_normalizes_with_unit_affine() {
+        let (rows, cols) = (70, 32); // two blocks
+        let x = filled(rows * cols, 7);
+        let gamma = vec![1.0; cols];
+        let beta = vec![0.0; cols];
+        let (mut out, mut mean, mut rstd) = (vec![0.0; rows * cols], vec![0.0; rows], vec![0.0; rows]);
+        layer_norm(Backend::Threaded { threads: 4 }, rows, cols, 1e-5, &x, &gamma, &beta, &mut out, &mut mean, &mut rstd);
+        for r in 0..rows {
+            let row = &out[r * cols..(r + 1) * cols];
+            let mu: f32 = row.iter().sum::<f32>() / cols as f32;
+            assert!(mu.abs() < 1e-4, "row {r} mean {mu}");
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let x = [-1.0f32, 0.0, 1.0];
+        let mut y = [0.0f32; 3];
+        gelu(Backend::Serial, &x, &mut y);
+        assert!(y[1].abs() < 1e-7);
+        assert!((y[2] - 0.841_192).abs() < 1e-3);
+        assert!((y[0] + 0.158_808).abs() < 1e-3);
+    }
+}

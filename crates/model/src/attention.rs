@@ -143,11 +143,11 @@ pub fn attention_forward(
             let qm = extract_head(p, q, batch, lh);
             let km = extract_head(p, k, batch, lh);
             let vm = extract_head(p, v, batch, lh);
-            let scores = ops::matmul_nt(&qm, &km).scale(p.scale());
+            let scores = ops::Gemm::NT.apply(&qm, &km).scale(p.scale());
             let pr = ops::softmax_rows(&scores, p.causal);
             let mask = p.softmax_mask(rng, batch, lh);
             let pd = ops::dropout(&pr, &mask, p.dropout_p);
-            let ctx_head = ops::matmul(&pd, &vm);
+            let ctx_head = ops::Gemm::NN.apply(&pd, &vm);
             scatter_head(p, &mut ctx, &ctx_head, batch, lh);
             probs.push(pr);
             dropped.push(pd);
@@ -168,7 +168,7 @@ pub fn attention_recompute(p: &AttnParams, rng: &CounterRng, q: &Tensor, k: &Ten
         for lh in 0..p.local_heads {
             let qm = extract_head(p, q, batch, lh);
             let km = extract_head(p, k, batch, lh);
-            let scores = ops::matmul_nt(&qm, &km).scale(p.scale());
+            let scores = ops::Gemm::NT.apply(&qm, &km).scale(p.scale());
             let pr = ops::softmax_rows(&scores, p.causal);
             let mask = p.softmax_mask(rng, batch, lh);
             let pd = ops::dropout(&pr, &mask, p.dropout_p);
@@ -210,16 +210,16 @@ pub fn attention_backward(
             let pr = &saved.probs[idx];
             let pd = &saved.probs_dropped[idx];
             // ctx = pd · V
-            let dpd = ops::matmul_nt(&dctx_head, &vm);
-            let dvm = ops::matmul_tn(pd, &dctx_head);
+            let dpd = ops::Gemm::NT.apply(&dctx_head, &vm);
+            let dvm = ops::Gemm::TN.apply(pd, &dctx_head);
             // dropout
             let mask = p.softmax_mask(rng, batch, lh);
             let dpr = ops::dropout_backward(&dpd, &mask, p.dropout_p);
             // softmax
             let dscores = ops::softmax_rows_backward(pr, &dpr);
             // scores = scale · q · kᵀ
-            let dqm = ops::matmul(&dscores, &km).scale(p.scale());
-            let dkm = ops::matmul_tn(&dscores, &qm).scale(p.scale());
+            let dqm = ops::Gemm::NN.apply(&dscores, &km).scale(p.scale());
+            let dkm = ops::Gemm::TN.apply(&dscores, &qm).scale(p.scale());
             scatter_head(p, &mut dq, &dqm, batch, lh);
             scatter_head(p, &mut dk, &dkm, batch, lh);
             scatter_head(p, &mut dv, &dvm, batch, lh);

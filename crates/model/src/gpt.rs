@@ -268,7 +268,7 @@ impl Gpt {
         let (y_ln, ln_saved) = ops::layer_norm(&y_full, &self.final_ln_gamma, &self.final_ln_beta);
         ledger.record(Category::LayerNormInput, y_full.numel() as u64);
         ledger.record(Category::SmallStatistics, 2 * y_full.rows() as u64);
-        let logits = ops::matmul_nt(&y_ln, &self.embedding.table);
+        let logits = ops::Gemm::NT.apply(&y_ln, &self.embedding.table);
         ledger.record(Category::ProjectionInput, y_ln.numel() as u64);
         ledger.record(Category::Logits, logits.numel() as u64);
         let ce = ops::cross_entropy(&logits, targets);
@@ -278,8 +278,8 @@ impl Gpt {
         });
 
         // --- backward: head ---
-        let d_y_ln = ops::matmul(&ce.dlogits, &self.embedding.table);
-        let d_table_head = ops::matmul_tn(&ce.dlogits, &y_ln);
+        let d_y_ln = ops::Gemm::NN.apply(&ce.dlogits, &self.embedding.table);
+        let d_table_head = ops::Gemm::TN.apply(&ce.dlogits, &y_ln);
         let (d_y_full, d_fg, d_fb) =
             ops::layer_norm_backward(&y_full, &self.final_ln_gamma, &ln_saved, &d_y_ln);
         // The head is replicated redundant compute: the shard gradient is a
@@ -370,7 +370,7 @@ impl Gpt {
             act = y;
         }
         let (y_ln, _) = ops::layer_norm(&act, &self.final_ln_gamma, &self.final_ln_beta);
-        ops::matmul_nt(&y_ln, &self.embedding.table)
+        ops::Gemm::NT.apply(&y_ln, &self.embedding.table)
     }
 
     /// Greedy autoregressive generation: appends `n_new` tokens to `prompt`

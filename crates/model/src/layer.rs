@@ -260,12 +260,12 @@ impl TransformerLayer {
         // --- attention half ---
         let (y_ln1, ln1_saved) = ops::layer_norm(x, &w.ln1_gamma, &w.ln1_beta);
         let y1_full = mode.enter_parallel_region_fwd(&y_ln1); // g / f
-        let qkv = ops::add_bias(&ops::matmul(&y1_full, &w.w_qkv), &w.b_qkv);
+        let qkv = ops::add_bias(&ops::Gemm::NN.apply(&y1_full, &w.w_qkv), &w.b_qkv);
         let blocks = qkv.chunk_last_axis(3).expect("qkv packs 3 blocks");
         let (q, k, v) = (blocks[0].clone(), blocks[1].clone(), blocks[2].clone());
         let ap = self.attn_params(mode, micro);
         let (ctx, attn_saved) = attention_forward(&ap, &self.rng, &q, &k, &v);
-        let o_partial = ops::matmul(&ctx, &w.w_o);
+        let o_partial = ops::Gemm::NN.apply(&ctx, &w.w_o);
         let o = ops::add_bias(&mode.exit_parallel_region_fwd(&o_partial), &w.b_o); // f̄ / ḡ
         let mask_attn = self.region_mask(DropoutSite::AttentionOutput, micro, mode, rows);
         let od = ops::dropout(&o, &mask_attn, self.cfg.dropout_p);
@@ -274,9 +274,9 @@ impl TransformerLayer {
         // --- MLP half ---
         let (y_ln2, ln2_saved) = ops::layer_norm(&r1, &w.ln2_gamma, &w.ln2_beta);
         let y2_full = mode.enter_parallel_region_fwd(&y_ln2);
-        let m1 = ops::add_bias(&ops::matmul(&y2_full, &w.w1), &w.b1);
+        let m1 = ops::add_bias(&ops::Gemm::NN.apply(&y2_full, &w.w1), &w.b1);
         let g_act = ops::gelu(&m1);
-        let m2_partial = ops::matmul(&g_act, &w.w2);
+        let m2_partial = ops::Gemm::NN.apply(&g_act, &w.w2);
         let m2 = ops::add_bias(&mode.exit_parallel_region_fwd(&m2_partial), &w.b2);
         let mask_mlp = self.region_mask(DropoutSite::MlpOutput, micro, mode, rows);
         let md = ops::dropout(&m2, &mask_mlp, self.cfg.dropout_p);
@@ -418,15 +418,15 @@ impl TransformerLayer {
         // ḡ backward: all-gather; f̄ backward: identity.
         let d_m2_full = mode.exit_parallel_region_bwd(&d_m2);
         // m2_partial = g_act · w2
-        let d_g = ops::matmul_nt(&d_m2_full, &w.w2);
-        grads.w2 = ops::matmul_tn(&st.g_act, &d_m2_full);
+        let d_g = ops::Gemm::NT.apply(&d_m2_full, &w.w2);
+        grads.w2 = ops::Gemm::TN.apply(&st.g_act, &d_m2_full);
         let d_m1 = ops::gelu_backward(&st.m1, &d_g);
         grads.b1 = ops::bias_grad(&d_m1);
         // m1 = y2_full · w1. Under SP, y2 was kept as a shard: re-gather
         // (the extra all-gather the paper overlaps with the dW computation).
         let y2_full = mode.enter_parallel_region_fwd(&st.y2);
-        grads.w1 = ops::matmul_tn(&y2_full, &d_m1);
-        let d_y2_full = ops::matmul_nt(&d_m1, &w.w1);
+        grads.w1 = ops::Gemm::TN.apply(&y2_full, &d_m1);
+        let d_y2_full = ops::Gemm::NT.apply(&d_m1, &w.w1);
         // g backward: reduce-scatter; f backward: all-reduce.
         let d_y_ln2 = mode.enter_parallel_region_bwd(&d_y2_full);
         let (d_r1_ln, d_ln2_gamma, d_ln2_beta) =
@@ -441,8 +441,8 @@ impl TransformerLayer {
         grads.b_o = ops::bias_grad(&d_o);
         let d_o_full = mode.exit_parallel_region_bwd(&d_o);
         // o_partial = ctx · w_o
-        let d_ctx = ops::matmul_nt(&d_o_full, &w.w_o);
-        grads.w_o = ops::matmul_tn(&st.ctx, &d_o_full);
+        let d_ctx = ops::Gemm::NT.apply(&d_o_full, &w.w_o);
+        grads.w_o = ops::Gemm::TN.apply(&st.ctx, &d_o_full);
         // attention core
         let ap = self.attn_params(mode, micro);
         let attn = st.attn.as_ref().expect("attention state present after recompute");
@@ -451,8 +451,8 @@ impl TransformerLayer {
         let d_qkv = Tensor::concat_last_axis(&[d_q, d_k, d_v]);
         grads.b_qkv = ops::bias_grad(&d_qkv);
         let y1_full = mode.enter_parallel_region_fwd(&st.y1);
-        grads.w_qkv = ops::matmul_tn(&y1_full, &d_qkv);
-        let d_y1_full = ops::matmul_nt(&d_qkv, &w.w_qkv);
+        grads.w_qkv = ops::Gemm::TN.apply(&y1_full, &d_qkv);
+        let d_y1_full = ops::Gemm::NT.apply(&d_qkv, &w.w_qkv);
         let d_y_ln1 = mode.enter_parallel_region_bwd(&d_y1_full);
         let (d_x_ln, d_ln1_gamma, d_ln1_beta) =
             ops::layer_norm_backward(&st.x, &w.ln1_gamma, &st.ln1_saved, &d_y_ln1);

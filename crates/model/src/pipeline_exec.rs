@@ -276,7 +276,7 @@ pub fn run_1f1b_iteration(
                 let (y_ln, ln_saved) =
                     ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
                 ledger.record(Category::LayerNormInput, y_full.numel() as u64);
-                let logits = ops::matmul_nt(&y_ln, &h.table);
+                let logits = ops::Gemm::NT.apply(&y_ln, &h.table);
                 ledger.record(Category::ProjectionInput, y_ln.numel() as u64);
                 ledger.record(Category::Logits, logits.numel() as u64);
                 let ce = ops::cross_entropy(&logits, &micro_data[m].1);
@@ -296,10 +296,10 @@ pub fn run_1f1b_iteration(
             live_count -= 1;
             let mut d = if let Some(hs) = &st.head {
                 let h = model.head.as_ref().expect("last stage has a head");
-                let d_y_ln = ops::matmul(&hs.dlogits, &h.table);
+                let d_y_ln = ops::Gemm::NN.apply(&hs.dlogits, &h.table);
                 let (d_fg_acc, d_fb_acc, d_table_acc) =
                     grads.head.as_mut().expect("head grads allocated");
-                d_table_acc.add_assign(&ops::matmul_tn(&hs.dlogits, &hs.y_ln));
+                d_table_acc.add_assign(&ops::Gemm::TN.apply(&hs.dlogits, &hs.y_ln));
                 let (d_y_full, d_fg, d_fb) =
                     ops::layer_norm_backward(&hs.y_full, &h.final_ln_gamma, &hs.ln_saved, &d_y_ln);
                 d_fg_acc.add_assign(&d_fg);
@@ -488,7 +488,7 @@ pub fn run_interleaved_iteration(
                 let h = model.head.as_ref().expect("last virtual stage has the head");
                 let (y_ln, ln_saved) =
                     ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
-                let logits = ops::matmul_nt(&y_ln, &h.table);
+                let logits = ops::Gemm::NT.apply(&y_ln, &h.table);
                 let ce = ops::cross_entropy(&logits, &micro_data[mb].1);
                 loss_sum += ce.loss as f64;
                 Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
@@ -505,10 +505,10 @@ pub fn run_interleaved_iteration(
             live_count -= 1;
             let mut d = if let Some(hs) = &st.head {
                 let h = chunks[v].head.as_ref().expect("head weights");
-                let d_y_ln = ops::matmul(&hs.dlogits, &h.table);
+                let d_y_ln = ops::Gemm::NN.apply(&hs.dlogits, &h.table);
                 let (d_fg_acc, d_fb_acc, d_table_acc) =
                     grads[v].head.as_mut().expect("head grads allocated");
-                d_table_acc.add_assign(&ops::matmul_tn(&hs.dlogits, &hs.y_ln));
+                d_table_acc.add_assign(&ops::Gemm::TN.apply(&hs.dlogits, &hs.y_ln));
                 let (d_y_full, d_fg, d_fb) =
                     ops::layer_norm_backward(&hs.y_full, &h.final_ln_gamma, &hs.ln_saved, &d_y_ln);
                 d_fg_acc.add_assign(&d_fg);

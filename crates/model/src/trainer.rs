@@ -8,6 +8,7 @@ use crate::layer::ExecMode;
 use crate::ledger::ActivationLedger;
 use crate::optim::{clip_grad_norm, AdamW};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// Linear warmup to `base_lr`, then cosine decay to `min_lr` over
 /// `decay_steps`, constant `min_lr` afterwards.
@@ -55,6 +56,19 @@ pub struct TrainerConfig {
     pub clip_norm: Option<f32>,
 }
 
+impl TrainerConfig {
+    /// Starts a builder seeded with the default configuration.
+    ///
+    /// ```
+    /// use mt_model::trainer::TrainerConfig;
+    /// let cfg = TrainerConfig::builder().lr(1e-3).warmup_steps(5).build();
+    /// assert_eq!(cfg.schedule.base_lr, 1e-3);
+    /// ```
+    pub fn builder() -> TrainerConfigBuilder {
+        TrainerConfigBuilder { cfg: TrainerConfig::default() }
+    }
+}
+
 impl Default for TrainerConfig {
     fn default() -> Self {
         TrainerConfig {
@@ -67,6 +81,64 @@ impl Default for TrainerConfig {
             weight_decay: 0.01,
             clip_norm: Some(1.0),
         }
+    }
+}
+
+/// Builder for [`TrainerConfig`], starting from the defaults — set only the
+/// hyperparameters an experiment cares about.
+#[derive(Debug, Clone)]
+pub struct TrainerConfigBuilder {
+    cfg: TrainerConfig,
+}
+
+impl TrainerConfigBuilder {
+    /// Sets the peak learning rate; the floor (`min_lr`) is clamped down to
+    /// it so a low `lr` cannot silently sit below its own floor.
+    pub fn lr(mut self, base_lr: f32) -> Self {
+        self.cfg.schedule.base_lr = base_lr;
+        self.cfg.schedule.min_lr = self.cfg.schedule.min_lr.min(base_lr);
+        self
+    }
+
+    /// Sets the linear-warmup step count.
+    pub fn warmup_steps(mut self, steps: u64) -> Self {
+        self.cfg.schedule.warmup_steps = steps;
+        self
+    }
+
+    /// Sets the cosine-decay step count (0 disables decay).
+    pub fn decay_steps(mut self, steps: u64) -> Self {
+        self.cfg.schedule.decay_steps = steps;
+        self
+    }
+
+    /// Sets the floor learning rate.
+    pub fn min_lr(mut self, min_lr: f32) -> Self {
+        self.cfg.schedule.min_lr = min_lr;
+        self
+    }
+
+    /// Replaces the whole schedule (e.g. [`LrSchedule::constant`]).
+    pub fn schedule(mut self, schedule: LrSchedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Sets the AdamW decoupled weight decay.
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        self.cfg.weight_decay = weight_decay;
+        self
+    }
+
+    /// Sets the global gradient-norm clip (`None` disables clipping).
+    pub fn clip_norm(mut self, clip_norm: Option<f32>) -> Self {
+        self.cfg.clip_norm = clip_norm;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TrainerConfig {
+        self.cfg
     }
 }
 
@@ -118,22 +190,33 @@ impl Trainer {
     /// Runs one training step (forward, backward, clip, update) on one
     /// microbatch under `mode`.
     ///
+    /// `mode` is accepted by value **or** by reference (`ExecMode` is
+    /// `Copy`): `trainer.step(&t, &y, ExecMode::Serial)` and
+    /// `trainer.step(&t, &y, &mode)` both compile.
+    ///
     /// # Panics
     ///
     /// Panics under the same conditions as
     /// [`Gpt::loss_and_grads`](crate::gpt::Gpt::loss_and_grads).
-    pub fn step(&mut self, tokens: &[usize], targets: &[usize], mode: &ExecMode<'_>) -> StepStats {
+    pub fn step<'m>(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+        mode: impl Borrow<ExecMode<'m>>,
+    ) -> StepStats {
         self.step_with_ledger(tokens, targets, mode).0
     }
 
     /// [`Trainer::step`], also returning the activation ledger the forward
     /// pass filled — the measured counterpart to the analytical memory model.
-    pub fn step_with_ledger(
+    /// Accepts `mode` by value or by reference, like [`Trainer::step`].
+    pub fn step_with_ledger<'m>(
         &mut self,
         tokens: &[usize],
         targets: &[usize],
-        mode: &ExecMode<'_>,
+        mode: impl Borrow<ExecMode<'m>>,
     ) -> (StepStats, ActivationLedger) {
+        let mode = mode.borrow();
         let tracer = mt_trace::current();
         let step_no = self.step;
         let _step_span =
@@ -209,6 +292,44 @@ mod tests {
     }
 
     #[test]
+    fn builder_overrides_only_what_is_set() {
+        let cfg = TrainerConfig::builder()
+            .lr(1e-3)
+            .warmup_steps(3)
+            .weight_decay(0.1)
+            .clip_norm(None)
+            .build();
+        assert_eq!(cfg.schedule.base_lr, 1e-3);
+        assert_eq!(cfg.schedule.warmup_steps, 3);
+        assert_eq!(cfg.weight_decay, 0.1);
+        assert_eq!(cfg.clip_norm, None);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.schedule.decay_steps, TrainerConfig::default().schedule.decay_steps);
+    }
+
+    #[test]
+    fn builder_lr_clamps_floor_below_peak() {
+        // Default min_lr is 3e-4; a peak below it must drag the floor down.
+        let cfg = TrainerConfig::builder().lr(1e-5).build();
+        assert!(cfg.schedule.min_lr <= cfg.schedule.base_lr);
+        // Explicit schedules are taken verbatim.
+        let cfg = TrainerConfig::builder().schedule(LrSchedule::constant(0.5)).build();
+        assert_eq!(cfg.schedule.lr_at(42), 0.5);
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrows_for_generic_args)] // the by-reference call is the point
+    fn step_accepts_mode_by_value_and_by_reference() {
+        let c = cfg();
+        let mut a = Trainer::new(Gpt::init(c, Recompute::None, 5), TrainerConfig::default());
+        let mut b = a.clone();
+        let (tokens, targets) = data(&c);
+        let by_val = a.step(&tokens, &targets, ExecMode::Serial);
+        let by_ref = b.step(&tokens, &targets, &ExecMode::Serial);
+        assert_eq!(by_val.loss, by_ref.loss);
+    }
+
+    #[test]
     fn trainer_reduces_loss_and_reports_stats() {
         let c = cfg();
         let gpt = Gpt::init(c, Recompute::Selective, 77);
@@ -224,7 +345,7 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for i in 0..40 {
-            let stats = trainer.step(&tokens, &targets, &ExecMode::Serial);
+            let stats = trainer.step(&tokens, &targets, ExecMode::Serial);
             assert_eq!(stats.step, i as u64);
             assert!(stats.grad_norm >= 0.0);
             assert!(stats.lr > 0.0);
@@ -246,7 +367,7 @@ mod tests {
         let tracer = mt_trace::Tracer::enabled();
         {
             let _installed = mt_trace::install(tracer.clone());
-            trainer.step(&tokens, &targets, &ExecMode::Serial);
+            trainer.step(&tokens, &targets, ExecMode::Serial);
         }
         let events = tracer.events();
         let count = |name: &str| events.iter().filter(|e| e.name == name).count();
@@ -286,7 +407,7 @@ mod tests {
             },
         );
         let (tokens, targets) = data(&c);
-        let stats = trainer.step(&tokens, &targets, &ExecMode::Serial);
+        let stats = trainer.step(&tokens, &targets, ExecMode::Serial);
         assert!(stats.grad_norm > 1e-3, "pre-clip norm reported");
     }
 }

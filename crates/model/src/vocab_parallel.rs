@@ -62,7 +62,7 @@ pub fn vocab_parallel_cross_entropy(
     let lo = comm.rank() * v_local;
 
     // Local logits slice: [n, v/t].
-    let mut logits = ops::matmul_nt(y, table_shard);
+    let mut logits = ops::Gemm::NT.apply(y, table_shard);
     ledger.record(Category::Logits, logits.numel() as u64);
 
     // Global row max (for the stable softmax).
@@ -150,9 +150,9 @@ pub fn vocab_parallel_cross_entropy_backward(
             *x *= inv_n;
         }
     }
-    let d_y_partial = ops::matmul(&dlogits, table_shard);
+    let d_y_partial = ops::Gemm::NN.apply(&dlogits, table_shard);
     let d_y = comm.all_reduce(&d_y_partial);
-    let d_table = ops::matmul_tn(&dlogits, y);
+    let d_table = ops::Gemm::TN.apply(&dlogits, y);
     (d_y, d_table)
 }
 
@@ -176,10 +176,10 @@ mod tests {
 
     fn serial_reference() -> (f32, Tensor, Tensor) {
         let (y, table, targets) = fixtures();
-        let logits = ops::matmul_nt(&y, &table);
+        let logits = ops::Gemm::NT.apply(&y, &table);
         let ce = ops::cross_entropy(&logits, &targets);
-        let d_y = ops::matmul(&ce.dlogits, &table);
-        let d_table = ops::matmul_tn(&ce.dlogits, &y);
+        let d_y = ops::Gemm::NN.apply(&ce.dlogits, &table);
+        let d_table = ops::Gemm::TN.apply(&ce.dlogits, &y);
         (ce.loss, d_y, d_table)
     }
 

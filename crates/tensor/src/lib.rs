@@ -22,15 +22,20 @@
 //! * **`f32` math, paper-accounted bytes.** We compute in `f32` for
 //!   simplicity; the memory model accounts activations at the paper's 2
 //!   bytes/element (fp16) and 1 byte/element for dropout masks.
+//! * **Kernels live below.** The hot loops (GEMM, softmax, LayerNorm, GeLU)
+//!   are the `mt-kernels` crate's tiled, optionally-threaded slice kernels;
+//!   this crate adds shapes, checking, and save-for-backward structure. The
+//!   [`Backend`] selector (re-exported here) picks serial vs threaded
+//!   execution — results are bit-identical either way.
 //!
 //! ## Example
 //!
 //! ```
-//! use mt_tensor::{Tensor, ops};
+//! use mt_tensor::{Tensor, ops::Gemm};
 //!
 //! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
 //! let b = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap();
-//! let c = ops::matmul(&a, &b);
+//! let c = Gemm::NN.apply(&a, &b);
 //! assert_eq!(c.shape(), &[2, 2]);
 //! assert_eq!(c.data(), &[4., 5., 10., 11.]);
 //! ```
@@ -44,4 +49,5 @@ pub mod rng;
 mod tensor;
 
 pub use error::TensorError;
+pub use mt_kernels::{default_backend, set_default_backend, Backend};
 pub use tensor::Tensor;

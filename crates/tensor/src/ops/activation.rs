@@ -1,9 +1,7 @@
-//! GeLU non-linearity (tanh approximation, as used by GPT models).
+//! GeLU non-linearity (tanh approximation, as used by GPT models) —
+//! shape-checked wrappers over the `mt-kernels` elementwise kernels.
 
 use crate::Tensor;
-
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_C: f32 = 0.044_715;
 
 /// GeLU forward: `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
 ///
@@ -11,7 +9,10 @@ const GELU_C: f32 = 0.044_715;
 /// paper's MLP accounting (Section 4.1), since the GeLU input lives in the
 /// widened `4h` space.
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(|v| 0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_C * v * v * v)).tanh()))
+    let mut out = x.clone();
+    let backend = super::rowwise_backend(x.numel());
+    mt_kernels::gelu(backend, x.data(), out.data_mut());
+    out
 }
 
 /// Backward of [`gelu`]: given saved input `x` and upstream `dy`, returns
@@ -23,17 +24,8 @@ pub fn gelu(x: &Tensor) -> Tensor {
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape(), "gelu_backward: shape mismatch");
     let mut out = x.clone();
-    for (o, (&xv, &dv)) in out
-        .data_mut()
-        .iter_mut()
-        .zip(x.data().iter().zip(dy.data()))
-    {
-        let inner = SQRT_2_OVER_PI * (xv + GELU_C * xv * xv * xv);
-        let t = inner.tanh();
-        let sech2 = 1.0 - t * t;
-        let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * xv * xv);
-        *o = dv * (0.5 * (1.0 + t) + 0.5 * xv * sech2 * dinner);
-    }
+    let backend = super::rowwise_backend(x.numel());
+    mt_kernels::gelu_backward(backend, x.data(), dy.data(), out.data_mut());
     out
 }
 

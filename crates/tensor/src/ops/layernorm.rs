@@ -1,4 +1,5 @@
-//! Layer normalization over the trailing axis, with affine parameters.
+//! Layer normalization over the trailing axis, with affine parameters —
+//! shape-checked wrappers over the `mt-kernels` row kernels.
 
 use crate::Tensor;
 
@@ -35,19 +36,19 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNo
     let mut out = x.clone();
     let mut mean = vec![0.0_f32; rows];
     let mut rstd = vec![0.0_f32; rows];
-    let (g, b) = (gamma.data(), beta.data());
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let mu: f32 = row.iter().sum::<f32>() / cols as f32;
-        let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
-        let rs = 1.0 / (var + EPS).sqrt();
-        mean[r] = mu;
-        rstd[r] = rs;
-        let orow = &mut out.data_mut()[r * cols..(r + 1) * cols];
-        for (j, o) in orow.iter_mut().enumerate() {
-            *o = g[j] * (row[j] - mu) * rs + b[j];
-        }
-    }
+    let backend = super::rowwise_backend(rows * cols);
+    mt_kernels::layer_norm(
+        backend,
+        rows,
+        cols,
+        EPS,
+        x.data(),
+        gamma.data(),
+        beta.data(),
+        out.data_mut(),
+        &mut mean,
+        &mut rstd,
+    );
     (out, LayerNormSaved { mean, rstd })
 }
 
@@ -70,32 +71,20 @@ pub fn layer_norm_backward(
     let mut dx = x.clone();
     let mut dgamma = Tensor::zeros(&[cols]);
     let mut dbeta = Tensor::zeros(&[cols]);
-    let g = gamma.data();
-    for r in 0..rows {
-        let xrow = &x.data()[r * cols..(r + 1) * cols];
-        let drow = &dy.data()[r * cols..(r + 1) * cols];
-        let (mu, rs) = (saved.mean[r], saved.rstd[r]);
-        // xhat_j = (x_j - mu) * rs
-        // dx = rs * (dyg - mean(dyg) - xhat * mean(dyg * xhat))
-        //   where dyg_j = dy_j * gamma_j
-        let mut sum_dyg = 0.0_f32;
-        let mut sum_dyg_xhat = 0.0_f32;
-        for j in 0..cols {
-            let xhat = (xrow[j] - mu) * rs;
-            let dyg = drow[j] * g[j];
-            sum_dyg += dyg;
-            sum_dyg_xhat += dyg * xhat;
-            dgamma.data_mut()[j] += drow[j] * xhat;
-            dbeta.data_mut()[j] += drow[j];
-        }
-        let inv_n = 1.0 / cols as f32;
-        let dxrow = &mut dx.data_mut()[r * cols..(r + 1) * cols];
-        for j in 0..cols {
-            let xhat = (xrow[j] - mu) * rs;
-            let dyg = drow[j] * g[j];
-            dxrow[j] = rs * (dyg - inv_n * sum_dyg - xhat * inv_n * sum_dyg_xhat);
-        }
-    }
+    let backend = super::rowwise_backend(rows * cols);
+    mt_kernels::layer_norm_backward(
+        backend,
+        rows,
+        cols,
+        x.data(),
+        gamma.data(),
+        &saved.mean,
+        &saved.rstd,
+        dy.data(),
+        dx.data_mut(),
+        dgamma.data_mut(),
+        dbeta.data_mut(),
+    );
     (dx, dgamma, dbeta)
 }
 

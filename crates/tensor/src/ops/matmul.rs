@@ -1,6 +1,132 @@
-//! Dense matrix multiplication and its backward pass.
+//! Dense matrix multiplication behind the [`Gemm`] descriptor, plus the
+//! matmul backward pass.
+//!
+//! One descriptor replaces the former `matmul` / `matmul_nt` / `matmul_tn`
+//! triplication: `Gemm { transpose_a, transpose_b }` names the operand
+//! layouts and [`Gemm::apply`] dispatches to the tiled `mt-kernels` GEMM.
+//! The old free functions survive for one PR as `#[deprecated]` one-line
+//! wrappers.
 
 use crate::Tensor;
+use mt_kernels::Backend;
+
+/// Problems with `m·n·k` below this run single-threaded regardless of the
+/// default backend: a 64³ GEMM finishes in the time it takes to spawn a
+/// scoped worker. Results are bit-identical either way (the kernels'
+/// determinism contract), so this is purely a latency policy.
+const PARALLEL_MNK_CUTOFF: usize = 64 * 64 * 64;
+
+/// A GEMM descriptor: `C = op(A) · op(B)` where each `op` is transpose or
+/// identity, selected per operand.
+///
+/// The four flag combinations have named constants — [`Gemm::NN`],
+/// [`Gemm::NT`], [`Gemm::TN`], [`Gemm::TT`] — and the expected operand
+/// shapes follow from the flags (output is always `[m, n]`):
+///
+/// | descriptor | A        | B        | computes  | classic name |
+/// |------------|----------|----------|-----------|--------------|
+/// | `NN`       | `[m, k]` | `[k, n]` | `A · B`   | `matmul`     |
+/// | `NT`       | `[m, k]` | `[n, k]` | `A · Bᵀ`  | `matmul_nt`  |
+/// | `TN`       | `[k, m]` | `[k, n]` | `Aᵀ · B`  | `matmul_tn`  |
+/// | `TT`       | `[k, m]` | `[n, k]` | `Aᵀ · Bᵀ` | —            |
+///
+/// ```
+/// use mt_tensor::{ops::Gemm, Tensor};
+/// let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.])?;
+/// let c = Gemm::NN.apply(&a, &b);
+/// assert_eq!(c.data(), &[58., 64., 139., 154.]);
+/// # Ok::<(), mt_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gemm {
+    /// Treat `A` as transposed (`A` is stored `[k, m]`).
+    pub transpose_a: bool,
+    /// Treat `B` as transposed (`B` is stored `[n, k]`).
+    pub transpose_b: bool,
+}
+
+impl Gemm {
+    /// `C = A · B` — the plain forward GEMM.
+    pub const NN: Gemm = Gemm { transpose_a: false, transpose_b: false };
+    /// `C = A · Bᵀ` — e.g. `dA = dC · Bᵀ` without materializing the
+    /// transpose.
+    pub const NT: Gemm = Gemm { transpose_a: false, transpose_b: true };
+    /// `C = Aᵀ · B` — e.g. `dW = Xᵀ · dY` without materializing the
+    /// transpose.
+    pub const TN: Gemm = Gemm { transpose_a: true, transpose_b: false };
+    /// `C = Aᵀ · Bᵀ` — kept for descriptor completeness.
+    pub const TT: Gemm = Gemm { transpose_a: true, transpose_b: true };
+
+    /// Short label (`"nn"`, `"nt"`, `"tn"`, `"tt"`) for traces and reports.
+    pub fn kind(&self) -> &'static str {
+        mt_kernels::gemm::kind_label(self.transpose_a, self.transpose_b)
+    }
+
+    /// Runs the GEMM with the process default backend
+    /// ([`mt_kernels::default_backend`]), dropping problems below a size
+    /// cutoff to a single thread — spawn latency beats the arithmetic on
+    /// tiny shapes. Bit-identical to any explicit backend choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dims disagree.
+    pub fn apply(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, n, k) = self.dims(a, b);
+        let backend = match mt_kernels::default_backend() {
+            Backend::Threaded { .. } if m * n * k < PARALLEL_MNK_CUTOFF => Backend::Serial,
+            other => other,
+        };
+        self.run(backend, m, n, k, a, b)
+    }
+
+    /// Runs the GEMM on an explicit [`Backend`], bypassing both the process
+    /// default and the small-problem policy (benches and equivalence tests
+    /// want exact control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dims disagree.
+    pub fn apply_with(&self, backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, n, k) = self.dims(a, b);
+        self.run(backend, m, n, k, a, b)
+    }
+
+    /// Shape-checks the operands against the descriptor and returns
+    /// `(m, n, k)`.
+    fn dims(&self, a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+        assert_eq!(a.rank(), 2, "gemm {}: A must be rank 2", self.kind());
+        assert_eq!(b.rank(), 2, "gemm {}: B must be rank 2", self.kind());
+        let (m, ka) = if self.transpose_a {
+            (a.dim(1), a.dim(0))
+        } else {
+            (a.dim(0), a.dim(1))
+        };
+        let (kb, n) = if self.transpose_b {
+            (b.dim(1), b.dim(0))
+        } else {
+            (b.dim(0), b.dim(1))
+        };
+        assert_eq!(ka, kb, "gemm {}: inner dims {ka} vs {kb}", self.kind());
+        (m, n, ka)
+    }
+
+    fn run(&self, backend: Backend, m: usize, n: usize, k: usize, a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = vec![0.0_f32; m * n];
+        mt_kernels::gemm::gemm(
+            backend,
+            self.transpose_a,
+            self.transpose_b,
+            m,
+            n,
+            k,
+            a.data(),
+            b.data(),
+            &mut out,
+        );
+        Tensor::from_vec_unchecked(vec![m, n], out)
+    }
+}
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -11,98 +137,40 @@ use crate::Tensor;
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree or either tensor is not rank 2.
+#[deprecated(since = "0.1.0", note = "use `Gemm::NN.apply(a, b)`")]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 2, "matmul: A must be rank 2");
-    assert_eq!(b.rank(), 2, "matmul: B must be rank 2");
-    let (m, k) = (a.dim(0), a.dim(1));
-    let (k2, n) = (b.dim(0), b.dim(1));
-    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
-    let mut out = vec![0.0_f32; m * n];
-    let (ad, bd) = (a.data(), b.data());
-    // i-k-j loop order: streams through B and C rows for cache friendliness.
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-    Tensor::from_vec(vec![m, n], out).expect("matmul: internal shape invariant")
+    Gemm::NN.apply(a, b)
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — used for `dA = dC · Bᵀ`
-/// without materializing the transpose.
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
 ///
 /// # Panics
 ///
-/// Panics if the contraction dimensions disagree.
+/// Panics if the inner dimensions disagree or either tensor is not rank 2.
+#[deprecated(since = "0.1.0", note = "use `Gemm::NT.apply(a, b)`")]
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 2, "matmul_nt: A must be rank 2");
-    assert_eq!(b.rank(), 2, "matmul_nt: B must be rank 2");
-    let (m, k) = (a.dim(0), a.dim(1));
-    let (n, k2) = (b.dim(0), b.dim(1));
-    assert_eq!(k, k2, "matmul_nt: contraction dims {k} vs {k2}");
-    let mut out = vec![0.0_f32; m * n];
-    let (ad, bd) = (a.data(), b.data());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
-    Tensor::from_vec(vec![m, n], out).expect("matmul_nt: internal shape invariant")
+    Gemm::NT.apply(a, b)
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — used for `dW = Xᵀ · dY`
-/// without materializing the transpose.
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
 ///
 /// # Panics
 ///
-/// Panics if the contraction dimensions disagree.
+/// Panics if the inner dimensions disagree or either tensor is not rank 2.
+#[deprecated(since = "0.1.0", note = "use `Gemm::TN.apply(a, b)`")]
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 2, "matmul_tn: A must be rank 2");
-    assert_eq!(b.rank(), 2, "matmul_tn: B must be rank 2");
-    let (k, m) = (a.dim(0), a.dim(1));
-    let (k2, n) = (b.dim(0), b.dim(1));
-    assert_eq!(k, k2, "matmul_tn: contraction dims {k} vs {k2}");
-    let mut out = vec![0.0_f32; m * n];
-    let (ad, bd) = (a.data(), b.data());
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-    Tensor::from_vec(vec![m, n], out).expect("matmul_tn: internal shape invariant")
+    Gemm::TN.apply(a, b)
 }
 
-/// Backward of [`matmul`]: given saved inputs `a`, `b` and upstream `dc`,
-/// returns `(dA, dB)`.
+/// Backward of a forward `Gemm::NN.apply(a, b)`: given saved inputs `a`, `b`
+/// and upstream `dc`, returns `(dA, dB)` via the `NT`/`TN` descriptors.
 ///
 /// # Panics
 ///
-/// Panics if shapes are inconsistent with a forward `matmul(a, b)`.
+/// Panics if shapes are inconsistent with the forward GEMM.
 pub fn matmul_backward(a: &Tensor, b: &Tensor, dc: &Tensor) -> (Tensor, Tensor) {
-    let da = matmul_nt(dc, b);
-    let db = matmul_tn(a, dc);
+    let da = Gemm::NT.apply(dc, b);
+    let db = Gemm::TN.apply(a, dc);
     (da, db)
 }
 
@@ -111,22 +179,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matmul_known_values() {
+    fn gemm_nn_known_values() {
         let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
         let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
-        let c = matmul(&a, &b);
+        let c = Gemm::NN.apply(&a, &b);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
     }
 
     #[test]
-    fn nt_and_tn_match_explicit_transpose() {
+    fn all_descriptors_match_explicit_transpose() {
         let mut rng = crate::rng::SplitMix64::new(1);
         let a = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[6, 5], -1.0, 1.0, &mut rng);
-        let c = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
-        assert!(matmul_nt(&a, &b).allclose(&matmul(&a, &b.transpose2()), 1e-5, 1e-6));
-        assert!(matmul_tn(&c, &b.transpose2().transpose2().transpose2())
-            .allclose(&matmul(&c.transpose2(), &b.transpose2()), 1e-5, 1e-6));
+        assert!(Gemm::NT
+            .apply(&a, &b)
+            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
+        assert!(Gemm::TN
+            .apply(&a.transpose2(), &b.transpose2())
+            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
+        assert!(Gemm::TT
+            .apply(&a.transpose2(), &b)
+            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn apply_with_threaded_is_bit_identical_to_serial() {
+        let mut rng = crate::rng::SplitMix64::new(11);
+        let a = Tensor::rand_uniform(&[70, 65], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[65, 19], -1.0, 1.0, &mut rng);
+        let serial = Gemm::NN.apply_with(Backend::Serial, &a, &b);
+        for threads in 1..=8 {
+            let mt = Gemm::NN.apply_with(Backend::Threaded { threads }, &a, &b);
+            assert!(
+                serial
+                    .data()
+                    .iter()
+                    .zip(mt.data())
+                    .all(|(s, t)| s.to_bits() == t.to_bits()),
+                "threads={threads}: not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_gemm() {
+        let mut rng = crate::rng::SplitMix64::new(12);
+        let a = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        let bt = b.transpose2();
+        assert_eq!(matmul(&a, &b).data(), Gemm::NN.apply(&a, &b).data());
+        assert_eq!(matmul_nt(&a, &bt).data(), Gemm::NT.apply(&a, &bt).data());
+        assert_eq!(matmul_tn(&a, &a).data(), Gemm::TN.apply(&a, &a).data());
     }
 
     #[test]
@@ -137,17 +241,26 @@ mod tests {
         // Loss = sum(A·B); upstream gradient is all ones.
         let dc = Tensor::full(&[3, 2], 1.0);
         let (da, db) = matmul_backward(&a, &b, &dc);
-        let fd_da = crate::check::finite_diff(&a, |t| matmul(t, &b).sum());
-        let fd_db = crate::check::finite_diff(&b, |t| matmul(&a, t).sum());
+        let fd_da = crate::check::finite_diff(&a, |t| Gemm::NN.apply(t, &b).sum());
+        let fd_db = crate::check::finite_diff(&b, |t| Gemm::NN.apply(&a, t).sum());
         assert!(crate::check::grads_close(&da, &fd_da), "dA mismatch");
         assert!(crate::check::grads_close(&db, &fd_db), "dB mismatch");
     }
 
     #[test]
     #[should_panic(expected = "inner dims")]
-    fn matmul_rejects_bad_shapes() {
+    fn gemm_rejects_bad_shapes() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
-        let _ = matmul(&a, &b);
+        let _ = Gemm::NN.apply(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn gemm_shape_check_respects_transpose_flags() {
+        // NT reads B as [n, k]: B [4, 2] has k = 2, mismatching A's k = 3.
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = Gemm::NT.apply(&a, &b);
     }
 }

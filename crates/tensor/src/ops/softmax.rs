@@ -1,4 +1,5 @@
-//! Row-wise softmax and its backward pass.
+//! Row-wise softmax and its backward pass, shape-checked wrappers over the
+//! `mt-kernels` row kernels.
 
 use crate::Tensor;
 
@@ -25,23 +26,8 @@ pub fn softmax_rows(x: &Tensor, causal: bool) -> Tensor {
     }
     let mut out = x.clone();
     let rows = x.rows();
-    for r in 0..rows {
-        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-        let limit = if causal { (r % cols) + 1 } else { cols };
-        let max = row[..limit].iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let mut sum = 0.0;
-        for (j, v) in row.iter_mut().enumerate() {
-            if j < limit {
-                *v = (*v - max).exp();
-                sum += *v;
-            } else {
-                *v = 0.0;
-            }
-        }
-        for v in row[..limit].iter_mut() {
-            *v /= sum;
-        }
-    }
+    let backend = super::rowwise_backend(rows * cols);
+    mt_kernels::softmax_rows(backend, rows, cols, causal, out.data_mut());
     out
 }
 
@@ -57,17 +43,10 @@ pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.shape(), dy.shape(), "softmax_rows_backward: shape mismatch");
     let cols = y.cols();
     let rows = y.rows();
-    let mut out = y.clone();
-    for r in 0..rows {
-        let yrow = &y.data()[r * cols..(r + 1) * cols];
-        let drow = &dy.data()[r * cols..(r + 1) * cols];
-        let dot: f32 = yrow.iter().zip(drow).map(|(a, b)| a * b).sum();
-        let orow = &mut out.data_mut()[r * cols..(r + 1) * cols];
-        for ((o, &yv), &dv) in orow.iter_mut().zip(yrow).zip(drow) {
-            *o = yv * (dv - dot);
-        }
-    }
-    out
+    let mut out = vec![0.0_f32; rows * cols];
+    let backend = super::rowwise_backend(rows * cols);
+    mt_kernels::softmax_rows_backward(backend, rows, cols, y.data(), dy.data(), &mut out);
+    Tensor::from_vec_unchecked(y.shape().to_vec(), out)
 }
 
 #[cfg(test)]

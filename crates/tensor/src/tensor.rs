@@ -41,6 +41,22 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Creates a tensor from a shape and flat row-major data **whose length
+    /// the caller has already established** — the infallible path for
+    /// operator kernels that compute `data` at exactly `shape.product()`
+    /// elements by construction.
+    ///
+    /// The length invariant is checked in debug builds only; use
+    /// [`Tensor::from_vec`] whenever the length comes from outside.
+    pub fn from_vec_unchecked(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        debug_assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "from_vec_unchecked: length does not match shape"
+        );
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();

@@ -20,8 +20,8 @@ proptest! {
         let a = Tensor::rand_uniform(&[rows, cols], -2.0, 2.0, &mut rng);
         let id_r = Tensor::from_fn(&[cols, cols], |i| if i / cols == i % cols { 1.0 } else { 0.0 });
         let id_l = Tensor::from_fn(&[rows, rows], |i| if i / rows == i % rows { 1.0 } else { 0.0 });
-        prop_assert!(ops::matmul(&a, &id_r).allclose(&a, 1e-5, 1e-6));
-        prop_assert!(ops::matmul(&id_l, &a).allclose(&a, 1e-5, 1e-6));
+        prop_assert!(ops::Gemm::NN.apply(&a, &id_r).allclose(&a, 1e-5, 1e-6));
+        prop_assert!(ops::Gemm::NN.apply(&id_l, &a).allclose(&a, 1e-5, 1e-6));
     }
 
     /// (A + B) · C = A·C + B·C.
@@ -31,22 +31,22 @@ proptest! {
         b in tensor_strategy(3, 4),
         c in tensor_strategy(4, 2),
     ) {
-        let lhs = ops::matmul(&a.add(&b), &c);
-        let rhs = ops::matmul(&a, &c).add(&ops::matmul(&b, &c));
+        let lhs = ops::Gemm::NN.apply(&a.add(&b), &c);
+        let rhs = ops::Gemm::NN.apply(&a, &c).add(&ops::Gemm::NN.apply(&b, &c));
         prop_assert!(lhs.allclose(&rhs, 1e-4, 1e-4));
     }
 
-    /// matmul_nt(a, b) == a · bᵀ and matmul_tn(a, b) == aᵀ · b.
+    /// Gemm::NT == A · Bᵀ and Gemm::TN == Aᵀ · B, vs explicit transposes.
     #[test]
-    fn transposed_matmuls_match_explicit(
+    fn transposed_gemms_match_explicit(
         a in tensor_strategy(3, 5),
         b in tensor_strategy(4, 5),
     ) {
-        let nt = ops::matmul_nt(&a, &b);
-        prop_assert!(nt.allclose(&ops::matmul(&a, &b.transpose2()), 1e-4, 1e-5));
+        let nt = ops::Gemm::NT.apply(&a, &b);
+        prop_assert!(nt.allclose(&ops::Gemm::NN.apply(&a, &b.transpose2()), 1e-4, 1e-5));
         let c = b.transpose2(); // [5, 4]
-        let tn = ops::matmul_tn(&a.transpose2(), &c); // aᵀᵀ? — build explicitly:
-        let explicit = ops::matmul(&a, &c);
+        let tn = ops::Gemm::TN.apply(&a.transpose2(), &c);
+        let explicit = ops::Gemm::NN.apply(&a, &c);
         prop_assert!(tn.allclose(&explicit, 1e-4, 1e-5));
     }
 

@@ -33,16 +33,20 @@ fn train(cfg: TransformerConfig, ds: &PackedDataset, steps: usize) -> Trainer {
     let gpt = Gpt::init(cfg, Recompute::Selective, 321);
     let mut trainer = Trainer::new(
         gpt,
-        TrainerConfig {
-            schedule: LrSchedule { base_lr: 1e-2, warmup_steps: 5, decay_steps: 200, min_lr: 1e-3 },
-            weight_decay: 0.0,
-            clip_norm: Some(1.0),
-        },
+        TrainerConfig::builder()
+            .lr(1e-2)
+            .warmup_steps(5)
+            .decay_steps(200)
+            .min_lr(1e-3)
+            .weight_decay(0.0)
+            .clip_norm(Some(1.0))
+            .build(),
     );
     let mut sampler = MicrobatchSampler::new(ds, cfg.micro_batch, 3);
     for _ in 0..steps {
         let (tokens, targets) = ds.microbatch(&sampler.next_indices());
-        trainer.step(&tokens, &targets, &ExecMode::Serial);
+        // `step` takes the mode by value or by reference; pass by value here.
+        trainer.step(&tokens, &targets, ExecMode::Serial);
     }
     trainer
 }
@@ -113,33 +117,33 @@ fn trainer_works_under_tensor_parallelism() {
     // the squared norms first, as `clip_grad_norm`'s docs describe).
     let mut serial = Trainer::new(
         Gpt::init(cfg, Recompute::None, 321),
-        TrainerConfig {
-            schedule: LrSchedule::constant(5e-3),
-            weight_decay: 0.01,
-            clip_norm: None,
-        },
+        TrainerConfig::builder()
+            .schedule(LrSchedule::constant(5e-3))
+            .weight_decay(0.01)
+            .clip_norm(None)
+            .build(),
     );
     let mut sampler = MicrobatchSampler::new(&ds, cfg.micro_batch, 4);
     let batches: Vec<(Vec<usize>, Vec<usize>)> =
         (0..6).map(|_| ds.microbatch(&sampler.next_indices())).collect();
     let serial_losses: Vec<f32> = batches
         .iter()
-        .map(|(t, g)| serial.step(t, g, &ExecMode::Serial).loss)
+        .map(|(t, g)| serial.step(t, g, ExecMode::Serial).loss)
         .collect();
 
     let template = Gpt::init(cfg, Recompute::None, 321);
     let parallel_losses = World::run(2, |comm| {
         let mut trainer = Trainer::new(
             template.shard(2, comm.rank(), Recompute::None),
-            TrainerConfig {
-                schedule: LrSchedule::constant(5e-3),
-                weight_decay: 0.01,
-                clip_norm: None,
-            },
+            TrainerConfig::builder()
+                .schedule(LrSchedule::constant(5e-3))
+                .weight_decay(0.01)
+                .clip_norm(None)
+                .build(),
         );
         batches
             .iter()
-            .map(|(t, g)| trainer.step(t, g, &ExecMode::TensorParallel(&comm)).loss)
+            .map(|(t, g)| trainer.step(t, g, ExecMode::TensorParallel(&comm)).loss)
             .collect::<Vec<f32>>()
     });
     for rank_losses in &parallel_losses {
