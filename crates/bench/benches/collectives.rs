@@ -41,6 +41,19 @@ fn collectives(c: &mut Criterion) {
             black_box(out)
         })
     });
+    // The hardened path: same rendezvous plus the deadline bookkeeping and
+    // SPMD call tag. Compare with `all_reduce` above — the hardening must
+    // stay in the noise.
+    group.bench_function("try_all_reduce_fallible_world", |b| {
+        b.iter(|| {
+            let mut world = World::new(RANKS);
+            let out = world.run_fallible(|comm| {
+                let x = Tensor::full(&[ELEMS], comm.rank() as f32);
+                Ok(comm.try_all_reduce(&x)?.data()[0])
+            });
+            black_box(out)
+        })
+    });
     group.finish();
 }
 

@@ -1,12 +1,23 @@
 //! The thread-rank runtime: [`World`] and [`Communicator`].
 
+use crate::error::{CallTag, CollectiveError};
 use crate::stats::{CollectiveKind, CommStats, FP16_BYTES};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mt_fault::{FaultAction, FaultPlan};
 use mt_tensor::Tensor;
 use mt_trace::{ArgValue, SpanGuard, Tracer};
 use parking_lot::{Condvar, Mutex};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default rendezvous deadline. Generous enough that healthy runs never
+/// trip it; finite so a lost rank turns into an error instead of a hang.
+pub const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How often a point-to-point receive re-checks for dead peers while
+/// waiting out its deadline.
+const RECV_POLL: Duration = Duration::from_millis(10);
 
 /// Shared rendezvous state for one collective "slot".
 ///
@@ -15,11 +26,21 @@ use std::sync::Arc;
 /// collective *k*; therefore when the last deposit of round *k+1* arrives,
 /// every `results` cell is already empty and may be overwritten.
 /// This requires the standard SPMD discipline that all ranks issue the same
-/// collectives in the same order — the same requirement NCCL imposes.
+/// collectives in the same order — the same requirement NCCL imposes. The
+/// discipline itself is checked: the first depositor of a round records a
+/// [`CallTag`] and later depositors must match it, so an SPMD bug poisons
+/// the exchange with [`CollectiveError::SpmdMismatch`] instead of
+/// deadlocking.
 struct ExchangeState {
     deposits: Vec<Option<Tensor>>,
     deposited: usize,
     results: Vec<Option<Tensor>>,
+    /// Tag of the in-flight round, set by its first depositor.
+    tag: Option<CallTag>,
+    /// First rank known to have died, if any.
+    dead: Option<usize>,
+    /// Sticky SPMD-mismatch failure; once set, every call fails fast.
+    poisoned: Option<CollectiveError>,
 }
 
 struct Exchange {
@@ -34,21 +55,67 @@ impl Exchange {
                 deposits: vec![None; n],
                 deposited: 0,
                 results: vec![None; n],
+                tag: None,
+                dead: None,
+                poisoned: None,
             }),
             cond: Condvar::new(),
         }
     }
 
+    /// Marks `rank` dead and wakes every waiter so blocked collectives fail
+    /// with [`CollectiveError::RankDead`] instead of waiting out their
+    /// deadlines.
+    fn mark_dead(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if st.dead.is_none() {
+            st.dead = Some(rank);
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// The first rank known dead, if any.
+    fn first_dead(&self) -> Option<usize> {
+        self.state.lock().dead
+    }
+
     /// Runs one collective round: rank `rank` contributes `input`; when all
     /// ranks have contributed, `combine` maps the deposits to one result per
-    /// rank; each rank receives its result.
-    fn exchange(
+    /// rank; each rank receives its result. Fails — always within
+    /// `deadline` — if a peer never arrives, a rank is dead, or the round's
+    /// ranks disagree on what collective they are in.
+    fn try_exchange(
         &self,
         rank: usize,
+        tag: CallTag,
+        deadline: Duration,
         input: Tensor,
         combine: impl FnOnce(&mut Vec<Option<Tensor>>) -> Vec<Tensor>,
-    ) -> Tensor {
+    ) -> Result<Tensor, CollectiveError> {
+        let start = Instant::now();
         let mut st = self.state.lock();
+        if let Some(err) = &st.poisoned {
+            return Err(err.clone());
+        }
+        if let Some(dead_rank) = st.dead {
+            return Err(CollectiveError::RankDead { rank, dead_rank });
+        }
+        match &st.tag {
+            None => st.tag = Some(tag.clone()),
+            Some(current) if *current != tag => {
+                let err = CollectiveError::SpmdMismatch {
+                    rank,
+                    expected: current.clone(),
+                    found: tag,
+                };
+                st.poisoned = Some(err.clone());
+                drop(st);
+                self.cond.notify_all();
+                return Err(err);
+            }
+            Some(_) => {}
+        }
         debug_assert!(st.deposits[rank].is_none(), "rank {rank} double-deposited");
         debug_assert!(st.results[rank].is_none(), "rank {rank} result not consumed");
         st.deposits[rank] = Some(input);
@@ -63,20 +130,37 @@ impl Exchange {
                 *d = None;
             }
             st.deposited = 0;
+            st.tag = None;
             self.cond.notify_all();
         } else {
             while st.results[rank].is_none() {
-                self.cond.wait(&mut st);
+                if let Some(err) = &st.poisoned {
+                    return Err(err.clone());
+                }
+                if let Some(dead_rank) = st.dead {
+                    return Err(CollectiveError::RankDead { rank, dead_rank });
+                }
+                let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                    return Err(CollectiveError::Timeout {
+                        rank,
+                        op: st.tag.as_ref().map_or("collective", |t| t.op),
+                        waited: start.elapsed(),
+                    });
+                };
+                self.cond.wait_for(&mut st, remaining);
             }
         }
-        st.results[rank].take().expect("result present after wakeup")
+        Ok(st.results[rank].take().expect("result present after wakeup"))
     }
 }
 
 /// A group of `n` simulated ranks.
 ///
 /// The usual entry point is [`World::run`], which spawns one thread per rank
-/// and hands each a [`Communicator`].
+/// and hands each a [`Communicator`]. For chaos testing and recovery
+/// drivers, configure a world with [`World::set_fault_plan`] /
+/// [`World::set_collective_timeout`] and use [`World::run_fallible`], which
+/// converts rank panics into per-rank errors instead of propagating.
 pub struct World {
     size: usize,
     exchange: Arc<Exchange>,
@@ -84,6 +168,8 @@ pub struct World {
     senders: Vec<Vec<Sender<Tensor>>>,
     receivers: Vec<Vec<Option<Receiver<Tensor>>>>,
     tracer: Tracer,
+    timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for World {
@@ -120,6 +206,8 @@ impl World {
             senders,
             receivers,
             tracer: Tracer::disabled(),
+            timeout: DEFAULT_COLLECTIVE_TIMEOUT,
+            fault_plan: None,
         }
     }
 
@@ -132,6 +220,22 @@ impl World {
     /// collective as a span on their rank's track.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Sets the rendezvous deadline for communicators extracted afterwards.
+    /// Defaults to [`DEFAULT_COLLECTIVE_TIMEOUT`]; chaos tests use a short
+    /// deadline so failures surface in bounded time.
+    pub fn set_collective_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Installs a deterministic fault plan. Communicators extracted
+    /// afterwards consult it before every collective and point-to-point
+    /// call, injecting panics, straggler delays, or transient failures at
+    /// the planned coordinates (visible as `fault_injected` /
+    /// `fault_recovered` trace instants).
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
     }
 
     /// Extracts the communicator for `rank`. Each rank may be taken once.
@@ -155,6 +259,9 @@ impl World {
             inboxes,
             stats: RefCell::new(CommStats::new()),
             tracer: self.tracer.with_track(rank as u32),
+            timeout: self.timeout,
+            fault_plan: self.fault_plan.clone(),
+            seq: Cell::new(0),
         }
     }
 
@@ -163,7 +270,9 @@ impl World {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any rank thread.
+    /// Propagates a panic from any rank thread, including collective
+    /// failures (the infallible collective methods raise
+    /// [`CollectiveError`] as a panic payload).
     pub fn run<T, F>(size: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -201,10 +310,79 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(t) => t,
+                    Err(payload) => match payload.downcast::<CollectiveError>() {
+                        Ok(err) => panic!("rank thread failed: {err}"),
+                        Err(_) => panic!("rank thread panicked"),
+                    },
+                })
                 .collect()
         })
     }
+
+    /// Spawns one thread per rank like [`World::run`], but catches rank
+    /// panics instead of propagating them: a panicked rank is marked dead
+    /// (waking any peer blocked on it with [`CollectiveError::RankDead`])
+    /// and its slot in the returned vector carries the error. Never hangs
+    /// and never unwinds out of the calling thread, which is what a
+    /// retry-with-recovery driver needs.
+    ///
+    /// Collective failures raised through the infallible methods (panic
+    /// payloads of type [`CollectiveError`]) are recovered as that error;
+    /// any other panic is reported as `RankDead` for its own rank.
+    pub fn run_fallible<T, F>(&mut self, f: F) -> Vec<Result<T, CollectiveError>>
+    where
+        T: Send,
+        F: Fn(Communicator) -> Result<T, CollectiveError> + Sync,
+    {
+        let exchange = Arc::clone(&self.exchange);
+        let comms: Vec<Communicator> = (0..self.size).map(|r| self.communicator(r)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let exchange = Arc::clone(&exchange);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let rank = comm.rank();
+                        let _installed = mt_trace::install(comm.tracer().clone());
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+                            Ok(result) => {
+                                if result.is_err() {
+                                    // A rank that bailed out of the SPMD
+                                    // program will never rendezvous again;
+                                    // unblock any peer waiting on it.
+                                    exchange.mark_dead(rank);
+                                }
+                                result
+                            }
+                            Err(payload) => {
+                                exchange.mark_dead(rank);
+                                match payload.downcast::<CollectiveError>() {
+                                    Ok(err) => Err(*err),
+                                    Err(_) => {
+                                        Err(CollectiveError::RankDead { rank, dead_rank: rank })
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank wrapper catches panics"))
+                .collect()
+        })
+    }
+}
+
+/// Raises a collective failure as a panic carrying the typed error, so the
+/// infallible API stays ergonomic while [`World::run_fallible`] can still
+/// recover the precise cause.
+fn raise(err: CollectiveError) -> ! {
+    std::panic::panic_any(err)
 }
 
 /// Per-rank handle for collectives and point-to-point messaging.
@@ -212,6 +390,13 @@ impl World {
 /// All collective methods must be called by **every** rank of the world in
 /// the same order (SPMD), exactly like NCCL. Each call is recorded in a
 /// per-rank [`CommStats`] ledger retrievable with [`Communicator::stats`].
+///
+/// Every operation exists in two flavors: the infallible spelling
+/// (`all_reduce`, `recv`, ...) used by model code, and a fallible `try_*`
+/// spelling returning [`CollectiveError`]. Both go through the same
+/// deadline-checked rendezvous — the infallible methods simply raise the
+/// error as a panic payload — so no call can block past the world's
+/// configured timeout.
 pub struct Communicator {
     rank: usize,
     size: usize,
@@ -224,6 +409,11 @@ pub struct Communicator {
     inboxes: Vec<Receiver<Tensor>>,
     stats: RefCell<CommStats>,
     tracer: Tracer,
+    timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
+    // Index of the next collective/p2p call on this rank; fault plans
+    // address injection points by (rank, seq).
+    seq: Cell<u64>,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -257,6 +447,11 @@ impl Communicator {
         &self.tracer
     }
 
+    /// The rendezvous deadline this communicator was extracted with.
+    pub fn collective_timeout(&self) -> Duration {
+        self.timeout
+    }
+
     /// Records the stats entry for one collective call and opens its span,
     /// tagged with the kind, logical payload bytes, analytical ring wire
     /// bytes, and group size. The span covers the blocking exchange.
@@ -274,14 +469,63 @@ impl Communicator {
         })
     }
 
+    /// Consults the world's fault plan before a call. Returns `Err` for an
+    /// injected transient failure (without consuming the call's sequence
+    /// number, so the retry lands on the same coordinate), panics for an
+    /// injected rank death, sleeps for an injected straggler delay.
+    fn fault_gate(&self, op: &'static str) -> Result<(), CollectiveError> {
+        let seq = self.seq.get();
+        let Some(plan) = &self.fault_plan else {
+            self.seq.set(seq + 1);
+            return Ok(());
+        };
+        let rank = self.rank;
+        let emit = |name: &'static str, kind: &'static str| {
+            self.tracer.instant_args(name, || {
+                vec![
+                    ("op", ArgValue::Str(op.to_string())),
+                    ("kind", ArgValue::Str(kind.to_string())),
+                    ("rank", ArgValue::U64(rank as u64)),
+                    ("seq", ArgValue::U64(seq)),
+                ]
+            });
+        };
+        match plan.poll_collective(rank, seq) {
+            Some(FaultAction::Panic) => {
+                emit("fault_injected", "panic");
+                panic!("mt-fault: injected panic on rank {rank} at collective #{seq} ({op})");
+            }
+            Some(FaultAction::Delay { micros }) => {
+                emit("fault_injected", "delay");
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            Some(FaultAction::Fail) => {
+                emit("fault_injected", "transient");
+                return Err(CollectiveError::InjectedTransient { rank, seq });
+            }
+            Some(FaultAction::Recovered) => emit("fault_recovered", "transient"),
+            None => {}
+        }
+        self.seq.set(seq + 1);
+        Ok(())
+    }
+
     /// Element-wise sum across ranks; every rank receives the full result.
     ///
     /// # Panics
     ///
-    /// Panics if ranks contribute tensors of different shapes.
+    /// Raises the [`CollectiveError`] from [`Communicator::try_all_reduce`]
+    /// as a panic payload.
     pub fn all_reduce(&self, x: &Tensor) -> Tensor {
+        self.try_all_reduce(x).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::all_reduce`].
+    pub fn try_all_reduce(&self, x: &Tensor) -> Result<Tensor, CollectiveError> {
+        self.fault_gate("all_reduce")?;
         let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
-        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+        let tag = CallTag { op: "all_reduce", shape: x.shape().to_vec(), root: None };
+        self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
                 acc.add_assign(d.as_ref().expect("deposit present"));
@@ -296,14 +540,21 @@ impl Communicator {
     ///
     /// # Panics
     ///
-    /// Panics if ranks contribute tensors of different shapes.
+    /// Raises the [`CollectiveError`] from
+    /// [`Communicator::try_all_reduce_max`] as a panic payload.
     pub fn all_reduce_max(&self, x: &Tensor) -> Tensor {
+        self.try_all_reduce_max(x).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::all_reduce_max`].
+    pub fn try_all_reduce_max(&self, x: &Tensor) -> Result<Tensor, CollectiveError> {
+        self.fault_gate("all_reduce_max")?;
         let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
-        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+        let tag = CallTag { op: "all_reduce_max", shape: x.shape().to_vec(), root: None };
+        self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
                 let other = d.as_ref().expect("deposit present");
-                assert_eq!(acc.shape(), other.shape(), "all_reduce_max: shape mismatch");
                 for (a, &b) in acc.data_mut().iter_mut().zip(other.data()) {
                     *a = a.max(b);
                 }
@@ -318,11 +569,19 @@ impl Communicator {
     ///
     /// # Panics
     ///
-    /// Panics if shard trailing shapes differ across ranks.
+    /// Raises the [`CollectiveError`] from [`Communicator::try_all_gather`]
+    /// as a panic payload.
     pub fn all_gather(&self, shard: &Tensor) -> Tensor {
+        self.try_all_gather(shard).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::all_gather`].
+    pub fn try_all_gather(&self, shard: &Tensor) -> Result<Tensor, CollectiveError> {
+        self.fault_gate("all_gather")?;
         let full_elems = (shard.numel() * self.size) as u64;
         let _span = self.record_traced(CollectiveKind::AllGather, full_elems);
-        self.exchange.exchange(self.rank, shard.clone(), |deposits| {
+        let tag = CallTag { op: "all_gather", shape: shard.shape().to_vec(), root: None };
+        self.exchange.try_exchange(self.rank, tag, self.timeout, shard.clone(), |deposits| {
             let parts: Vec<Tensor> =
                 deposits.iter().map(|d| d.as_ref().expect("deposit present").clone()).collect();
             let full = Tensor::concat_axis0(&parts);
@@ -335,12 +594,20 @@ impl Communicator {
     ///
     /// # Panics
     ///
-    /// Panics if the tensors' axis 0 is not divisible by the group size or
-    /// shapes differ across ranks.
+    /// Raises the [`CollectiveError`] from
+    /// [`Communicator::try_reduce_scatter`] as a panic payload, or panics
+    /// if the tensors' axis 0 is not divisible by the group size.
     pub fn reduce_scatter(&self, x: &Tensor) -> Tensor {
+        self.try_reduce_scatter(x).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::reduce_scatter`].
+    pub fn try_reduce_scatter(&self, x: &Tensor) -> Result<Tensor, CollectiveError> {
+        self.fault_gate("reduce_scatter")?;
         let _span = self.record_traced(CollectiveKind::ReduceScatter, x.numel() as u64);
         let n = self.size;
-        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+        let tag = CallTag { op: "reduce_scatter", shape: x.shape().to_vec(), root: None };
+        self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
                 acc.add_assign(d.as_ref().expect("deposit present"));
@@ -350,50 +617,109 @@ impl Communicator {
     }
 
     /// Broadcasts `root`'s tensor to every rank. Non-root contributions are
-    /// ignored (pass anything of the right type, e.g. an empty tensor).
+    /// ignored (pass anything of the right type, e.g. an empty tensor), so
+    /// the SPMD tag checks only the op and root, not the shape.
     ///
     /// # Panics
     ///
-    /// Panics if `root` is out of range.
+    /// Panics if `root` is out of range, or raises the [`CollectiveError`]
+    /// from [`Communicator::try_broadcast`] as a panic payload.
     pub fn broadcast(&self, x: &Tensor, root: usize) -> Tensor {
+        self.try_broadcast(x, root).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::broadcast`].
+    pub fn try_broadcast(&self, x: &Tensor, root: usize) -> Result<Tensor, CollectiveError> {
         assert!(root < self.size, "broadcast: root {root} out of range");
+        self.fault_gate("broadcast")?;
         let _span = self.record_traced(CollectiveKind::Broadcast, x.numel() as u64);
-        self.exchange.exchange(self.rank, x.clone(), |deposits| {
+        let tag = CallTag { op: "broadcast", shape: Vec::new(), root: Some(root) };
+        self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let chosen = deposits[root].take().expect("root deposit present");
             vec![chosen; deposits.len()]
         })
     }
 
     /// Synchronizes all ranks without moving data.
+    ///
+    /// # Panics
+    ///
+    /// Raises the [`CollectiveError`] from [`Communicator::try_barrier`] as
+    /// a panic payload.
     pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&self) -> Result<(), CollectiveError> {
+        self.fault_gate("barrier")?;
         let _span = self.record_traced(CollectiveKind::Barrier, 0);
-        let _ = self
-            .exchange
-            .exchange(self.rank, Tensor::zeros(&[0]), |d| vec![Tensor::zeros(&[0]); d.len()]);
+        let tag = CallTag { op: "barrier", shape: Vec::new(), root: None };
+        self.exchange
+            .try_exchange(self.rank, tag, self.timeout, Tensor::zeros(&[0]), |d| {
+                vec![Tensor::zeros(&[0]); d.len()]
+            })
+            .map(|_| ())
     }
 
     /// Sends `x` to rank `to` (non-blocking; the channel is unbounded).
     ///
     /// # Panics
     ///
-    /// Panics if `to` is out of range or the destination hung up.
+    /// Panics if `to` is out of range, or raises the [`CollectiveError`]
+    /// from [`Communicator::try_send`] as a panic payload.
     pub fn send(&self, to: usize, x: &Tensor) {
+        self.try_send(to, x).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::send`].
+    pub fn try_send(&self, to: usize, x: &Tensor) -> Result<(), CollectiveError> {
         assert!(to < self.size, "send: destination {to} out of range");
+        self.fault_gate("send")?;
         let _span = self.record_traced(CollectiveKind::SendRecv, x.numel() as u64);
-        self.outboxes[to].send(x.clone()).expect("send: peer disconnected");
+        self.outboxes[to]
+            .send(x.clone())
+            .map_err(|_| CollectiveError::PeerDisconnected { rank: self.rank, peer: to })
     }
 
     /// Blocks until a tensor arrives from rank `from`.
     ///
     /// # Panics
     ///
-    /// Panics if `from` is out of range or the source hung up.
+    /// Panics if `from` is out of range, or raises the [`CollectiveError`]
+    /// from [`Communicator::try_recv`] as a panic payload.
     pub fn recv(&self, from: usize) -> Tensor {
+        self.try_recv(from).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`Communicator::recv`]: waits up to the world's collective
+    /// timeout, failing early if the sending rank dies.
+    pub fn try_recv(&self, from: usize) -> Result<Tensor, CollectiveError> {
         assert!(from < self.size, "recv: source {from} out of range");
+        self.fault_gate("recv")?;
         let _span = self
             .tracer
             .span_args("recv", || vec![("from", ArgValue::U64(from as u64))]);
-        self.inboxes[from].recv().expect("recv: peer disconnected")
+        let start = Instant::now();
+        loop {
+            if let Some(dead_rank) = self.exchange.first_dead() {
+                return Err(CollectiveError::RankDead { rank: self.rank, dead_rank });
+            }
+            let Some(remaining) = self.timeout.checked_sub(start.elapsed()) else {
+                return Err(CollectiveError::Timeout {
+                    rank: self.rank,
+                    op: "recv",
+                    waited: start.elapsed(),
+                });
+            };
+            match self.inboxes[from].recv_timeout(remaining.min(RECV_POLL)) {
+                Ok(t) => return Ok(t),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CollectiveError::PeerDisconnected { rank: self.rank, peer: from })
+                }
+            }
+        }
     }
 }
 
@@ -591,5 +917,19 @@ mod tests {
         assert_eq!(out[0].0.data(), &[5., 5., 5.]);
         assert_eq!(out[0].1.shape(), &[3]);
         assert_eq!(out[0].2.shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn try_collectives_succeed_on_the_healthy_path() {
+        let mut world = World::new(3);
+        let out = world.run_fallible(|c| {
+            let x = Tensor::full(&[2], (c.rank() + 1) as f32);
+            let sum = c.try_all_reduce(&x)?;
+            c.try_barrier()?;
+            Ok(sum.data()[0])
+        });
+        for r in out {
+            assert_eq!(r.expect("healthy world"), 6.0);
+        }
     }
 }

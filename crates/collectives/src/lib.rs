@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+mod error;
 pub mod grid;
 mod group;
 pub mod stats;
 
+pub use error::{CallTag, CollectiveError};
 pub use grid::{run_grid, run_grid3, Grid3Comm, GridComm};
-pub use group::{Communicator, World};
+pub use group::{Communicator, World, DEFAULT_COLLECTIVE_TIMEOUT};
 pub use stats::{CollectiveKind, CommStats, KindStats, FP16_BYTES};

@@ -1,0 +1,284 @@
+//! A versioned binary codec for the vendored serde [`Value`] tree.
+//!
+//! Checkpoints must round-trip `f32` weights bit-exactly, which JSON text
+//! cannot guarantee without care; this format writes every float as its raw
+//! IEEE-754 `f64` bits (the `f32 → f64` widening is exact, so the
+//! `f32 → f64 → bits → f64 → f32` round trip preserves every bit pattern,
+//! including `-0.0` and subnormals). The layout is a 4-byte magic
+//! (`MTCK`), a little-endian `u32` format version, and one tagged,
+//! length-prefixed tree node per value.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// File magic for checkpoint blobs.
+pub const MAGIC: [u8; 4] = *b"MTCK";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_UINT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_ARRAY: u8 = 6;
+const TAG_OBJECT: u8 = 7;
+
+/// Errors from [`decode_value`] / [`from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The blob does not start with the `MTCK` magic.
+    BadMagic,
+    /// The blob's version is newer than this decoder understands.
+    UnsupportedVersion(u32),
+    /// The blob ended mid-node.
+    Truncated,
+    /// An unknown node tag was encountered.
+    BadTag(u8),
+    /// A string node held invalid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the root value.
+    TrailingBytes,
+    /// The decoded tree did not match the target type.
+    Shape(String),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "not an MTCK checkpoint (bad magic)"),
+            BinError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint format version {v} is newer than supported {VERSION}")
+            }
+            BinError::Truncated => write!(f, "checkpoint truncated"),
+            BinError::BadTag(t) => write!(f, "unknown checkpoint node tag {t}"),
+            BinError::BadUtf8 => write!(f, "checkpoint string is not valid UTF-8"),
+            BinError::TrailingBytes => write!(f, "trailing bytes after checkpoint root"),
+            BinError::Shape(msg) => write!(f, "checkpoint shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Serializes `t` to a headered binary blob.
+pub fn to_bytes<T: Serialize>(t: &T) -> Vec<u8> {
+    encode_value(&t.to_value())
+}
+
+/// Deserializes a value of type `T` from a blob produced by [`to_bytes`].
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
+    let v = decode_value(bytes)?;
+    T::from_value(&v).map_err(|e| BinError::Shape(e.to_string()))
+}
+
+/// Encodes a [`Value`] tree with the `MTCK` header.
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    write_node(&mut out, v);
+    out
+}
+
+/// Decodes a blob produced by [`encode_value`], checking magic and version.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, BinError> {
+    if bytes.len() < 8 || bytes[..4] != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version > VERSION {
+        return Err(BinError::UnsupportedVersion(version));
+    }
+    let mut cursor = 8usize;
+    let v = read_node(bytes, &mut cursor)?;
+    if cursor != bytes.len() {
+        return Err(BinError::TrailingBytes);
+    }
+    Ok(v)
+}
+
+fn write_node(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                write_node(out, item);
+            }
+        }
+        Value::Object(pairs) => {
+            out.push(TAG_OBJECT);
+            out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+            for (k, val) in pairs {
+                out.extend_from_slice(&(k.len() as u64).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                write_node(out, val);
+            }
+        }
+    }
+}
+
+fn take<'a>(bytes: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], BinError> {
+    let end = cursor.checked_add(n).ok_or(BinError::Truncated)?;
+    if end > bytes.len() {
+        return Err(BinError::Truncated);
+    }
+    let slice = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(slice)
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, BinError> {
+    Ok(u64::from_le_bytes(take(bytes, cursor, 8)?.try_into().expect("8 bytes")))
+}
+
+fn read_len(bytes: &[u8], cursor: &mut usize) -> Result<usize, BinError> {
+    usize::try_from(read_u64(bytes, cursor)?).map_err(|_| BinError::Truncated)
+}
+
+fn read_str(bytes: &[u8], cursor: &mut usize) -> Result<String, BinError> {
+    let len = read_len(bytes, cursor)?;
+    std::str::from_utf8(take(bytes, cursor, len)?)
+        .map(str::to_string)
+        .map_err(|_| BinError::BadUtf8)
+}
+
+fn read_node(bytes: &[u8], cursor: &mut usize) -> Result<Value, BinError> {
+    let tag = take(bytes, cursor, 1)?[0];
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => Ok(Value::Bool(take(bytes, cursor, 1)?[0] != 0)),
+        TAG_INT => {
+            Ok(Value::Int(i64::from_le_bytes(take(bytes, cursor, 8)?.try_into().expect("8"))))
+        }
+        TAG_UINT => Ok(Value::UInt(read_u64(bytes, cursor)?)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(read_u64(bytes, cursor)?))),
+        TAG_STR => Ok(Value::Str(read_str(bytes, cursor)?)),
+        TAG_ARRAY => {
+            let len = read_len(bytes, cursor)?;
+            let mut items = Vec::with_capacity(len.min(bytes.len()));
+            for _ in 0..len {
+                items.push(read_node(bytes, cursor)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let len = read_len(bytes, cursor)?;
+            let mut pairs = Vec::with_capacity(len.min(bytes.len()));
+            for _ in 0..len {
+                let k = read_str(bytes, cursor)?;
+                let v = read_node(bytes, cursor)?;
+                pairs.push((k, v));
+            }
+            Ok(Value::Object(pairs))
+        }
+        other => Err(BinError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        decode_value(&encode_value(v)).expect("decodes")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::UInt(u64::MAX),
+            Value::Str("héllo \"world\"\n".to_string()),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        // Values JSON text rendering would mangle or lose precision on:
+        // negative zero, subnormals, and non-round decimals.
+        for f in
+            [0.0f32, -0.0, 1e-45, f32::MIN_POSITIVE, 0.1, -3.4e38, f32::NAN, f32::INFINITY]
+        {
+            let v = Value::Float(f64::from(f));
+            let back = roundtrip(&v);
+            let Value::Float(g) = back else { panic!("float expected") };
+            assert_eq!((g as f32).to_bits(), f.to_bits(), "bits differ for {f}");
+        }
+        // A raw f64 bit pattern survives too.
+        let v = Value::Float(f64::from_bits(0x7ff0_dead_beef_0001));
+        let Value::Float(g) = roundtrip(&v) else { panic!() };
+        assert_eq!(g.to_bits(), 0x7ff0_dead_beef_0001);
+    }
+
+    #[test]
+    fn nested_trees_round_trip() {
+        let v = Value::Object(vec![
+            ("weights".to_string(), Value::Array(vec![Value::Float(1.5), Value::Float(-0.0)])),
+            ("step".to_string(), Value::UInt(17)),
+            (
+                "nested".to_string(),
+                Value::Object(vec![("empty".to_string(), Value::Array(vec![]))]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn typed_round_trip_through_serde() {
+        let xs: Vec<f32> = vec![0.1, -0.0, 1e-45, 7.25];
+        let bytes = to_bytes(&xs);
+        let back: Vec<f32> = from_bytes(&bytes).expect("decodes");
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert_eq!(decode_value(b"oops"), Err(BinError::BadMagic));
+        let mut newer = encode_value(&Value::Null);
+        newer[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(decode_value(&newer), Err(BinError::UnsupportedVersion(99)));
+        let mut truncated = encode_value(&Value::Int(5));
+        truncated.truncate(truncated.len() - 2);
+        assert_eq!(decode_value(&truncated), Err(BinError::Truncated));
+        let mut trailing = encode_value(&Value::Null);
+        trailing.push(0);
+        assert_eq!(decode_value(&trailing), Err(BinError::TrailingBytes));
+        let mut badtag = encode_value(&Value::Null);
+        let last = badtag.len() - 1;
+        badtag[last] = 200;
+        assert_eq!(decode_value(&badtag), Err(BinError::BadTag(200)));
+    }
+}

@@ -1,0 +1,26 @@
+//! mt-fault: deterministic fault injection and the checkpoint wire format.
+//!
+//! Long training runs at the scale of Korthikanti et al. (weeks on Selene)
+//! treat rank failure and stragglers as routine, so the simulated stack
+//! needs a way to *provoke* those conditions on demand and to recover from
+//! them exactly. This crate provides the two halves that are independent of
+//! the communication runtime:
+//!
+//! - [`FaultPlan`]: a deterministic schedule of injected faults — rank
+//!   panics, collective delays (straggler simulation), and transient
+//!   failures — keyed by `(rank, collective-sequence)` or `(rank, step)`
+//!   coordinates. Plans are seeded through the existing `SplitMix64`
+//!   generator, never wall-clock, so a chaos run is exactly reproducible.
+//! - [`binfmt`]: a small versioned binary codec over the vendored serde
+//!   [`Value`](serde::Value) tree. Floats travel as raw IEEE-754 bits, so
+//!   checkpoints round-trip `f32` weights and Adam moments bit-exactly —
+//!   the property the deterministic resume contract is built on.
+//!
+//! The collectives runtime (`mt-collectives`) consumes plans at collective
+//! granularity; the trainer (`mt-model`) consumes them at step granularity
+//! and uses `binfmt` for `Trainer::save_checkpoint`/`resume_from`.
+
+pub mod binfmt;
+mod plan;
+
+pub use plan::{FaultAction, FaultKind, FaultPlan, FaultPlanBuilder, FaultSite, FaultSpec};

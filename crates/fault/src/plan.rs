@@ -1,0 +1,308 @@
+//! Deterministic fault schedules.
+
+use mt_tensor::rng::SplitMix64;
+use parking_lot::Mutex;
+
+/// What an injected fault does at its coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank thread panics, simulating a hard rank death.
+    Panic,
+    /// The rank stalls for the given duration before proceeding, simulating
+    /// a straggler. Durations are typically derived from the α–β
+    /// communication cost model (`CommCostModel` in mt-collectives) so the
+    /// stall is a calibrated multiple of a modeled collective.
+    Delay {
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// The operation fails once with a retryable error; the retry at the
+    /// same coordinate succeeds and is reported as recovered.
+    Transient,
+}
+
+/// Where an injected fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The `seq`-th collective issued by `rank` (counted per world attempt,
+    /// starting at 0).
+    Collective {
+        /// Rank whose collective call is targeted.
+        rank: usize,
+        /// Zero-based index of the collective call on that rank.
+        seq: u64,
+    },
+    /// The start of training step `step` on `rank`.
+    Step {
+        /// Rank whose step is targeted.
+        rank: usize,
+        /// Global training-step number.
+        step: u64,
+    },
+}
+
+/// One scheduled fault: a site plus what happens there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Coordinate at which the fault fires.
+    pub site: FaultSite,
+    /// Effect of the fault.
+    pub kind: FaultKind,
+}
+
+/// What the instrumented call site should do right now, as returned by
+/// [`FaultPlan::poll_collective`] / [`FaultPlan::poll_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic the calling rank thread.
+    Panic,
+    /// Sleep for `micros` microseconds, then proceed normally.
+    Delay {
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// Fail this call with a transient error; a retry will succeed.
+    Fail,
+    /// This coordinate previously failed (transient or panic) and is now
+    /// being replayed successfully — emit a `fault_recovered` instant.
+    Recovered,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    /// Per-spec: the fault already fired (consume-once semantics).
+    fired: Vec<bool>,
+    /// Per-spec: the recovery of a fired Panic/Transient was already
+    /// reported, so later visits to the coordinate are silent.
+    recovery_reported: Vec<bool>,
+}
+
+/// A deterministic schedule of injected faults, installed per `World`.
+///
+/// Every fault is pinned to an explicit coordinate — no wall-clock, no
+/// global randomness — so a chaos run replays identically under
+/// `--test-threads=1` or 16, debug or release. Randomized plans go through
+/// [`FaultPlan::random`], which draws coordinates from a seeded
+/// [`SplitMix64`] stream.
+///
+/// `Panic` and `Transient` faults are **consume-once**: after firing, the
+/// coordinate behaves normally, which is what makes retry-from-checkpoint
+/// converge. The first successful replay of a consumed coordinate reports
+/// [`FaultAction::Recovered`] exactly once so the tracer can mark the
+/// recovery.
+#[derive(Debug)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (useful as a fault-free control).
+    pub fn none() -> Self {
+        FaultPlanBuilder::new().build()
+    }
+
+    /// Starts building a plan by listing explicit faults.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder::new()
+    }
+
+    /// A randomized plan drawn deterministically from `seed`: `count`
+    /// faults at distinct collective coordinates over `ranks` ranks and
+    /// sequence numbers `0..max_seq`, with kinds cycled through
+    /// panic/delay/transient. Same seed, same plan — always.
+    pub fn random(seed: u64, ranks: usize, max_seq: u64, count: usize) -> Self {
+        assert!(ranks > 0 && max_seq > 0, "random plan needs a non-empty coordinate space");
+        let mut rng = SplitMix64::new(seed);
+        let mut b = FaultPlanBuilder::new();
+        let mut used: Vec<(usize, u64)> = Vec::with_capacity(count);
+        while used.len() < count {
+            let rank = (rng.next_u64() % ranks as u64) as usize;
+            let seq = rng.next_u64() % max_seq;
+            if used.contains(&(rank, seq)) {
+                continue;
+            }
+            used.push((rank, seq));
+            b = match rng.next_u64() % 3 {
+                0 => b.panic_at_collective(rank, seq),
+                1 => b.delay_collective(rank, seq, 100 + rng.next_u64() % 900),
+                _ => b.transient_at_collective(rank, seq),
+            };
+        }
+        b.build()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True if the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.state.lock().fired.iter().filter(|f| **f).count()
+    }
+
+    /// Consults the plan before rank `rank`'s `seq`-th collective call.
+    pub fn poll_collective(&self, rank: usize, seq: u64) -> Option<FaultAction> {
+        self.poll(FaultSite::Collective { rank, seq })
+    }
+
+    /// Consults the plan at the top of training step `step` on `rank`.
+    pub fn poll_step(&self, rank: usize, step: u64) -> Option<FaultAction> {
+        self.poll(FaultSite::Step { rank, step })
+    }
+
+    fn poll(&self, site: FaultSite) -> Option<FaultAction> {
+        let idx = self.specs.iter().position(|s| s.site == site)?;
+        let kind = self.specs[idx].kind;
+        let mut st = self.state.lock();
+        if !st.fired[idx] {
+            st.fired[idx] = true;
+            return Some(match kind {
+                FaultKind::Panic => FaultAction::Panic,
+                FaultKind::Delay { micros } => FaultAction::Delay { micros },
+                FaultKind::Transient => FaultAction::Fail,
+            });
+        }
+        // Already fired: panics and transients get one Recovered report on
+        // the first replay of the coordinate; delays do not recur.
+        if matches!(kind, FaultKind::Panic | FaultKind::Transient) && !st.recovery_reported[idx] {
+            st.recovery_reported[idx] = true;
+            return Some(FaultAction::Recovered);
+        }
+        None
+    }
+}
+
+/// Builder for [`FaultPlan`]. Coordinates may be listed in any order.
+#[derive(Debug, Default)]
+pub struct FaultPlanBuilder {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlanBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FaultPlanBuilder { specs: Vec::new() }
+    }
+
+    /// Adds an arbitrary spec.
+    pub fn spec(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Panics rank `rank` at its `seq`-th collective call.
+    pub fn panic_at_collective(self, rank: usize, seq: u64) -> Self {
+        self.spec(FaultSpec { site: FaultSite::Collective { rank, seq }, kind: FaultKind::Panic })
+    }
+
+    /// Panics rank `rank` at the start of step `step`.
+    pub fn panic_at_step(self, rank: usize, step: u64) -> Self {
+        self.spec(FaultSpec { site: FaultSite::Step { rank, step }, kind: FaultKind::Panic })
+    }
+
+    /// Stalls rank `rank`'s `seq`-th collective by `micros` microseconds.
+    pub fn delay_collective(self, rank: usize, seq: u64, micros: u64) -> Self {
+        self.spec(FaultSpec {
+            site: FaultSite::Collective { rank, seq },
+            kind: FaultKind::Delay { micros },
+        })
+    }
+
+    /// Fails rank `rank`'s `seq`-th collective once with a transient error.
+    pub fn transient_at_collective(self, rank: usize, seq: u64) -> Self {
+        self.spec(FaultSpec {
+            site: FaultSite::Collective { rank, seq },
+            kind: FaultKind::Transient,
+        })
+    }
+
+    /// Fails rank `rank`'s step `step` once with a transient error.
+    pub fn transient_at_step(self, rank: usize, step: u64) -> Self {
+        self.spec(FaultSpec { site: FaultSite::Step { rank, step }, kind: FaultKind::Transient })
+    }
+
+    /// Finalizes the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two specs share a coordinate (the plan would be ambiguous).
+    pub fn build(self) -> FaultPlan {
+        for (i, a) in self.specs.iter().enumerate() {
+            for b in &self.specs[i + 1..] {
+                assert!(a.site != b.site, "duplicate fault site {:?}", a.site);
+            }
+        }
+        let n = self.specs.len();
+        FaultPlan {
+            specs: self.specs,
+            state: Mutex::new(PlanState {
+                fired: vec![false; n],
+                recovery_reported: vec![false; n],
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fires_once_then_reports_recovery_once() {
+        let plan = FaultPlan::builder().panic_at_step(1, 5).build();
+        assert_eq!(plan.poll_step(1, 4), None);
+        assert_eq!(plan.poll_step(0, 5), None);
+        assert_eq!(plan.poll_step(1, 5), Some(FaultAction::Panic));
+        // Replay of the coordinate after the fault: recovered, then silent.
+        assert_eq!(plan.poll_step(1, 5), Some(FaultAction::Recovered));
+        assert_eq!(plan.poll_step(1, 5), None);
+        assert_eq!(plan.fired_count(), 1);
+    }
+
+    #[test]
+    fn transient_fails_once_then_recovers() {
+        let plan = FaultPlan::builder().transient_at_collective(0, 3).build();
+        assert_eq!(plan.poll_collective(0, 3), Some(FaultAction::Fail));
+        assert_eq!(plan.poll_collective(0, 3), Some(FaultAction::Recovered));
+        assert_eq!(plan.poll_collective(0, 3), None);
+    }
+
+    #[test]
+    fn delay_fires_once_without_recovery_report() {
+        let plan = FaultPlan::builder().delay_collective(2, 0, 250).build();
+        assert_eq!(plan.poll_collective(2, 0), Some(FaultAction::Delay { micros: 250 }));
+        assert_eq!(plan.poll_collective(2, 0), None);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::random(42, 4, 100, 6);
+        let b = FaultPlan::random(42, 4, 100, 6);
+        let c = FaultPlan::random(43, 4, 100, 6);
+        assert_eq!(a.specs(), b.specs());
+        assert_ne!(a.specs(), c.specs());
+        assert_eq!(a.specs().len(), 6);
+        // All coordinates distinct.
+        for (i, s) in a.specs().iter().enumerate() {
+            for t in &a.specs()[i + 1..] {
+                assert_ne!(s.site, t.site);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fault site")]
+    fn duplicate_sites_are_rejected() {
+        let _ = FaultPlan::builder()
+            .panic_at_collective(0, 1)
+            .delay_collective(0, 1, 10)
+            .build();
+    }
+}

@@ -53,6 +53,7 @@ mod layer;
 mod ledger;
 pub mod optim;
 pub mod pipeline_exec;
+pub mod recovery;
 pub mod streams;
 pub mod trainer;
 pub mod vocab_parallel;

@@ -17,11 +17,55 @@ use crate::layer::{ExecMode, LayerState, TransformerLayer};
 use crate::ledger::{ActivationLedger, Category};
 use crate::streams::{element_offset, stream_id, DropoutSite};
 use crate::weights::{EmbeddingWeights, LayerGrads};
-use mt_collectives::GridComm;
+use mt_collectives::{CollectiveError, GridComm};
 use mt_memory::Recompute;
 use mt_tensor::ops;
 use mt_tensor::rng::CounterRng;
 use mt_tensor::Tensor;
+use std::fmt;
+
+/// A pipeline communication failure, located at the coordinate where it
+/// surfaced: which stage, which microbatch (when tied to one), and what the
+/// stage was doing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError {
+    /// Pipeline stage (virtual stage under the interleaved schedule) that
+    /// observed the failure.
+    pub stage: usize,
+    /// Microbatch in flight, when the failure is tied to one.
+    pub micro: Option<usize>,
+    /// The operation that failed.
+    pub context: &'static str,
+    /// The underlying collective failure (boxed to keep the hot path's
+    /// `Result` small).
+    pub source: Box<CollectiveError>,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline stage {}", self.stage)?;
+        if let Some(m) = self.micro {
+            write!(f, ", microbatch {m}")?;
+        }
+        write!(f, ": {} failed: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
+/// Curries the failure coordinate so call sites read
+/// `.map_err(at(stage, Some(m), "recv of forward activation"))?`.
+fn at(
+    stage: usize,
+    micro: Option<usize>,
+    context: &'static str,
+) -> impl FnOnce(CollectiveError) -> PipelineError {
+    move |source| PipelineError { stage, micro, context, source: Box::new(source) }
+}
 
 /// The final-LayerNorm + tied-logits head owned by the last stage.
 #[derive(Debug, Clone)]
@@ -220,8 +264,10 @@ fn stage_ops(stage: usize, pp: usize, n: usize) -> Vec<(bool, usize)> {
 ///
 /// # Panics
 ///
-/// Panics if `micro_data` is empty or shapes are inconsistent with the
-/// grid/model.
+/// Panics if `micro_data` is empty, shapes are inconsistent with the
+/// grid/model, or a peer fails mid-iteration (use
+/// [`try_run_1f1b_iteration`] to get the failure as a [`PipelineError`]
+/// instead).
 pub fn run_1f1b_iteration(
     model: &StageModel,
     g: &GridComm,
@@ -229,6 +275,29 @@ pub fn run_1f1b_iteration(
     micro_data: &[(Vec<usize>, Vec<usize>)],
     step: u64,
 ) -> IterationOutcome {
+    try_run_1f1b_iteration(model, g, sequence_parallel, micro_data, step)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_1f1b_iteration`] with communication failures propagated: a dead,
+/// absent, or mismatched peer surfaces as `Err(PipelineError)` naming the
+/// stage and microbatch coordinate instead of a panic or a hang.
+///
+/// # Errors
+///
+/// Returns the first collective failure this rank observes.
+///
+/// # Panics
+///
+/// Still panics on caller bugs (empty `micro_data`, a model built for a
+/// different grid) — those are not runtime faults.
+pub fn try_run_1f1b_iteration(
+    model: &StageModel,
+    g: &GridComm,
+    sequence_parallel: bool,
+    micro_data: &[(Vec<usize>, Vec<usize>)],
+    step: u64,
+) -> Result<IterationOutcome, PipelineError> {
     let cfg = model.cfg;
     let n = micro_data.len();
     assert!(n > 0, "need at least one microbatch");
@@ -262,7 +331,10 @@ pub fn run_1f1b_iteration(
                 ledger.record(Category::EmbeddingDropoutMask, x.numel() as u64);
                 x
             } else {
-                g.grid.recv(g.prev_stage_rank().expect("stage > 0"))
+                let from = g.prev_stage_rank().expect("stage > 0 has a predecessor");
+                g.grid
+                    .try_recv(from)
+                    .map_err(at(model.stage, Some(m), "recv of forward activation"))?
             };
             let mut layer_states = Vec::with_capacity(model.layers.len());
             for layer in &model.layers {
@@ -271,7 +343,13 @@ pub fn run_1f1b_iteration(
                 x = y;
             }
             let head = if model.stage == model.pp - 1 {
-                let y_full = if sp { g.tp.all_gather(&x) } else { x.clone() };
+                let y_full = if sp {
+                    g.tp
+                        .try_all_gather(&x)
+                        .map_err(at(model.stage, Some(m), "all-gather of final activations"))?
+                } else {
+                    x.clone()
+                };
                 let h = model.head.as_ref().expect("last stage has a head");
                 let (y_ln, ln_saved) =
                     ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
@@ -283,7 +361,10 @@ pub fn run_1f1b_iteration(
                 loss_sum += ce.loss as f64;
                 Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
             } else {
-                g.grid.send(g.next_stage_rank().expect("not last stage"), &x);
+                let to = g.next_stage_rank().expect("non-final stage has a successor");
+                g.grid
+                    .try_send(to, &x)
+                    .map_err(at(model.stage, Some(m), "send of forward activation"))?;
                 None
             };
             per_micro_bytes = ledger.paper_bytes();
@@ -292,7 +373,12 @@ pub fn run_1f1b_iteration(
             peak_live = peak_live.max(live_count);
         } else {
             // ----- backward of microbatch m -----
-            let st = live[m].take().expect("backward before forward");
+            let st = live[m].take().unwrap_or_else(|| {
+                panic!(
+                    "stage {}: backward of microbatch {m} scheduled before its forward",
+                    model.stage
+                )
+            });
             live_count -= 1;
             let mut d = if let Some(hs) = &st.head {
                 let h = model.head.as_ref().expect("last stage has a head");
@@ -310,11 +396,19 @@ pub fn run_1f1b_iteration(
                     d_y_full
                 }
             } else {
-                g.grid.recv(g.next_stage_rank().expect("not last stage"))
+                let from = g.next_stage_rank().expect("non-final stage has a successor");
+                g.grid
+                    .try_recv(from)
+                    .map_err(at(model.stage, Some(m), "recv of backward gradient"))?
             };
             let mut layer_states = st.layer_states;
             for idx in (0..model.layers.len()).rev() {
-                let lstate = layer_states.pop().expect("one state per layer");
+                let lstate = layer_states.pop().unwrap_or_else(|| {
+                    panic!(
+                        "stage {}, microbatch {m}: missing saved state for layer {idx}",
+                        model.stage
+                    )
+                });
                 let (dx, lg) = model.layers[idx].backward(&d, lstate, &mode);
                 grads.layers[idx].accumulate(&lg);
                 d = dx;
@@ -337,7 +431,10 @@ pub fn run_1f1b_iteration(
                 let ids_local = &micro_tokens[row0..row0 + rows];
                 d_table_acc.add_assign(&ops::embedding_backward(ids_local, &d_emb, cfg.vocab));
             } else {
-                g.grid.send(g.prev_stage_rank().expect("stage > 0"), &d);
+                let to = g.prev_stage_rank().expect("stage > 0 has a predecessor");
+                g.grid
+                    .try_send(to, &d)
+                    .map_err(at(model.stage, Some(m), "send of backward gradient"))?;
             }
         }
     }
@@ -346,8 +443,14 @@ pub fn run_1f1b_iteration(
     // shards; sum across the tensor-parallel group.
     if sp {
         if let Some((t, p)) = grads.embedding.as_mut() {
-            *t = g.tp.all_reduce(t);
-            *p = g.tp.all_reduce(p);
+            *t = g
+                .tp
+                .try_all_reduce(t)
+                .map_err(at(model.stage, None, "all-reduce of embedding-table gradients"))?;
+            *p = g
+                .tp
+                .try_all_reduce(p)
+                .map_err(at(model.stage, None, "all-reduce of position gradients"))?;
         }
     }
 
@@ -356,17 +459,24 @@ pub fn run_1f1b_iteration(
     // gradient is sent back so both copies step identically.
     if model.pp > 1 {
         let last = model.pp - 1;
+        let tied = "tied-embedding gradient exchange";
         if model.stage == last {
             let (_, _, d_table_head) = grads.head.as_ref().expect("head grads");
-            g.grid.send(g.peer_on_stage(0), d_table_head);
-            let combined = g.grid.recv(g.peer_on_stage(0));
+            g.grid
+                .try_send(g.peer_on_stage(0), d_table_head)
+                .map_err(at(model.stage, None, tied))?;
+            let combined =
+                g.grid.try_recv(g.peer_on_stage(0)).map_err(at(model.stage, None, tied))?;
             grads.head.as_mut().expect("head grads").2 = combined;
         } else if model.stage == 0 {
-            let head_grad = g.grid.recv(g.peer_on_stage(last));
+            let head_grad =
+                g.grid.try_recv(g.peer_on_stage(last)).map_err(at(model.stage, None, tied))?;
             let (d_table, _) = grads.embedding.as_mut().expect("embedding grads");
             d_table.add_assign(&head_grad);
             let combined = d_table.clone();
-            g.grid.send(g.peer_on_stage(last), &combined);
+            g.grid
+                .try_send(g.peer_on_stage(last), &combined)
+                .map_err(at(model.stage, None, tied))?;
         }
     } else if let (Some((d_table, _)), Some((_, _, d_head))) =
         (grads.embedding.as_mut(), grads.head.as_ref())
@@ -379,9 +489,13 @@ pub fn run_1f1b_iteration(
     // Broadcast the mean loss from the last stage's tp-rank-0 to everyone.
     let loss_root = (model.pp - 1) * tp;
     let loss_local = Tensor::full(&[1], (loss_sum / n as f64) as f32);
-    let mean_loss = g.grid.broadcast(&loss_local, loss_root).data()[0];
+    let mean_loss = g
+        .grid
+        .try_broadcast(&loss_local, loss_root)
+        .map_err(at(model.stage, None, "broadcast of mean loss"))?
+        .data()[0];
 
-    IterationOutcome { mean_loss, grads, peak_live_states: peak_live, per_micro_activation_bytes: per_micro_bytes }
+    Ok(IterationOutcome { mean_loss, grads, peak_live_states: peak_live, per_micro_activation_bytes: per_micro_bytes })
 }
 
 /// The interleaved unit order for one device (Megatron's schedule; matches
@@ -424,7 +538,9 @@ fn interleaved_device_ops(device: usize, p: usize, m: usize, n: usize) -> Vec<(b
 /// # Panics
 ///
 /// Panics if `micro_data.len()` is not a multiple of the device count, the
-/// chunk list is empty, or chunk models disagree with the grid.
+/// chunk list is empty, chunk models disagree with the grid, or a peer
+/// fails mid-iteration (use [`try_run_interleaved_iteration`] to get the
+/// failure as a [`PipelineError`] instead).
 pub fn run_interleaved_iteration(
     chunks: &[StageModel],
     g: &GridComm,
@@ -432,6 +548,28 @@ pub fn run_interleaved_iteration(
     micro_data: &[(Vec<usize>, Vec<usize>)],
     step: u64,
 ) -> (f32, Vec<StageGrads>, usize) {
+    try_run_interleaved_iteration(chunks, g, sequence_parallel, micro_data, step)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_interleaved_iteration`] with communication failures propagated as
+/// [`PipelineError`]s naming the virtual-stage and microbatch coordinate.
+///
+/// # Errors
+///
+/// Returns the first collective failure this device observes.
+///
+/// # Panics
+///
+/// Still panics on caller bugs (empty chunk list, chunk/grid mismatch) —
+/// those are not runtime faults.
+pub fn try_run_interleaved_iteration(
+    chunks: &[StageModel],
+    g: &GridComm,
+    sequence_parallel: bool,
+    micro_data: &[(Vec<usize>, Vec<usize>)],
+    step: u64,
+) -> Result<(f32, Vec<StageGrads>, usize), PipelineError> {
     let m = chunks.len();
     assert!(m > 0, "need at least one chunk");
     let p = g.pp();
@@ -474,7 +612,9 @@ pub fn run_interleaved_iteration(
                 // Previous virtual stage lives on device (device+p-1)%p
                 // (chunk v, or chunk v-1 when this is device 0).
                 let from_device = (device + p - 1) % p;
-                g.grid.recv(from_device * tp + g.tp_rank)
+                g.grid
+                    .try_recv(from_device * tp + g.tp_rank)
+                    .map_err(at(vs, Some(mb), "recv of forward activation"))?
             };
             let mut layer_states = Vec::with_capacity(model.layers.len());
             let mut scratch = ActivationLedger::new();
@@ -484,7 +624,13 @@ pub fn run_interleaved_iteration(
                 x = y;
             }
             let head = if vs == vstages - 1 {
-                let y_full = if sp { g.tp.all_gather(&x) } else { x.clone() };
+                let y_full = if sp {
+                    g.tp
+                        .try_all_gather(&x)
+                        .map_err(at(vs, Some(mb), "all-gather of final activations"))?
+                } else {
+                    x.clone()
+                };
                 let h = model.head.as_ref().expect("last virtual stage has the head");
                 let (y_ln, ln_saved) =
                     ops::layer_norm(&y_full, &h.final_ln_gamma, &h.final_ln_beta);
@@ -494,14 +640,18 @@ pub fn run_interleaved_iteration(
                 Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
             } else {
                 let to_device = (device + 1) % p;
-                g.grid.send(to_device * tp + g.tp_rank, &x);
+                g.grid
+                    .try_send(to_device * tp + g.tp_rank, &x)
+                    .map_err(at(vs, Some(mb), "send of forward activation"))?;
                 None
             };
             live[v][mb] = Some(MicroState { tokens_hash: mb, layer_states, head });
             live_count += 1;
             peak_live = peak_live.max(live_count);
         } else {
-            let st = live[v][mb].take().expect("backward before forward");
+            let st = live[v][mb].take().unwrap_or_else(|| {
+                panic!("virtual stage {vs}: backward of microbatch {mb} scheduled before its forward")
+            });
             live_count -= 1;
             let mut d = if let Some(hs) = &st.head {
                 let h = chunks[v].head.as_ref().expect("head weights");
@@ -520,11 +670,15 @@ pub fn run_interleaved_iteration(
                 }
             } else {
                 let from_device = (device + 1) % p;
-                g.grid.recv(from_device * tp + g.tp_rank)
+                g.grid
+                    .try_recv(from_device * tp + g.tp_rank)
+                    .map_err(at(vs, Some(mb), "recv of backward gradient"))?
             };
             let mut layer_states = st.layer_states;
             for idx in (0..chunks[v].layers.len()).rev() {
-                let lstate = layer_states.pop().expect("one state per layer");
+                let lstate = layer_states.pop().unwrap_or_else(|| {
+                    panic!("virtual stage {vs}, microbatch {mb}: missing saved state for layer {idx}")
+                });
                 let (dx, lg) = chunks[v].layers[idx].backward(&d, lstate, &mode);
                 grads[v].layers[idx].accumulate(&lg);
                 d = dx;
@@ -547,7 +701,9 @@ pub fn run_interleaved_iteration(
                 d_table_acc.add_assign(&ops::embedding_backward(ids, &d_emb, cfg.vocab));
             } else {
                 let to_device = (device + p - 1) % p;
-                g.grid.send(to_device * tp + g.tp_rank, &d);
+                g.grid
+                    .try_send(to_device * tp + g.tp_rank, &d)
+                    .map_err(at(vs, Some(mb), "send of backward gradient"))?;
             }
         }
     }
@@ -556,22 +712,35 @@ pub fn run_interleaved_iteration(
     // (device 0 holds chunk 0 / the embedding; device p−1 holds the head).
     if sp {
         if let Some(embedding) = grads[0].embedding.as_mut() {
-            embedding.0 = g.tp.all_reduce(&embedding.0);
-            embedding.1 = g.tp.all_reduce(&embedding.1);
+            embedding.0 = g
+                .tp
+                .try_all_reduce(&embedding.0)
+                .map_err(at(device, None, "all-reduce of embedding-table gradients"))?;
+            embedding.1 = g
+                .tp
+                .try_all_reduce(&embedding.1)
+                .map_err(at(device, None, "all-reduce of position gradients"))?;
         }
     }
     if p > 1 {
+        let tied = "tied-embedding gradient exchange";
         if device == p - 1 {
             let (_, _, d_table_head) = grads[m - 1].head.as_ref().expect("head grads");
-            g.grid.send(g.peer_on_stage(0), d_table_head);
-            let combined = g.grid.recv(g.peer_on_stage(0));
+            g.grid
+                .try_send(g.peer_on_stage(0), d_table_head)
+                .map_err(at(device, None, tied))?;
+            let combined =
+                g.grid.try_recv(g.peer_on_stage(0)).map_err(at(device, None, tied))?;
             grads[m - 1].head.as_mut().expect("head grads").2 = combined;
         } else if device == 0 {
-            let head_grad = g.grid.recv(g.peer_on_stage(p - 1));
+            let head_grad =
+                g.grid.try_recv(g.peer_on_stage(p - 1)).map_err(at(device, None, tied))?;
             let (d_table, _) = grads[0].embedding.as_mut().expect("embedding grads");
             d_table.add_assign(&head_grad);
             let combined = d_table.clone();
-            g.grid.send(g.peer_on_stage(p - 1), &combined);
+            g.grid
+                .try_send(g.peer_on_stage(p - 1), &combined)
+                .map_err(at(device, None, tied))?;
         }
     } else {
         // Single device: both tied copies are local; combine across chunks
@@ -585,8 +754,12 @@ pub fn run_interleaved_iteration(
 
     let loss_root = (p - 1) * tp;
     let loss_local = Tensor::full(&[1], (loss_sum / n as f64) as f32);
-    let mean_loss = g.grid.broadcast(&loss_local, loss_root).data()[0];
-    (mean_loss, grads, peak_live)
+    let mean_loss = g
+        .grid
+        .try_broadcast(&loss_local, loss_root)
+        .map_err(at(device, None, "broadcast of mean loss"))?
+        .data()[0];
+    Ok((mean_loss, grads, peak_live))
 }
 
 #[cfg(test)]

@@ -1,0 +1,232 @@
+//! Retry-with-backoff training: run segments between checkpoints under
+//! [`World::run_fallible`], and on any rank failure restore the last
+//! checkpoint and replay.
+//!
+//! The driver models job-level restart semantics: a *segment* of
+//! `checkpoint_every` steps either commits on every rank (all ranks return
+//! fresh checkpoints) or commits on none, in which case the same segment is
+//! retried from the previous checkpoints after a deterministic exponential
+//! backoff. Because checkpoints capture the complete training state
+//! bit-exactly (see [`TrainerCheckpoint`]) and injected faults are
+//! consume-once, a recovered run produces final weights **bit-identical**
+//! to a fault-free run of the same total steps.
+
+use crate::gpt::Gpt;
+use crate::layer::ExecMode;
+use crate::trainer::{StepStats, Trainer, TrainerCheckpoint, TrainerConfig};
+use mt_collectives::{CollectiveError, World, DEFAULT_COLLECTIVE_TIMEOUT};
+use mt_fault::{FaultAction, FaultPlan};
+use mt_memory::Recompute;
+use mt_trace::ArgValue;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Knobs for [`train_with_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Total training steps to complete.
+    pub total_steps: u64,
+    /// Steps between checkpoints (segment length).
+    pub checkpoint_every: u64,
+    /// Failed attempts tolerated before giving up.
+    pub max_retries: u32,
+    /// Base backoff slept after a failed attempt; doubles per consecutive
+    /// failure (capped at 5 s). Zero disables sleeping, which keeps tests
+    /// fast while preserving the retry accounting.
+    pub backoff_base: Duration,
+    /// Rendezvous deadline installed on each attempt's world.
+    pub collective_timeout: Duration,
+}
+
+impl RecoveryConfig {
+    /// A config for `total_steps` with checkpoints every 4 steps, 4
+    /// retries, no backoff sleep, and the default collective timeout.
+    pub fn new(total_steps: u64) -> Self {
+        RecoveryConfig {
+            total_steps,
+            checkpoint_every: 4,
+            max_retries: 4,
+            backoff_base: Duration::ZERO,
+            collective_timeout: DEFAULT_COLLECTIVE_TIMEOUT,
+        }
+    }
+}
+
+/// What happened across a recovered run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Per-step diagnostics from rank 0, for all `total_steps` steps
+    /// (committed segments only — failed attempts are not recorded, just
+    /// as their weight updates are not kept).
+    pub stats: Vec<StepStats>,
+    /// Failed attempts that were recovered from.
+    pub retries: u32,
+    /// Human-readable description of each recovered failure.
+    pub failures: Vec<String>,
+    /// Segments committed (= checkpoints taken).
+    pub segments: u64,
+}
+
+/// Terminal failure of [`train_with_recovery`]: the retry budget ran out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryError {
+    /// Descriptions of every failed attempt, in order.
+    pub failures: Vec<String>,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "training failed after {} attempts: ", self.failures.len())?;
+        match self.failures.last() {
+            Some(last) => write!(f, "{last}"),
+            None => write!(f, "(no attempts recorded)"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Trains `init` for `rc.total_steps` steps across `tp` tensor-parallel
+/// ranks, surviving injected (or real) rank failures by restoring the last
+/// checkpoint and replaying. Returns the per-rank trained model shards
+/// (the full model when `tp == 1`) and a report of the recoveries.
+///
+/// `data(step)` must be a pure function of the step number so a replayed
+/// segment sees identical batches; the trainer's counter-based RNG streams
+/// make everything else about the replay exact.
+///
+/// The fault plan is consulted at two granularities: each attempt's
+/// [`World`] consults it per collective call, and this driver consults it
+/// at the top of every step via [`FaultPlan::poll_step`].
+///
+/// # Errors
+///
+/// Returns [`RecoveryError`] once `rc.max_retries` failed attempts are
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if `tp == 0`, `rc.checkpoint_every == 0`, or the model/config
+/// are invalid for `tp`-way sharding.
+pub fn train_with_recovery<F>(
+    init: &Gpt,
+    tp: usize,
+    policy: Recompute,
+    cfg: TrainerConfig,
+    rc: &RecoveryConfig,
+    plan: Arc<FaultPlan>,
+    data: F,
+) -> Result<(Vec<Gpt>, RecoveryReport), RecoveryError>
+where
+    F: Fn(u64) -> (Vec<usize>, Vec<usize>) + Sync,
+{
+    assert!(tp > 0, "tensor-parallel degree must be at least 1");
+    assert!(rc.checkpoint_every > 0, "checkpoint_every must be at least 1");
+    let mut ckpts: Vec<TrainerCheckpoint> = (0..tp)
+        .map(|rank| {
+            let model = if tp == 1 { init.clone() } else { init.shard(tp, rank, policy) };
+            Trainer::new(model, cfg).save_checkpoint()
+        })
+        .collect();
+    let mut report =
+        RecoveryReport { stats: Vec::new(), retries: 0, failures: Vec::new(), segments: 0 };
+    let mut done = 0u64;
+    let mut consecutive = 0u32;
+    while done < rc.total_steps {
+        let seg_end = (done + rc.checkpoint_every).min(rc.total_steps);
+        let mut world = World::new(tp);
+        world.set_collective_timeout(rc.collective_timeout);
+        world.set_fault_plan(Arc::clone(&plan));
+        let ckpts_ref = &ckpts;
+        let plan_ref = &plan;
+        let data_ref = &data;
+        let results = world.run_fallible(|comm| {
+            let rank = comm.rank();
+            let mut trainer = Trainer::resume_from(ckpts_ref[rank].clone())
+                .expect("in-memory checkpoint is valid");
+            let mut seg_stats = Vec::with_capacity((seg_end - done) as usize);
+            for step in done..seg_end {
+                gate_step(plan_ref, rank, step)?;
+                let (tokens, targets) = data_ref(step);
+                let stats = if tp == 1 {
+                    trainer.step(&tokens, &targets, ExecMode::Serial)
+                } else {
+                    trainer.step(&tokens, &targets, ExecMode::TensorParallel(&comm))
+                };
+                seg_stats.push(stats);
+            }
+            Ok((trainer.save_checkpoint(), seg_stats))
+        });
+        if results.iter().all(Result::is_ok) {
+            for (rank, r) in results.into_iter().enumerate() {
+                let (ckpt, seg_stats) = r.expect("checked ok");
+                if rank == 0 {
+                    report.stats.extend(seg_stats);
+                }
+                ckpts[rank] = ckpt;
+            }
+            done = seg_end;
+            report.segments += 1;
+            consecutive = 0;
+        } else {
+            let errs: Vec<String> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(rank, r)| {
+                    r.as_ref().err().map(|e| format!("rank {rank}: {e}"))
+                })
+                .collect();
+            report.retries += 1;
+            consecutive += 1;
+            report.failures.push(format!("segment [{done}, {seg_end}): {}", errs.join("; ")));
+            if report.retries > rc.max_retries {
+                return Err(RecoveryError { failures: report.failures });
+            }
+            let backoff = rc
+                .backoff_base
+                .saturating_mul(1u32 << (consecutive - 1).min(16))
+                .min(Duration::from_secs(5));
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    let models = ckpts
+        .into_iter()
+        .map(|c| Trainer::resume_from(c).expect("in-memory checkpoint is valid").into_model())
+        .collect();
+    Ok((models, report))
+}
+
+/// Applies the fault plan's step-granularity decision for `(rank, step)`:
+/// panic, stall, fail the attempt, or note a recovery.
+fn gate_step(plan: &FaultPlan, rank: usize, step: u64) -> Result<(), CollectiveError> {
+    let emit = |name: &'static str, kind: &'static str| {
+        mt_trace::current().instant_args(name, || {
+            vec![
+                ("site", ArgValue::Str("step".to_string())),
+                ("kind", ArgValue::Str(kind.to_string())),
+                ("rank", ArgValue::U64(rank as u64)),
+                ("step", ArgValue::U64(step)),
+            ]
+        });
+    };
+    match plan.poll_step(rank, step) {
+        Some(FaultAction::Panic) => {
+            emit("fault_injected", "panic");
+            panic!("mt-fault: injected panic on rank {rank} at step {step}");
+        }
+        Some(FaultAction::Delay { micros }) => {
+            emit("fault_injected", "delay");
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+        Some(FaultAction::Fail) => {
+            emit("fault_injected", "transient");
+            return Err(CollectiveError::InjectedTransient { rank, seq: step });
+        }
+        Some(FaultAction::Recovered) => emit("fault_recovered", "replay"),
+        None => {}
+    }
+    Ok(())
+}

@@ -3,12 +3,14 @@
 //! recipe the paper's runs use (GPT pre-training hyperparameters), packaged
 //! so examples and downstream users don't re-implement the loop.
 
-use crate::gpt::Gpt;
+use crate::gpt::{Gpt, GptCheckpoint};
 use crate::layer::ExecMode;
 use crate::ledger::ActivationLedger;
-use crate::optim::{clip_grad_norm, AdamW};
+use crate::optim::{clip_grad_norm, AdamState, AdamW};
+use mt_fault::binfmt;
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
+use std::fmt;
 
 /// Linear warmup to `base_lr`, then cosine decay to `min_lr` over
 /// `decay_steps`, constant `min_lr` afterwards.
@@ -155,6 +157,57 @@ pub struct StepStats {
     pub lr: f32,
 }
 
+/// Version of [`TrainerCheckpoint`]'s logical schema, stored in the
+/// checkpoint itself (on top of the binary container's own version in
+/// [`binfmt`]). Bump when the field set changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Everything needed to continue a training run exactly where it stopped:
+/// model weights and dropout RNG (via [`GptCheckpoint`]), Adam moments and
+/// bias-correction step, the hyperparameters, and the global step that
+/// drives the LR schedule and the per-step RNG stream ids. Because the
+/// dropout streams are counter-based (pure functions of `(seed, stream,
+/// offset)`) and the binary format round-trips every float bit-exactly, a
+/// resumed run is **bit-identical** to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerCheckpoint {
+    /// Logical schema version ([`CHECKPOINT_VERSION`] at save time).
+    pub version: u32,
+    /// Trainer hyperparameters (schedule, weight decay, clipping).
+    pub cfg: TrainerConfig,
+    /// Model weights, policies, and dropout RNG.
+    pub model: GptCheckpoint,
+    /// Optimizer moments and step count.
+    pub opt: AdamState,
+    /// Global steps completed.
+    pub step: u64,
+}
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The blob failed to decode (bad magic, truncation, type mismatch...).
+    Format(binfmt::BinError),
+    /// The checkpoint's logical schema is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The optimizer step count disagrees with the trainer step count.
+    Inconsistent(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Format(e) => write!(f, "checkpoint undecodable: {e}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint schema version {v} newer than supported {CHECKPOINT_VERSION}")
+            }
+            CheckpointError::Inconsistent(msg) => write!(f, "checkpoint inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Owns a model and an optimizer, and advances them one microbatch at a
 /// time.
 #[derive(Debug, Clone)]
@@ -185,6 +238,62 @@ impl Trainer {
     /// Steps executed so far.
     pub fn steps_done(&self) -> u64 {
         self.step
+    }
+
+    /// Snapshots the full training state — weights, Adam moments, LR/step
+    /// counters, dropout RNG — for exact resume via
+    /// [`Trainer::resume_from`].
+    pub fn save_checkpoint(&self) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            version: CHECKPOINT_VERSION,
+            cfg: self.cfg,
+            model: self.gpt.to_checkpoint(),
+            opt: self.opt.state(),
+            step: self.step,
+        }
+    }
+
+    /// Reconstructs a trainer that continues exactly where the checkpoint
+    /// was taken: the next [`Trainer::step`] call produces bit-identical
+    /// weights to the run the checkpoint came from.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a newer-than-supported schema version or an internally
+    /// inconsistent checkpoint.
+    pub fn resume_from(ckpt: TrainerCheckpoint) -> Result<Trainer, CheckpointError> {
+        if ckpt.version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(ckpt.version));
+        }
+        if ckpt.opt.step != ckpt.step {
+            return Err(CheckpointError::Inconsistent(format!(
+                "optimizer at step {} but trainer at step {}",
+                ckpt.opt.step, ckpt.step
+            )));
+        }
+        let mut opt = AdamW::new(ckpt.cfg.schedule.lr_at(ckpt.step), ckpt.cfg.weight_decay);
+        opt.load_state(ckpt.opt);
+        Ok(Trainer { gpt: Gpt::from_checkpoint(ckpt.model), opt, cfg: ckpt.cfg, step: ckpt.step })
+    }
+
+    /// [`Trainer::save_checkpoint`] rendered to the versioned binary
+    /// format (`MTCK` magic; floats as raw IEEE-754 bits, so the blob
+    /// round-trips bit-exactly).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        binfmt::to_bytes(&self.save_checkpoint())
+    }
+
+    /// Restores a trainer from a blob written by
+    /// [`Trainer::checkpoint_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the blob is not a decodable checkpoint of a supported
+    /// version.
+    pub fn resume_from_bytes(bytes: &[u8]) -> Result<Trainer, CheckpointError> {
+        let ckpt: TrainerCheckpoint =
+            binfmt::from_bytes(bytes).map_err(CheckpointError::Format)?;
+        Trainer::resume_from(ckpt)
     }
 
     /// Runs one training step (forward, backward, clip, update) on one

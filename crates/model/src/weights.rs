@@ -146,6 +146,25 @@ impl LayerWeights {
         }
     }
 
+    /// Shared references to every parameter tensor, in the same stable
+    /// order as [`LayerWeights::tensors_mut`].
+    pub fn tensors(&self) -> Vec<&Tensor> {
+        vec![
+            &self.ln1_gamma,
+            &self.ln1_beta,
+            &self.w_qkv,
+            &self.b_qkv,
+            &self.w_o,
+            &self.b_o,
+            &self.ln2_gamma,
+            &self.ln2_beta,
+            &self.w1,
+            &self.b1,
+            &self.w2,
+            &self.b2,
+        ]
+    }
+
     /// Mutable references to every parameter tensor, in a stable order
     /// matching the gradient order used by
     /// [`GptGrads::tensors`](crate::gpt::GptGrads::tensors). Used by

@@ -4,8 +4,6 @@
 //! One descriptor replaces the former `matmul` / `matmul_nt` / `matmul_tn`
 //! triplication: `Gemm { transpose_a, transpose_b }` names the operand
 //! layouts and [`Gemm::apply`] dispatches to the tiled `mt-kernels` GEMM.
-//! The old free functions survive for one PR as `#[deprecated]` one-line
-//! wrappers.
 
 use crate::Tensor;
 use mt_kernels::Backend;
@@ -128,40 +126,6 @@ impl Gemm {
     }
 }
 
-/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
-///
-/// Backward needs **both inputs saved**: `dA = dC · Bᵀ` and `dB = Aᵀ · dC`.
-/// This is why the paper charges the attention and MLP GEMMs for their input
-/// activations (e.g. the `2sbh` term for the h→4h linear in Section 4.1).
-///
-/// # Panics
-///
-/// Panics if the inner dimensions disagree or either tensor is not rank 2.
-#[deprecated(since = "0.1.0", note = "use `Gemm::NN.apply(a, b)`")]
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    Gemm::NN.apply(a, b)
-}
-
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
-///
-/// # Panics
-///
-/// Panics if the inner dimensions disagree or either tensor is not rank 2.
-#[deprecated(since = "0.1.0", note = "use `Gemm::NT.apply(a, b)`")]
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    Gemm::NT.apply(a, b)
-}
-
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
-///
-/// # Panics
-///
-/// Panics if the inner dimensions disagree or either tensor is not rank 2.
-#[deprecated(since = "0.1.0", note = "use `Gemm::TN.apply(a, b)`")]
-pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    Gemm::TN.apply(a, b)
-}
-
 /// Backward of a forward `Gemm::NN.apply(a, b)`: given saved inputs `a`, `b`
 /// and upstream `dc`, returns `(dA, dB)` via the `NT`/`TN` descriptors.
 ///
@@ -219,18 +183,6 @@ mod tests {
                 "threads={threads}: not bit-identical"
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_gemm() {
-        let mut rng = crate::rng::SplitMix64::new(12);
-        let a = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
-        let bt = b.transpose2();
-        assert_eq!(matmul(&a, &b).data(), Gemm::NN.apply(&a, &b).data());
-        assert_eq!(matmul_nt(&a, &bt).data(), Gemm::NT.apply(&a, &bt).data());
-        assert_eq!(matmul_tn(&a, &a).data(), Gemm::TN.apply(&a, &a).data());
     }
 
     #[test]

@@ -21,8 +21,6 @@ pub use layernorm::{layer_norm, layer_norm_backward, LayerNormSaved};
 pub use linear::{add_bias, bias_grad, residual_add};
 pub use loss::{cross_entropy, CrossEntropyOutput};
 pub use matmul::{matmul_backward, Gemm};
-#[allow(deprecated)]
-pub use matmul::{matmul, matmul_nt, matmul_tn};
 pub use softmax::{softmax_rows, softmax_rows_backward};
 
 /// Elementwise/row-wise problems below this many elements run

@@ -195,6 +195,17 @@ impl Tracer {
 
     /// Records a point event.
     pub fn instant(&self, name: &'static str) {
+        self.instant_args(name, Vec::new);
+    }
+
+    /// Records a point event with annotations. As with
+    /// [`Tracer::span_args`], `args` is only evaluated when the tracer is
+    /// enabled, so argument construction costs nothing on the disabled path.
+    pub fn instant_args(
+        &self,
+        name: &'static str,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) {
         if let Some(shared) = &self.inner {
             let ts_us = shared.now_us();
             shared.push(TraceEvent {
@@ -202,7 +213,7 @@ impl Tracer {
                 track: self.track,
                 ts_us,
                 kind: EventKind::Instant,
-                args: Vec::new(),
+                args: args(),
             });
         }
     }

@@ -26,6 +26,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// Every sender hung up.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -64,6 +84,15 @@ pub mod channel {
             self.inner.recv().map_err(|_| RecvError)
         }
 
+        /// Blocks until a message arrives, every sender hangs up, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.inner.try_recv().map_err(|e| match e {
@@ -91,6 +120,17 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_reports_timeout_and_disconnect() {
+            let (tx, rx) = unbounded();
+            let short = std::time::Duration::from_millis(5);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(short), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
         }
     }
 }

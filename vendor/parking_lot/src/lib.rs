@@ -5,6 +5,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
 /// A mutual-exclusion lock with parking_lot's infallible `lock`.
 #[derive(Debug, Default)]
@@ -74,6 +75,19 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// [`Condvar::wait`] with a timeout: returns once notified, on a
+    /// spurious wakeup, or after `timeout` elapses — whichever comes first.
+    /// The returned [`WaitTimeoutResult`] says whether the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: result.timed_out() }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -82,6 +96,20 @@ impl Condvar {
     /// Wakes all waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait ended by timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed (the predicate
+    /// must still be re-checked — notification and timeout can race).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -138,5 +166,17 @@ mod tests {
             cv.notify_all();
         }
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(0usize);
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let res = cv.wait_for(&mut guard, Duration::from_millis(10));
+        assert!(res.timed_out());
+        // The guard must be usable again after the timed-out wait.
+        *guard += 1;
+        assert_eq!(*guard, 1);
     }
 }
