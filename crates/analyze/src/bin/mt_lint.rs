@@ -1,0 +1,77 @@
+//! Workspace hygiene gate. Scans the workspace sources with the rules in
+//! `mt_analyze::lint` and exits non-zero on any unsuppressed finding.
+//!
+//! ```text
+//! mt-lint [--root <dir>] [--allow <file>]
+//! ```
+//!
+//! Defaults: root = current directory, allowlist = `<root>/mt-lint.allow`
+//! (missing file ⇒ empty allowlist). Unused allowlist entries are reported
+//! as warnings so stale suppressions surface without blocking a build.
+
+use mt_analyze::{lint_workspace, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage("--allow needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mt-lint [--root <dir>] [--allow <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("mt-lint.allow"));
+    let allow = if allow_path.is_file() {
+        match Allowlist::load(&allow_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("mt-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let findings = match lint_workspace(&root, &allow) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mt-lint: walking {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    for stale in allow.unused() {
+        eprintln!("mt-lint: warning: unused allowlist entry: {stale}");
+    }
+    if findings.is_empty() {
+        println!("mt-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("mt-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("mt-lint: {err}\nusage: mt-lint [--root <dir>] [--allow <file>]");
+    ExitCode::FAILURE
+}

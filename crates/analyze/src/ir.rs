@@ -1,0 +1,140 @@
+//! The per-rank schedule IR.
+//!
+//! A [`Program`] is the static image of one training iteration: for every
+//! rank, the exact sequence of communication and activation-memory events
+//! the runtime would perform, with payload sizes but no tensor data. The
+//! extraction pass ([`crate::extract`]) builds programs; the analysis passes
+//! consume them.
+
+use mt_collectives::{CallTag, CollectiveKind};
+use mt_model::Category;
+
+/// Identifies one allocation within a rank's program, so a `Free` can name
+/// exactly which `Alloc` it releases. Unique per rank, not globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(pub u64);
+
+/// Which communicator group a collective runs on. Mirrors the runtime's
+/// communicator layout: one tensor-parallel [`World`] per pipeline stage
+/// plus one grid-wide [`World`] for stage boundaries and the loss broadcast.
+///
+/// [`World`]: mt_collectives::World
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupId {
+    /// The tensor-parallel group of pipeline stage `stage`: global ranks
+    /// `stage·t .. (stage+1)·t` (the runtime's `GridComm::tp`).
+    Tp {
+        /// Pipeline stage (device index under the interleaved schedule).
+        stage: usize,
+    },
+    /// All `p·t` ranks (the runtime's `GridComm::grid`).
+    Grid,
+}
+
+/// One event in a rank's schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleOp {
+    /// A group collective. `payload_elems` is what the runtime's stats
+    /// ledger records for the call: full-tensor elements for an all-gather,
+    /// input elements for an all-reduce/reduce-scatter, this rank's local
+    /// element count for a broadcast.
+    Collective {
+        /// The group the collective runs on.
+        group: GroupId,
+        /// Collective kind, as the stats ledger classifies it.
+        kind: CollectiveKind,
+        /// The SPMD round identity — byte-for-byte what the runtime's
+        /// single tag constructor would build for this call.
+        tag: CallTag,
+        /// Payload elements as recorded by `CommStats`.
+        payload_elems: u64,
+    },
+    /// Point-to-point send of `elems` elements to global rank `to` on the
+    /// grid communicator.
+    Send {
+        /// Destination global rank.
+        to: usize,
+        /// Tensor elements transferred.
+        elems: u64,
+    },
+    /// Point-to-point receive of `elems` elements from global rank `from`.
+    Recv {
+        /// Source global rank.
+        from: usize,
+        /// Tensor elements expected.
+        elems: u64,
+    },
+    /// An activation is stored (the static image of
+    /// `ActivationLedger::record`).
+    Alloc {
+        /// Identity of this allocation within the rank.
+        id: AllocId,
+        /// Ledger category.
+        category: Category,
+        /// Elements stored.
+        elems: u64,
+    },
+    /// A stored activation is released by the backward pass that consumes
+    /// it (the static image of `ActivationLedger::free`).
+    Free {
+        /// The allocation being released.
+        id: AllocId,
+    },
+}
+
+/// One rank's full schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankProgram {
+    /// Global rank (`stage·t + tp_rank` on a grid).
+    pub rank: usize,
+    /// The rank's events in execution order.
+    pub ops: Vec<ScheduleOp>,
+}
+
+/// A whole-iteration schedule: every rank of a `t × p` grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Tensor-parallel width `t`.
+    pub tp: usize,
+    /// Pipeline depth `p` (1 for single-stage programs).
+    pub pp: usize,
+    /// Per-rank programs, indexed by global rank.
+    pub ranks: Vec<RankProgram>,
+}
+
+impl Program {
+    /// Global ranks belonging to a group, in rank order.
+    pub fn group_members(&self, group: GroupId) -> Vec<usize> {
+        match group {
+            GroupId::Tp { stage } => (stage * self.tp..(stage + 1) * self.tp).collect(),
+            GroupId::Grid => (0..self.tp * self.pp).collect(),
+        }
+    }
+
+    /// Number of ranks in a group.
+    pub fn group_size(&self, group: GroupId) -> usize {
+        match group {
+            GroupId::Tp { .. } => self.tp,
+            GroupId::Grid => self.tp * self.pp,
+        }
+    }
+
+    /// Total ops across all ranks (a size proxy for reports).
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(|r| r.ops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_members_follow_stage_major_layout() {
+        let p = Program { tp: 2, pp: 3, ranks: Vec::new() };
+        assert_eq!(p.group_members(GroupId::Tp { stage: 1 }), vec![2, 3]);
+        assert_eq!(p.group_members(GroupId::Grid), (0..6).collect::<Vec<_>>());
+        assert_eq!(p.group_size(GroupId::Tp { stage: 0 }), 2);
+        assert_eq!(p.group_size(GroupId::Grid), 6);
+    }
+}

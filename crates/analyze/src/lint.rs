@@ -1,0 +1,368 @@
+//! `mt-lint`: workspace source-hygiene rules.
+//!
+//! A deliberately small, line-oriented scanner — no parsing, no macros —
+//! enforcing three invariants the analyses in this crate depend on:
+//!
+//! * **`hand-rolled-call-tag`** — `CallTag` values may only be built by the
+//!   single constructor on the runtime communicator (`World::call_tag`).
+//!   Every collective call site funnels through it, so the extraction pass
+//!   can mirror tags byte-for-byte and the SPMD matcher verifies the real
+//!   rendezvous identities.
+//! * **`wall-clock`** — deterministic crates (everything except the tracer
+//!   and the benchmark harness) must not read wall clocks; wall-clock reads
+//!   are how nondeterminism sneaks into otherwise replayable schedules.
+//! * **`hot-path-unwrap`** — the collective and pipeline hot paths may not
+//!   use bare `.unwrap()`; a panic there must state its invariant via
+//!   `.expect("…")`, and each such expect is reviewed into the allowlist.
+//!
+//! Findings are suppressed only by an [`Allowlist`] entry carrying a
+//! written justification; unused entries are reported so the allowlist
+//! can't silently rot.
+//!
+//! Lines inside comments and anything after a file's first `#[cfg(test)]`
+//! are out of scope (tests legitimately hand-roll tags to provoke
+//! mismatches).
+
+use std::cell::Cell;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Rule identifier (e.g. `hand-rolled-call-tag`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub text: String,
+    /// What the rule demands.
+    pub message: &'static str,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.text
+        )
+    }
+}
+
+/// One allowlist entry: `rule | path-suffix | line-substring |
+/// justification`.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path_suffix: String,
+    line_substring: String,
+    justification: String,
+    used: Cell<bool>,
+}
+
+/// Suppressions for reviewed findings, loaded from `mt-lint.allow`.
+///
+/// Line format (one entry per line, `#` comments):
+///
+/// ```text
+/// rule | path-suffix | line-substring | justification
+/// ```
+///
+/// An entry suppresses a finding when the rule matches, the finding's path
+/// ends with the suffix, and the offending line contains the substring.
+/// The justification is mandatory — an entry without one is a parse error.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// The empty allowlist (suppresses nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line (wrong field count or a
+    /// blank field).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            if fields.len() != 4 || fields.iter().any(|f| f.is_empty()) {
+                return Err(format!(
+                    "mt-lint.allow line {}: expected `rule | path-suffix | line-substring | justification`, got `{raw}`",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                rule: fields[0].to_string(),
+                path_suffix: fields[1].to_string(),
+                line_substring: fields[2].to_string(),
+                justification: fields[3].to_string(),
+                used: Cell::new(false),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads and parses an allowlist file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed line (as a string, for the CLI).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Whether a finding is suppressed; marks the matching entry as used.
+    fn permits(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        for e in &self.entries {
+            if e.rule == rule
+                && path.ends_with(&e.path_suffix)
+                && line_text.contains(&e.line_substring)
+            {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never suppressed anything over the scans so far —
+    /// stale suppressions that should be deleted. Each is rendered as
+    /// `rule | path-suffix | line-substring (justification)`.
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| {
+                format!(
+                    "{} | {} | {} ({})",
+                    e.rule, e.path_suffix, e.line_substring, e.justification
+                )
+            })
+            .collect()
+    }
+}
+
+/// A lint rule: patterns to flag and the paths they apply to.
+struct Rule {
+    name: &'static str,
+    message: &'static str,
+    /// Substrings that trigger the rule. Built by concatenation so this
+    /// file does not contain its own trigger text.
+    patterns: Vec<String>,
+    in_scope: fn(&str) -> bool,
+}
+
+fn callsite_tag_scope(path: &str) -> bool {
+    // The type's own definition (and its Display impl) live here.
+    !path.ends_with("crates/collectives/src/error.rs")
+}
+
+fn deterministic_crate_scope(path: &str) -> bool {
+    if path.starts_with("src/") {
+        return true; // the root integration package
+    }
+    path.starts_with("crates/")
+        && !path.starts_with("crates/trace/")
+        && !path.starts_with("crates/bench/")
+}
+
+fn hot_path_scope(path: &str) -> bool {
+    path.ends_with("crates/collectives/src/group.rs")
+        || path.ends_with("crates/collectives/src/grid.rs")
+        || path.ends_with("crates/model/src/pipeline_exec.rs")
+}
+
+fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "hand-rolled-call-tag",
+            message: "build tags with the communicator's call_tag constructor, \
+                      not a struct literal",
+            patterns: vec![String::from("CallTag") + " {"],
+            in_scope: callsite_tag_scope,
+        },
+        Rule {
+            name: "wall-clock",
+            message: "deterministic crates must not read wall clocks \
+                      (route timing through mt-trace)",
+            patterns: vec![
+                String::from("Instant") + "::now",
+                String::from("SystemTime") + "::now",
+            ],
+            in_scope: deterministic_crate_scope,
+        },
+        Rule {
+            name: "hot-path-unwrap",
+            message: "collective/pipeline hot paths must state panic invariants \
+                      (use expect with a message, reviewed into the allowlist)",
+            patterns: vec![String::from(".unwrap") + "()", String::from(".expect") + "("],
+            in_scope: hot_path_scope,
+        },
+    ]
+}
+
+/// Scans one file's contents. `path` must be workspace-relative with
+/// forward slashes (it is what rule scopes and allowlist suffixes match
+/// against).
+pub fn lint_source(path: &str, content: &str, allow: &Allowlist) -> Vec<LintFinding> {
+    let rules = rules();
+    let active: Vec<&Rule> = rules.iter().filter(|r| (r.in_scope)(path)).collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let cfg_test = String::from("#[cfg") + "(test)]";
+    let mut findings = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with(&cfg_test) {
+            break; // test modules sit at the end of files in this workspace
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for rule in &active {
+            if rule.patterns.iter().any(|p| trimmed.contains(p.as_str()))
+                && !allow.permits(rule.name, path, trimmed)
+            {
+                findings.push(LintFinding {
+                    rule: rule.name,
+                    path: path.to_string(),
+                    line: i + 1,
+                    text: trimmed.to_string(),
+                    message: rule.message,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Scans the workspace rooted at `root`: the root package's `src/` plus
+/// every `crates/*/src`. Vendored stand-ins, build output, tests, benches,
+/// and examples are skipped.
+///
+/// # Errors
+///
+/// The first I/O failure while walking or reading sources.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<LintFinding>> {
+    let mut findings = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, allow, &mut findings)?;
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    allow: &Allowlist,
+    findings: &mut Vec<LintFinding>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | "tests" | "benches" | "examples") {
+                continue;
+            }
+            walk(root, &path, allow, findings)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let content = fs::read_to_string(&path)?;
+            findings.extend(lint_source(&rel, &content, allow));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_rolled_tag_is_flagged() {
+        let src = "fn f() {\n    let t = CallTag { op: \"x\", shape: vec![], root: None };\n}\n";
+        let found = lint_source("crates/collectives/src/group.rs", src, &Allowlist::empty());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "hand-rolled-call-tag");
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_tracks_usage() {
+        let src = "let t = CallTag { op: \"x\", shape: vec![], root: None };\n";
+        let allow = Allowlist::parse(
+            "# comment\nhand-rolled-call-tag | group.rs | CallTag | reviewed constructor\n\
+             wall-clock | group.rs | never-matches | stale entry\n",
+        )
+        .unwrap();
+        let found = lint_source("crates/collectives/src/group.rs", src, &allow);
+        assert!(found.is_empty());
+        let unused = allow.unused();
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].contains("stale entry"));
+    }
+
+    #[test]
+    fn wall_clock_scope_excludes_trace_and_bench() {
+        let src = "let t0 = Instant::now();\n";
+        assert_eq!(
+            lint_source("crates/model/src/layer.rs", src, &Allowlist::empty()).len(),
+            1
+        );
+        assert!(lint_source("crates/trace/src/tracer.rs", src, &Allowlist::empty()).is_empty());
+        assert!(lint_source("crates/bench/src/bin/kernel_bench.rs", src, &Allowlist::empty())
+            .is_empty());
+    }
+
+    #[test]
+    fn test_modules_and_comments_are_out_of_scope() {
+        let src = "// let t = CallTag { .. };\nfn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { let t = CallTag { op: \"x\", shape: vec![], root: None }; }\n}\n";
+        assert!(lint_source("crates/collectives/src/group.rs", src, &Allowlist::empty())
+            .is_empty());
+    }
+
+    #[test]
+    fn bare_unwrap_in_hot_path_is_flagged() {
+        let src = "let x = rx.recv().unwrap();\n";
+        let found = lint_source("crates/model/src/pipeline_exec.rs", src, &Allowlist::empty());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "hot-path-unwrap");
+        // Same line outside a hot path is fine.
+        assert!(lint_source("crates/model/src/layer.rs", src, &Allowlist::empty()).is_empty());
+    }
+
+    #[test]
+    fn malformed_allowlist_lines_are_rejected() {
+        assert!(Allowlist::parse("just-a-rule | missing-fields\n").is_err());
+        assert!(Allowlist::parse("rule | path | substr |  \n").is_err());
+    }
+}

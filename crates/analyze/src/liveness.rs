@@ -1,0 +1,141 @@
+//! Activation-liveness analysis.
+//!
+//! Replays a rank's `Alloc`/`Free` ops through a real
+//! [`ActivationLedger`] — the same accounting object the runtime uses — so
+//! the static peak is computed by the identical bookkeeping code the
+//! executors run, and [`ActivationLedger::high_water`]'s double-count
+//! assert guards both sides. The resulting [`LivenessReport`] carries the
+//! cumulative ledger (comparable to the runtime's per-rank ledger and to
+//! the Table 2 closed forms), the peak of live paper-counted bytes, and
+//! the bytes still live at program end (which must be zero for a complete
+//! iteration: every stored activation is consumed by its backward pass).
+
+use crate::ir::{AllocId, Program, RankProgram, ScheduleOp};
+use crate::matching::ScheduleFault;
+use mt_model::{ActivationLedger, Category};
+use std::collections::HashMap;
+
+/// What the liveness pass proves about one rank.
+#[derive(Debug, Clone)]
+pub struct LivenessReport {
+    /// Cumulative ledger — every `Alloc` recorded, every `Free` freed.
+    /// `ledger.paper_bytes()` is the total the Table 2 formulas count;
+    /// `ledger.elements(c)` is comparable to the runtime ledger per
+    /// category.
+    pub ledger: ActivationLedger,
+    /// Peak live paper-counted bytes over the program
+    /// (`ledger.high_water()`, so the double-count assert has run).
+    pub peak_bytes: u64,
+    /// Paper-counted bytes still live at program end. Non-zero means the
+    /// schedule leaks activations across the iteration.
+    pub live_end_bytes: u64,
+}
+
+/// Replays one rank's allocation events into a fresh ledger.
+///
+/// # Errors
+///
+/// [`ScheduleFault::DoubleFree`] if a `Free` names an id already freed,
+/// [`ScheduleFault::UnknownAlloc`] if it names an id never allocated.
+pub fn analyze_rank_liveness(rank: &RankProgram) -> Result<LivenessReport, ScheduleFault> {
+    let mut ledger = ActivationLedger::new();
+    let mut live: HashMap<AllocId, (Category, u64)> = HashMap::new();
+    let mut retired: HashMap<AllocId, ()> = HashMap::new();
+    for op in &rank.ops {
+        match op {
+            ScheduleOp::Alloc { id, category, elems } => {
+                debug_assert!(
+                    !live.contains_key(id) && !retired.contains_key(id),
+                    "extraction reused AllocId {id:?}"
+                );
+                live.insert(*id, (*category, *elems));
+                ledger.record(*category, *elems);
+            }
+            ScheduleOp::Free { id } => {
+                let Some((category, elems)) = live.remove(id) else {
+                    return Err(if retired.contains_key(id) {
+                        ScheduleFault::DoubleFree { rank: rank.rank, alloc: *id }
+                    } else {
+                        ScheduleFault::UnknownAlloc { rank: rank.rank, alloc: *id }
+                    });
+                };
+                retired.insert(*id, ());
+                ledger.free(category, elems);
+            }
+            ScheduleOp::Collective { .. } | ScheduleOp::Send { .. } | ScheduleOp::Recv { .. } => {}
+        }
+    }
+    let live_end_bytes = ledger.live_paper_bytes();
+    let peak_bytes = ledger.high_water();
+    Ok(LivenessReport { ledger, peak_bytes, live_end_bytes })
+}
+
+/// Liveness for every rank of a program, indexed by global rank.
+///
+/// # Errors
+///
+/// The first per-rank fault (see [`analyze_rank_liveness`]).
+pub fn analyze_liveness(program: &Program) -> Result<Vec<LivenessReport>, ScheduleFault> {
+    program.ranks.iter().map(analyze_rank_liveness).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(ops: Vec<ScheduleOp>) -> RankProgram {
+        RankProgram { rank: 0, ops }
+    }
+
+    #[test]
+    fn peak_counts_overlapping_lifetimes() {
+        let a = AllocId(0);
+        let b = AllocId(1);
+        let r = rank(vec![
+            ScheduleOp::Alloc { id: a, category: Category::QueryKey, elems: 10 }, // 20 B live
+            ScheduleOp::Alloc { id: b, category: Category::Value, elems: 5 },     // 30 B live
+            ScheduleOp::Free { id: a },                                           // 10 B live
+            ScheduleOp::Free { id: b },
+        ]);
+        let report = analyze_rank_liveness(&r).unwrap();
+        assert_eq!(report.peak_bytes, 30);
+        assert_eq!(report.live_end_bytes, 0);
+        assert_eq!(report.ledger.paper_bytes(), 30);
+    }
+
+    #[test]
+    fn small_statistics_never_enter_the_peak() {
+        let r = rank(vec![ScheduleOp::Alloc {
+            id: AllocId(0),
+            category: Category::SmallStatistics,
+            elems: 1_000_000,
+        }]);
+        let report = analyze_rank_liveness(&r).unwrap();
+        assert_eq!(report.peak_bytes, 0);
+        assert_eq!(report.live_end_bytes, 0);
+        assert_eq!(report.ledger.elements(Category::SmallStatistics), 1_000_000);
+    }
+
+    #[test]
+    fn double_free_is_flagged() {
+        let a = AllocId(7);
+        let r = rank(vec![
+            ScheduleOp::Alloc { id: a, category: Category::Value, elems: 4 },
+            ScheduleOp::Free { id: a },
+            ScheduleOp::Free { id: a },
+        ]);
+        assert!(matches!(
+            analyze_rank_liveness(&r),
+            Err(ScheduleFault::DoubleFree { rank: 0, alloc }) if alloc == a
+        ));
+    }
+
+    #[test]
+    fn unknown_alloc_is_flagged() {
+        let r = rank(vec![ScheduleOp::Free { id: AllocId(99) }]);
+        assert!(matches!(
+            analyze_rank_liveness(&r),
+            Err(ScheduleFault::UnknownAlloc { rank: 0, alloc: AllocId(99) })
+        ));
+    }
+}

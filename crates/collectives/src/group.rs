@@ -469,6 +469,15 @@ impl Communicator {
         })
     }
 
+    /// The **single** constructor for collective call tags. Every collective
+    /// entry point in this crate builds its [`CallTag`] here, so no call
+    /// site can omit the tag or hand-roll one with a wrong shape or root —
+    /// `mt-lint` (rule `hand-rolled-call-tag`) rejects any other `CallTag`
+    /// struct literal in collective code.
+    fn call_tag(&self, op: &'static str, shape: &[usize], root: Option<usize>) -> CallTag {
+        CallTag { op, shape: shape.to_vec(), root }
+    }
+
     /// Consults the world's fault plan before a call. Returns `Err` for an
     /// injected transient failure (without consuming the call's sequence
     /// number, so the retry lands on the same coordinate), panics for an
@@ -524,7 +533,7 @@ impl Communicator {
     pub fn try_all_reduce(&self, x: &Tensor) -> Result<Tensor, CollectiveError> {
         self.fault_gate("all_reduce")?;
         let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
-        let tag = CallTag { op: "all_reduce", shape: x.shape().to_vec(), root: None };
+        let tag = self.call_tag("all_reduce", x.shape(), None);
         self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
@@ -550,7 +559,7 @@ impl Communicator {
     pub fn try_all_reduce_max(&self, x: &Tensor) -> Result<Tensor, CollectiveError> {
         self.fault_gate("all_reduce_max")?;
         let _span = self.record_traced(CollectiveKind::AllReduce, x.numel() as u64);
-        let tag = CallTag { op: "all_reduce_max", shape: x.shape().to_vec(), root: None };
+        let tag = self.call_tag("all_reduce_max", x.shape(), None);
         self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
@@ -580,7 +589,7 @@ impl Communicator {
         self.fault_gate("all_gather")?;
         let full_elems = (shard.numel() * self.size) as u64;
         let _span = self.record_traced(CollectiveKind::AllGather, full_elems);
-        let tag = CallTag { op: "all_gather", shape: shard.shape().to_vec(), root: None };
+        let tag = self.call_tag("all_gather", shard.shape(), None);
         self.exchange.try_exchange(self.rank, tag, self.timeout, shard.clone(), |deposits| {
             let parts: Vec<Tensor> =
                 deposits.iter().map(|d| d.as_ref().expect("deposit present").clone()).collect();
@@ -606,7 +615,7 @@ impl Communicator {
         self.fault_gate("reduce_scatter")?;
         let _span = self.record_traced(CollectiveKind::ReduceScatter, x.numel() as u64);
         let n = self.size;
-        let tag = CallTag { op: "reduce_scatter", shape: x.shape().to_vec(), root: None };
+        let tag = self.call_tag("reduce_scatter", x.shape(), None);
         self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let mut acc = deposits[0].take().expect("deposit 0 present");
             for d in deposits.iter_mut().skip(1) {
@@ -633,7 +642,7 @@ impl Communicator {
         assert!(root < self.size, "broadcast: root {root} out of range");
         self.fault_gate("broadcast")?;
         let _span = self.record_traced(CollectiveKind::Broadcast, x.numel() as u64);
-        let tag = CallTag { op: "broadcast", shape: Vec::new(), root: Some(root) };
+        let tag = self.call_tag("broadcast", &[], Some(root));
         self.exchange.try_exchange(self.rank, tag, self.timeout, x.clone(), |deposits| {
             let chosen = deposits[root].take().expect("root deposit present");
             vec![chosen; deposits.len()]
@@ -654,7 +663,7 @@ impl Communicator {
     pub fn try_barrier(&self) -> Result<(), CollectiveError> {
         self.fault_gate("barrier")?;
         let _span = self.record_traced(CollectiveKind::Barrier, 0);
-        let tag = CallTag { op: "barrier", shape: Vec::new(), root: None };
+        let tag = self.call_tag("barrier", &[], None);
         self.exchange
             .try_exchange(self.rank, tag, self.timeout, Tensor::zeros(&[0]), |d| {
                 vec![Tensor::zeros(&[0]); d.len()]

@@ -75,6 +75,17 @@ impl Category {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ActivationLedger {
     elements: BTreeMap<Category, u64>,
+    /// Currently-live elements per category (recorded minus freed). Unlike
+    /// `elements` — which only ever grows and is what Table 2 compares
+    /// against — this drops when [`ActivationLedger::free`] releases a
+    /// tensor, so a pipeline schedule can measure its true in-flight peak.
+    live: BTreeMap<Category, u64>,
+    /// Running total of live paper-counted bytes, maintained incrementally
+    /// alongside `live` so [`ActivationLedger::high_water`] can cross-check
+    /// the two bookkeeping paths against each other.
+    live_paper_bytes: u64,
+    /// Highest value `live_paper_bytes` ever reached.
+    peak_paper_bytes: u64,
 }
 
 impl ActivationLedger {
@@ -86,6 +97,66 @@ impl ActivationLedger {
     /// Records `elements` saved elements of `category`.
     pub fn record(&mut self, category: Category, elements: u64) {
         *self.elements.entry(category).or_insert(0) += elements;
+        *self.live.entry(category).or_insert(0) += elements;
+        if category.counted_in_paper_model() {
+            self.live_paper_bytes += elements * category.bytes_per_element();
+            self.peak_paper_bytes = self.peak_paper_bytes.max(self.live_paper_bytes);
+        }
+    }
+
+    /// Releases `elements` previously-recorded elements of `category` (a
+    /// saved tensor consumed by its backward pass). Panics on underflow —
+    /// freeing more than is live is a double-free.
+    pub fn free(&mut self, category: Category, elements: u64) {
+        let live = self.live.entry(category).or_insert(0);
+        assert!(
+            *live >= elements,
+            "activation ledger double-free: freeing {elements} elements of {category:?} \
+             with only {live} live"
+        );
+        *live -= elements;
+        if category.counted_in_paper_model() {
+            self.live_paper_bytes -= elements * category.bytes_per_element();
+        }
+    }
+
+    /// Frees everything currently live in `other` from this ledger: the
+    /// bulk release a pipeline stage performs when a microbatch's backward
+    /// pass retires the activations its forward pass stored.
+    pub fn release(&mut self, other: &ActivationLedger) {
+        for (c, e) in &other.live {
+            if *e > 0 {
+                self.free(*c, *e);
+            }
+        }
+    }
+
+    /// Currently-live paper-counted bytes.
+    pub fn live_paper_bytes(&self) -> u64 {
+        self.live_paper_bytes
+    }
+
+    /// Peak of live paper-counted bytes over the ledger's lifetime, with a
+    /// consistency assert: the incrementally-maintained live byte count must
+    /// equal the sum over live categories recomputed from scratch. A
+    /// double-count or double-free that slipped past [`free`]'s underflow
+    /// check (e.g. freeing under the wrong category) trips this.
+    ///
+    /// [`free`]: ActivationLedger::free
+    pub fn high_water(&self) -> u64 {
+        let recomputed: u64 = self
+            .live
+            .iter()
+            .filter(|(c, _)| c.counted_in_paper_model())
+            .map(|(c, e)| e * c.bytes_per_element())
+            .sum();
+        assert_eq!(
+            recomputed, self.live_paper_bytes,
+            "activation ledger double-count: sum of live categories is {recomputed} bytes \
+             but the running live total is {} bytes",
+            self.live_paper_bytes
+        );
+        self.peak_paper_bytes
     }
 
     /// Elements recorded under a category.
@@ -113,11 +184,17 @@ impl ActivationLedger {
         self.elements.iter().map(|(c, e)| e * c.bytes_per_element()).sum()
     }
 
-    /// Merges another ledger into this one.
+    /// Merges another ledger into this one, as if every `record` on `other`
+    /// had been replayed here (its live set joins this ledger's live set).
     pub fn merge(&mut self, other: &ActivationLedger) {
         for (c, e) in &other.elements {
             *self.elements.entry(*c).or_insert(0) += e;
         }
+        for (c, e) in &other.live {
+            *self.live.entry(*c).or_insert(0) += e;
+        }
+        self.live_paper_bytes += other.live_paper_bytes;
+        self.peak_paper_bytes = self.peak_paper_bytes.max(self.live_paper_bytes);
     }
 
     /// Iterates `(category, elements)` in stable order.
@@ -170,6 +247,45 @@ mod tests {
         // A smaller later publish doesn't lower the mark.
         ActivationLedger::new().publish(&reg, "rank0.act");
         assert_eq!(reg.get("rank0.act.paper_bytes").unwrap().as_u64(), 28);
+    }
+
+    #[test]
+    fn free_tracks_liveness_and_peak() {
+        let mut ledger = ActivationLedger::new();
+        ledger.record(Category::QueryKey, 10); // live 20 bytes
+        ledger.record(Category::SoftmaxDropoutMask, 8); // live 28 bytes
+        assert_eq!(ledger.live_paper_bytes(), 28);
+        ledger.free(Category::QueryKey, 10);
+        assert_eq!(ledger.live_paper_bytes(), 8);
+        // Cumulative accounting is untouched by frees.
+        assert_eq!(ledger.paper_bytes(), 28);
+        assert_eq!(ledger.high_water(), 28);
+        // SmallStatistics never enters the paper byte counts, live or not.
+        ledger.record(Category::SmallStatistics, 1_000);
+        assert_eq!(ledger.live_paper_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-free")]
+    fn double_free_panics() {
+        let mut ledger = ActivationLedger::new();
+        ledger.record(Category::Value, 4);
+        ledger.free(Category::Value, 4);
+        ledger.free(Category::Value, 1);
+    }
+
+    #[test]
+    fn release_frees_other_ledgers_live_set() {
+        let mut iter_ledger = ActivationLedger::new();
+        let mut micro = ActivationLedger::new();
+        micro.record(Category::GeluInput, 16);
+        micro.record(Category::MlpDropoutMask, 4);
+        iter_ledger.merge(&micro);
+        iter_ledger.merge(&micro); // two microbatches in flight
+        assert_eq!(iter_ledger.live_paper_bytes(), 2 * (32 + 4));
+        iter_ledger.release(&micro);
+        assert_eq!(iter_ledger.live_paper_bytes(), 36);
+        assert_eq!(iter_ledger.high_water(), 72);
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub struct IterationOutcome {
     /// Activation bytes (paper accounting) saved per microbatch on this
     /// rank.
     pub per_micro_activation_bytes: u64,
+    /// Peak live activation bytes (paper accounting) on this rank over the
+    /// iteration: microbatch ledgers merge in at their forward pass and are
+    /// released at their backward pass, so this measures the schedule's
+    /// true in-flight footprint — `min(p − stage, n)` microbatches' worth.
+    pub peak_activation_bytes: u64,
 }
 
 /// Saved per-microbatch state while a microbatch is in flight.
@@ -131,6 +136,7 @@ struct MicroState {
     tokens_hash: usize, // index into micro_data, for the embedding backward
     layer_states: Vec<LayerState>,
     head: Option<HeadState>,
+    ledger: ActivationLedger,
 }
 
 struct HeadState {
@@ -237,8 +243,11 @@ impl StageModel {
 }
 
 /// The 1F1B op order for one stage (PipeDream-flush): warmup forwards,
-/// steady (F, B) pairs, cooldown backwards.
-fn stage_ops(stage: usize, pp: usize, n: usize) -> Vec<(bool, usize)> {
+/// steady (F, B) pairs, cooldown backwards. Each entry is
+/// `(is_forward, microbatch)`. Public so `mt-analyze` can extract the exact
+/// schedule the executor runs rather than re-deriving (and possibly
+/// diverging from) it.
+pub fn stage_ops(stage: usize, pp: usize, n: usize) -> Vec<(bool, usize)> {
     let w = (pp - 1 - stage).min(n);
     let mut ops = Vec::with_capacity(2 * n);
     for m in 0..w {
@@ -320,6 +329,7 @@ pub fn try_run_1f1b_iteration(
     let mut peak_live = 0usize;
     let mut loss_sum = 0.0_f64;
     let mut per_micro_bytes = 0u64;
+    let mut iter_ledger = ActivationLedger::new();
 
     for (is_fwd, m) in stage_ops(model.stage, model.pp, n) {
         let micro_id = step * n as u64 + m as u64;
@@ -368,7 +378,8 @@ pub fn try_run_1f1b_iteration(
                 None
             };
             per_micro_bytes = ledger.paper_bytes();
-            live[m] = Some(MicroState { tokens_hash: m, layer_states, head });
+            iter_ledger.merge(&ledger);
+            live[m] = Some(MicroState { tokens_hash: m, layer_states, head, ledger });
             live_count += 1;
             peak_live = peak_live.max(live_count);
         } else {
@@ -380,6 +391,7 @@ pub fn try_run_1f1b_iteration(
                 )
             });
             live_count -= 1;
+            iter_ledger.release(&st.ledger);
             let mut d = if let Some(hs) = &st.head {
                 let h = model.head.as_ref().expect("last stage has a head");
                 let d_y_ln = ops::Gemm::NN.apply(&hs.dlogits, &h.table);
@@ -495,14 +507,29 @@ pub fn try_run_1f1b_iteration(
         .map_err(at(model.stage, None, "broadcast of mean loss"))?
         .data()[0];
 
-    Ok(IterationOutcome { mean_loss, grads, peak_live_states: peak_live, per_micro_activation_bytes: per_micro_bytes })
+    // Every microbatch's backward released its forward's activations.
+    debug_assert_eq!(iter_ledger.live_paper_bytes(), 0, "activations leaked across the iteration");
+    Ok(IterationOutcome {
+        mean_loss,
+        grads,
+        peak_live_states: peak_live,
+        per_micro_activation_bytes: per_micro_bytes,
+        peak_activation_bytes: iter_ledger.high_water(),
+    })
 }
 
 /// The interleaved unit order for one device (Megatron's schedule; matches
 /// `mt_pipeline::InterleavedSim`): forward unit `k` is microbatch
 /// `(k/(p·m))·p + k%p` of chunk `(k/p)%m`; backwards mirror with chunks
-/// reversed; warmup is `2(p−d−1) + (m−1)p + 1` units.
-fn interleaved_device_ops(device: usize, p: usize, m: usize, n: usize) -> Vec<(bool, usize, usize)> {
+/// reversed; warmup is `2(p−d−1) + (m−1)p + 1` units. Each entry is
+/// `(is_forward, chunk, microbatch)`. Public so `mt-analyze` extracts the
+/// executor's real schedule.
+pub fn interleaved_device_ops(
+    device: usize,
+    p: usize,
+    m: usize,
+    n: usize,
+) -> Vec<(bool, usize, usize)> {
     let total = n * m;
     let fwd = |k: usize| ((k / p) % m, (k / (p * m)) * p + k % p);
     let bwd = |k: usize| (m - 1 - (k / p) % m, (k / (p * m)) * p + k % p);
@@ -645,7 +672,7 @@ pub fn try_run_interleaved_iteration(
                     .map_err(at(vs, Some(mb), "send of forward activation"))?;
                 None
             };
-            live[v][mb] = Some(MicroState { tokens_hash: mb, layer_states, head });
+            live[v][mb] = Some(MicroState { tokens_hash: mb, layer_states, head, ledger: scratch });
             live_count += 1;
             peak_live = peak_live.max(live_count);
         } else {
