@@ -235,13 +235,14 @@ fn verify_combo(
     let layers_here = cfg.layers / p;
     let emb = embedding_mask_bytes(cfg, mode.t, mode.sp);
     let head = head_bytes(cfg);
-    let micro_stage0 =
-        layers_here as u64 * per_layer + emb + if p == 1 { head } else { 0 };
+    let micro_stage0 = layers_here as u64 * per_layer + emb + if p == 1 { head } else { 0 };
     let expect_stage0 = n_eff as u64 * micro_stage0;
     let stage0_peak = reports[0].peak_bytes;
     gate.check(
         stage0_peak == expect_stage0,
-        &format!("{tag}: stage-0 peak {stage0_peak} == {n_eff}·(L/p·layer + extras) {expect_stage0}"),
+        &format!(
+            "{tag}: stage-0 peak {stage0_peak} == {n_eff}·(L/p·layer + extras) {expect_stage0}"
+        ),
     );
     if p > 1 {
         let expect_last = layers_here as u64 * per_layer + head;

@@ -144,10 +144,24 @@ impl LayerCtx {
         match self.mode {
             StaticMode::Serial => {}
             StaticMode::TensorParallel => {
-                e.collective(self.group, CollectiveKind::AllReduce, "all_reduce", &shape, None, payload);
+                e.collective(
+                    self.group,
+                    CollectiveKind::AllReduce,
+                    "all_reduce",
+                    &shape,
+                    None,
+                    payload,
+                );
             }
             StaticMode::TensorSequenceParallel => {
-                e.collective(self.group, CollectiveKind::ReduceScatter, "reduce_scatter", &shape, None, payload);
+                e.collective(
+                    self.group,
+                    CollectiveKind::ReduceScatter,
+                    "reduce_scatter",
+                    &shape,
+                    None,
+                    payload,
+                );
             }
         }
     }
@@ -181,9 +195,8 @@ impl LayerCtx {
         let tokens_h = tokens * h;
         let shard_h = tokens_h / t;
         // One `[s, s]` score matrix per (batch, local head).
-        let probs = (self.cfg.micro_batch * (self.cfg.heads / self.t)
-            * self.cfg.seq
-            * self.cfg.seq) as u64;
+        let probs =
+            (self.cfg.micro_batch * (self.cfg.heads / self.t) * self.cfg.seq * self.cfg.seq) as u64;
         // Under SP only the local LayerNorm-output shard is kept (the
         // paper's trick); under TP the gathered tensors are.
         let ln_out = if self.mode.sequence_parallel() { rows_h } else { tokens_h };
@@ -233,11 +246,11 @@ impl LayerCtx {
         self.exit_region_bwd(e); // d_m2: ḡ backward
         self.enter_region_fwd(e); // y2 re-gather (SP's extra all-gather)
         self.enter_region_bwd(e); // d_y_ln2
-        // Attention half.
+                                  // Attention half.
         self.exit_region_bwd(e); // d_o
         self.enter_region_fwd(e); // y1 re-gather
         self.enter_region_bwd(e); // d_y_ln1
-        // SP's replicated-parameter gradient sync: six small all-reduces.
+                                  // SP's replicated-parameter gradient sync: six small all-reduces.
         if self.mode.sequence_parallel() {
             let hidden = self.cfg.hidden;
             for _ in 0..6 {
@@ -458,13 +471,7 @@ pub fn pipeline_1f1b_program(
     for stage in 0..pp {
         for tp_rank in 0..tp {
             let ctx = StageCtx {
-                layer: LayerCtx {
-                    cfg: *cfg,
-                    t: tp,
-                    mode,
-                    policy,
-                    group: GroupId::Tp { stage },
-                },
+                layer: LayerCtx { cfg: *cfg, t: tp, mode, policy, group: GroupId::Tp { stage } },
                 layers_here: cfg.layers / pp,
             };
             let first = stage == 0;
@@ -539,8 +546,7 @@ pub fn interleaved_program(
             let prev = ((device + p - 1) % p) * tp + tp_rank;
             let next = ((device + 1) % p) * tp + tp_rank;
             let mut e = Emitter::new();
-            let mut allocs: Vec<Vec<Vec<AllocId>>> =
-                vec![vec![Vec::new(); n_micro]; m_chunks];
+            let mut allocs: Vec<Vec<Vec<AllocId>>> = vec![vec![Vec::new(); n_micro]; m_chunks];
             for (is_fwd, v, mb) in interleaved_device_ops(device, p, m_chunks, n_micro) {
                 let vs = v * p + device;
                 let first = vs == 0;
@@ -610,7 +616,8 @@ mod tests {
         let p = layer_program(&cfg, 1, false, Recompute::None);
         assert!(count_kinds(&p, 0).is_empty());
         // Every alloc is freed.
-        let allocs = p.ranks[0].ops.iter().filter(|o| matches!(o, ScheduleOp::Alloc { .. })).count();
+        let allocs =
+            p.ranks[0].ops.iter().filter(|o| matches!(o, ScheduleOp::Alloc { .. })).count();
         let frees = p.ranks[0].ops.iter().filter(|o| matches!(o, ScheduleOp::Free { .. })).count();
         assert_eq!(allocs, frees);
     }

@@ -124,8 +124,8 @@ impl Allowlist {
     ///
     /// I/O failure or a malformed line (as a string, for the CLI).
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         Self::parse(&text)
     }
 
@@ -203,10 +203,7 @@ fn rules() -> Vec<Rule> {
             name: "wall-clock",
             message: "deterministic crates must not read wall clocks \
                       (route timing through mt-trace)",
-            patterns: vec![
-                String::from("Instant") + "::now",
-                String::from("SystemTime") + "::now",
-            ],
+            patterns: vec![String::from("Instant") + "::now", String::from("SystemTime") + "::now"],
             in_scope: deterministic_crate_scope,
         },
         Rule {
@@ -291,11 +288,7 @@ fn walk(
             }
             walk(root, &path, allow, findings)?;
         } else if name.ends_with(".rs") {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
             let content = fs::read_to_string(&path)?;
             findings.extend(lint_source(&rel, &content, allow));
         }
@@ -334,10 +327,7 @@ mod tests {
     #[test]
     fn wall_clock_scope_excludes_trace_and_bench() {
         let src = "let t0 = Instant::now();\n";
-        assert_eq!(
-            lint_source("crates/model/src/layer.rs", src, &Allowlist::empty()).len(),
-            1
-        );
+        assert_eq!(lint_source("crates/model/src/layer.rs", src, &Allowlist::empty()).len(), 1);
         assert!(lint_source("crates/trace/src/tracer.rs", src, &Allowlist::empty()).is_empty());
         assert!(lint_source("crates/bench/src/bin/kernel_bench.rs", src, &Allowlist::empty())
             .is_empty());
@@ -346,8 +336,7 @@ mod tests {
     #[test]
     fn test_modules_and_comments_are_out_of_scope() {
         let src = "// let t = CallTag { .. };\nfn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { let t = CallTag { op: \"x\", shape: vec![], root: None }; }\n}\n";
-        assert!(lint_source("crates/collectives/src/group.rs", src, &Allowlist::empty())
-            .is_empty());
+        assert!(lint_source("crates/collectives/src/group.rs", src, &Allowlist::empty()).is_empty());
     }
 
     #[test]

@@ -314,10 +314,7 @@ mod tests {
         Program {
             tp: 2,
             pp: 1,
-            ranks: vec![
-                RankProgram { rank: 0, ops: ops0 },
-                RankProgram { rank: 1, ops: ops1 },
-            ],
+            ranks: vec![RankProgram { rank: 0, ops: ops0 }, RankProgram { rank: 1, ops: ops1 }],
         }
     }
 
@@ -334,10 +331,8 @@ mod tests {
     #[test]
     fn mismatched_tags_are_flagged() {
         let g = GroupId::Tp { stage: 0 };
-        let p = two_rank(
-            vec![coll(g, "all_reduce", vec![2, 2])],
-            vec![coll(g, "all_reduce", vec![4])],
-        );
+        let p =
+            two_rank(vec![coll(g, "all_reduce", vec![2, 2])], vec![coll(g, "all_reduce", vec![4])]);
         match check_schedule(&p) {
             Err(ScheduleFault::SpmdMismatch { expected, found, .. }) => {
                 assert_ne!(expected, found);

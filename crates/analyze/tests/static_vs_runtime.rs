@@ -9,13 +9,10 @@
 //! are what entitles it to speak for the runtime.
 
 use mt_analyze::{
-    analyze_liveness, analyze_rank_liveness, check_schedule, layer_program,
-    pipeline_1f1b_program, rank_comm_stats, GroupId, Program, RankProgram, ScheduleFault,
-    ScheduleOp,
+    analyze_liveness, analyze_rank_liveness, check_schedule, layer_program, pipeline_1f1b_program,
+    rank_comm_stats, GroupId, Program, RankProgram, ScheduleFault, ScheduleOp,
 };
-use mt_collectives::{
-    run_grid, CallTag, CollectiveError, CollectiveKind, CommStats, World,
-};
+use mt_collectives::{run_grid, CallTag, CollectiveError, CollectiveKind, CommStats, World};
 use mt_memory::{ActivationMemoryModel, Recompute, Strategy};
 use mt_model::gpt::Gpt;
 use mt_model::pipeline_exec::{run_1f1b_iteration, StageModel};
@@ -85,11 +82,7 @@ fn assert_layer_agreement(cfg: TransformerConfig, t: usize, sp: bool, policy: Re
     for (rank, (rt_ledger, rt_stats)) in runtime.iter().enumerate() {
         let report = analyze_rank_liveness(&prog.ranks[rank]).expect("static liveness");
         // Same stored tensors, category by category.
-        assert_eq!(
-            elements(&report.ledger),
-            elements(rt_ledger),
-            "{what}: rank {rank} ledger"
-        );
+        assert_eq!(elements(&report.ledger), elements(rt_ledger), "{what}: rank {rank} ledger");
         // Same peak: the runtime ledger is record-only, so its high water is
         // its cumulative total — which the static replay (allocs first, all
         // frees at the end) reproduces exactly.
@@ -102,8 +95,9 @@ fn assert_layer_agreement(cfg: TransformerConfig, t: usize, sp: bool, policy: Re
             "{what}: rank {rank} comm stats"
         );
         // And the paper's closed form agrees with both.
-        let analytical = ActivationMemoryModel::new(cfg.to_shape(), cfg.micro_batch as u64, t as u64)
-            .per_layer_bytes(Strategy { sequence_parallel: sp, recompute: policy });
+        let analytical =
+            ActivationMemoryModel::new(cfg.to_shape(), cfg.micro_batch as u64, t as u64)
+                .per_layer_bytes(Strategy { sequence_parallel: sp, recompute: policy });
         assert_eq!(report.ledger.paper_bytes() as f64, analytical, "{what}: Table 2");
     }
 }
@@ -178,10 +172,7 @@ fn pipeline_peak_matches_runtime_1f1b() {
             assert_eq!(check_schedule(&prog), Ok(()), "sp={sp} {policy:?}: matching");
             let reports = analyze_liveness(&prog).expect("static liveness");
             for (rank, peak) in measured.iter().enumerate() {
-                assert_eq!(
-                    reports[rank].peak_bytes, *peak,
-                    "sp={sp} {policy:?}: rank {rank} peak"
-                );
+                assert_eq!(reports[rank].peak_bytes, *peak, "sp={sp} {policy:?}: rank {rank} peak");
                 assert_eq!(reports[rank].live_end_bytes, 0, "rank {rank} leak");
             }
         }

@@ -40,13 +40,10 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut threads = 4usize;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
-        threads = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--threads requires a positive integer");
-                std::process::exit(2);
-            });
+        threads = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--threads requires a positive integer");
+            std::process::exit(2);
+        });
     }
     if let Some(bad) = args
         .iter()
@@ -158,8 +155,30 @@ fn main() {
         let mut outs = [vec![0.0f32; rows * cols], vec![0.0f32; rows * cols]];
         let mut mean = vec![0.0f32; rows];
         let mut rstd = vec![0.0f32; rows];
-        mt_kernels::layer_norm(Backend::Serial, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[0], &mut mean, &mut rstd);
-        mt_kernels::layer_norm(Backend::Threaded { threads }, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[1], &mut mean, &mut rstd);
+        mt_kernels::layer_norm(
+            Backend::Serial,
+            rows,
+            cols,
+            1e-5,
+            &x,
+            &gamma,
+            &beta,
+            &mut outs[0],
+            &mut mean,
+            &mut rstd,
+        );
+        mt_kernels::layer_norm(
+            Backend::Threaded { threads },
+            rows,
+            cols,
+            1e-5,
+            &x,
+            &gamma,
+            &beta,
+            &mut outs[1],
+            &mut mean,
+            &mut rstd,
+        );
         assert!(
             outs[0].iter().zip(&outs[1]).all(|(a, b)| a.to_bits() == b.to_bits()),
             "determinism violation: layer_norm threaded != serial"
@@ -167,7 +186,18 @@ fn main() {
         let flops = 8.0 * (rows * cols) as f64;
         for backend in [Backend::Serial, Backend::Threaded { threads }] {
             let best_ms = best_of(reps, || {
-                mt_kernels::layer_norm(backend, rows, cols, 1e-5, &x, &gamma, &beta, &mut outs[0], &mut mean, &mut rstd);
+                mt_kernels::layer_norm(
+                    backend,
+                    rows,
+                    cols,
+                    1e-5,
+                    &x,
+                    &gamma,
+                    &beta,
+                    &mut outs[0],
+                    &mut mean,
+                    &mut rstd,
+                );
             });
             push(
                 &mut results,

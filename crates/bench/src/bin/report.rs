@@ -57,7 +57,9 @@ fn main() -> ExitCode {
     let want = |name: &str| sections.iter().any(|s| *s == name || *s == "all");
 
     println!("Reducing Activation Recomputation in Large Transformer Models — reproduction report");
-    println!("====================================================================================\n");
+    println!(
+        "====================================================================================\n"
+    );
     if want("table2") {
         println!("{}", reports::render_table2(&ModelZoo::gpt_22b()));
     }
@@ -120,8 +122,8 @@ fn main() -> ExitCode {
         println!("Chrome trace of the 1T 1F1B schedule written to {path}");
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&reports::all_reports_json())
-            .expect("reports serialize");
+        let json =
+            serde_json::to_string_pretty(&reports::all_reports_json()).expect("reports serialize");
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

@@ -26,9 +26,7 @@
 
 use mt_collectives::{CollectiveKind, CommStats, World};
 use mt_core::Estimator;
-use mt_memory::{
-    ActivationMemoryModel, Batch, CachingAllocator, Parallelism, Recompute, Strategy,
-};
+use mt_memory::{ActivationMemoryModel, Batch, CachingAllocator, Parallelism, Recompute, Strategy};
 use mt_model::gpt::Gpt;
 use mt_model::trainer::{Trainer, TrainerConfig};
 use mt_model::weights::LayerWeights;
@@ -137,9 +135,7 @@ fn main() {
         per_rank_span_wire.iter().sum::<u64>(),
         "world aggregate must equal the per-rank sum"
     );
-    println!(
-        "checked {comm_spans} collective spans: span args == CommStats == ring_wire_bytes ✓"
-    );
+    println!("checked {comm_spans} collective spans: span args == CommStats == ring_wire_bytes ✓");
 
     // ---- 3. Cross-check: measured ledger vs Table 2 / estimator ---------
     // One layer forward under the same strategy, the exact-equality contract
@@ -148,21 +144,17 @@ fn main() {
     let full = LayerWeights::init(&cfg, &mut rng);
     let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
     let layer_ledgers = World::run(TP, |comm| {
-        let layer = TransformerLayer::new(
-            cfg,
-            full.shard(TP, comm.rank()),
-            0,
-            policy,
-            CounterRng::new(3),
-        );
+        let layer =
+            TransformerLayer::new(cfg, full.shard(TP, comm.rank()), 0, policy, CounterRng::new(3));
         let mode = ExecMode::TensorSequenceParallel(&comm);
         let x_local = x.chunk_axis0(TP).unwrap()[comm.rank()].clone();
         let mut ledger = ActivationLedger::new();
         let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
         ledger
     });
-    let analytical_layer = ActivationMemoryModel::new(cfg.to_shape(), cfg.micro_batch as u64, TP as u64)
-        .per_layer_bytes(strategy);
+    let analytical_layer =
+        ActivationMemoryModel::new(cfg.to_shape(), cfg.micro_batch as u64, TP as u64)
+            .per_layer_bytes(strategy);
     let measured_layer = layer_ledgers[0].paper_bytes();
     assert_eq!(
         measured_layer as f64, analytical_layer,
@@ -279,6 +271,9 @@ fn main() {
         sim.analytic_ms()
     );
 
-    println!("\nwrote reports/trace.json ({} events) and reports/trace_metrics.json", all_events.len());
+    println!(
+        "\nwrote reports/trace.json ({} events) and reports/trace_metrics.json",
+        all_events.len()
+    );
     println!("all exact cross-checks passed");
 }

@@ -47,9 +47,8 @@ fn serial_loss(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> f32 {
     let mut loss = 0.0_f64;
     for (mb, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
-        loss += gpt
-            .loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger)
-            .0 as f64;
+        loss +=
+            gpt.loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger).0 as f64;
     }
     (loss / n as f64) as f32
 }
@@ -127,8 +126,7 @@ fn main() -> ExitCode {
         let outs: Vec<Tensor> = [Recompute::None, Recompute::Selective, Recompute::Full]
             .into_iter()
             .map(|p| {
-                let layer =
-                    mt_model::TransformerLayer::new(c, w.clone(), 0, p, CounterRng::new(5));
+                let layer = mt_model::TransformerLayer::new(c, w.clone(), 0, p, CounterRng::new(5));
                 let mut ledger = ActivationLedger::new();
                 let (y, st) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
                 let (dx, _) = layer.backward(&y, st, &ExecMode::Serial);

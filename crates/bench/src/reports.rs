@@ -45,13 +45,8 @@ pub fn table2_rows(model: &PaperModel) -> Vec<Table2Row> {
         formula: "sbh(34 + 5as/h)",
         bytes_per_layer: act.per_layer_bytes_serial(),
     }];
-    let formulas = [
-        "sbh(10 + 24/t + 5as/ht)",
-        "sbh(34/t + 5as/ht)",
-        "sbh(10 + 24/t)",
-        "sbh(34/t)",
-        "sbh(2)",
-    ];
+    let formulas =
+        ["sbh(10 + 24/t + 5as/ht)", "sbh(34/t + 5as/ht)", "sbh(10 + 24/t)", "sbh(34/t)", "sbh(2)"];
     for (s, f) in strategies().into_iter().zip(formulas) {
         rows.push(Table2Row {
             technique: s.label().into(),
@@ -164,8 +159,7 @@ pub fn figure7_rows() -> Vec<Figure7Row> {
     ModelZoo::all()
         .iter()
         .map(|m| {
-            let act =
-                ActivationMemoryModel::new(m.shape, m.batch.micro, m.parallel.tensor);
+            let act = ActivationMemoryModel::new(m.shape, m.batch.micro, m.parallel.tensor);
             Figure7Row {
                 model: m.name.into(),
                 sequence_parallel_pct: act.percent_of_tp_baseline(Strategy::tp_sp()),
@@ -237,8 +231,7 @@ pub fn table4_rows() -> Vec<Table4Row> {
                 forward_ms: t.forward_ms,
                 backward_ms: t.backward_with_recompute_ms(),
                 combined_ms: t.combined_ms(),
-                overhead_pct: (label != "Baseline no recompute")
-                    .then(|| t.overhead_pct(&base)),
+                overhead_pct: (label != "Baseline no recompute").then(|| t.overhead_pct(&base)),
             }
         })
         .collect()
@@ -363,8 +356,7 @@ pub fn table5_rows() -> Vec<Table5Row> {
                 model: m.name.into(),
                 full_recompute_s: full.iteration_s,
                 present_work_s: present.iteration_s,
-                throughput_increase_pct: 100.0
-                    * (full.iteration_s / present.iteration_s - 1.0),
+                throughput_increase_pct: 100.0 * (full.iteration_s / present.iteration_s - 1.0),
                 mfu: present.mfu,
                 hfu: present.hfu,
             }
@@ -496,7 +488,11 @@ pub fn render_flops() -> String {
     for r in flops_rows() {
         out.push_str(&format!(
             "{:<15} {:>12.1} {:>16.1} {:>13.1} {:>10.4}\n",
-            r.model, r.model_pflops, r.hardware_pflops_selective, r.hardware_pflops_full, r.ratio_approx
+            r.model,
+            r.model_pflops,
+            r.hardware_pflops_selective,
+            r.hardware_pflops_full,
+            r.ratio_approx
         ));
     }
     out
@@ -724,10 +720,7 @@ pub fn render_related_work() -> String {
     out.push_str(
         "\nActivation offloading vs selective recomputation (per layer, attention-core bytes):\n",
     );
-    out.push_str(&format!(
-        "{:<15} {:>16} {:>16}\n",
-        "model", "offload ms", "recompute ms"
-    ));
+    out.push_str(&format!("{:<15} {:>16} {:>16}\n", "model", "offload ms", "recompute ms"));
     let off = mt_perf::OffloadModel::pcie_gen4();
     for m in ModelZoo::all() {
         let (o, r) = off.versus_selective_recompute(
@@ -763,7 +756,10 @@ pub fn render_breakdown() -> String {
     let mut out = String::from(
         "Forward-pass breakdown, 22B layer (where sequence parallelism's speedup lives)\n",
     );
-    out.push_str(&format!("{:<40} {:>10} {:>10} {:>8}\n", "component", "TP ms", "TP+SP ms", "Δ ms"));
+    out.push_str(&format!(
+        "{:<40} {:>10} {:>10} {:>8}\n",
+        "component", "TP ms", "TP+SP ms", "Δ ms"
+    ));
     for ((name, a), (_, b)) in tp.iter().zip(&sp) {
         out.push_str(&format!("{:<40} {:>10.3} {:>10.3} {:>+8.3}\n", name, a, b, b - a));
     }
@@ -838,11 +834,8 @@ pub fn fragmentation_rows() -> Vec<FragmentationRow> {
         ("variable microbatches, outputs deallocated", variable.clone(), true),
         ("variable microbatches, outputs pinned", variable, false),
     ] {
-        let cfg = ReplayConfig {
-            activation_bytes: sizes,
-            output_bytes: 40,
-            deallocate_outputs: dealloc,
-        };
+        let cfg =
+            ReplayConfig { activation_bytes: sizes, output_bytes: 40, deallocate_outputs: dealloc };
         let report = replay_stage_memory(&events, 0, &cfg);
         rows.push(FragmentationRow {
             scenario: label.into(),
@@ -889,7 +882,8 @@ pub fn render_sweeps() -> String {
         "{:<8} {:>8} {:>16} {:>18}\n",
         "seq", "5as/h", "mem saved %", "FLOPs overhead %"
     ));
-    for p in mt_core::sweeps::sequence_length_sweep(gpt3, &[512, 1024, 2048, 4096, 8192, 16384], 1) {
+    for p in mt_core::sweeps::sequence_length_sweep(gpt3, &[512, 1024, 2048, 4096, 8192, 16384], 1)
+    {
         out.push_str(&format!(
             "{:<8} {:>8.0} {:>16.1} {:>18.1}\n",
             p.seq,
@@ -1041,8 +1035,7 @@ mod tests {
     #[test]
     fn ablation_shows_the_granularity_problem() {
         let rows = ablation_rows();
-        let mtnlg: Vec<&AblationRow> =
-            rows.iter().filter(|r| r.model.contains("530B")).collect();
+        let mtnlg: Vec<&AblationRow> = rows.iter().filter(|r| r.model.contains("530B")).collect();
         let selective = mtnlg.iter().find(|r| r.scheme.contains("selective")).unwrap();
         assert!(selective.fits, "selective must fit in 80 GB");
         // The cheapest *fitting* mixed setting must cost several times the

@@ -108,10 +108,7 @@ impl fmt::Display for CollectiveError {
                 write!(f, "rank {rank}: collective aborted, rank {dead_rank} is dead")
             }
             CollectiveError::SpmdMismatch { rank, expected, found } => {
-                write!(
-                    f,
-                    "rank {rank}: SPMD mismatch, round started as {expected} but got {found}"
-                )
+                write!(f, "rank {rank}: SPMD mismatch, round started as {expected} but got {found}")
             }
             CollectiveError::PeerDisconnected { rank, peer } => {
                 write!(f, "rank {rank}: peer {peer} disconnected")

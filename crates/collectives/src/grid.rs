@@ -188,9 +188,8 @@ mod tests {
 
     #[test]
     fn neighbour_ranks_are_consistent() {
-        let out = run_grid(3, 4, |g| {
-            (g.stage, g.tp_rank, g.prev_stage_rank(), g.next_stage_rank())
-        });
+        let out =
+            run_grid(3, 4, |g| (g.stage, g.tp_rank, g.prev_stage_rank(), g.next_stage_rank()));
         for (stage, tp_rank, prev, next) in out {
             if stage == 0 {
                 assert_eq!(prev, None);
@@ -234,10 +233,9 @@ mod tests {
         let out = run_grid3(2, 1, 2, |g| {
             if g.replica.stage == 0 {
                 let payload = 100.0 * (g.dp_rank as f32 + 1.0);
-                g.replica.grid.send(
-                    g.replica.next_stage_rank().unwrap(),
-                    &Tensor::full(&[1], payload),
-                );
+                g.replica
+                    .grid
+                    .send(g.replica.next_stage_rank().unwrap(), &Tensor::full(&[1], payload));
                 0.0
             } else {
                 g.replica.grid.recv(g.replica.prev_stage_rank().unwrap()).data()[0]

@@ -104,11 +104,8 @@ impl Exchange {
         match &st.tag {
             None => st.tag = Some(tag.clone()),
             Some(current) if *current != tag => {
-                let err = CollectiveError::SpmdMismatch {
-                    rank,
-                    expected: current.clone(),
-                    found: tag,
-                };
+                let err =
+                    CollectiveError::SpmdMismatch { rank, expected: current.clone(), found: tag };
                 st.poisoned = Some(err.clone());
                 drop(st);
                 self.cond.notify_all();
@@ -189,9 +186,8 @@ impl World {
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "World requires at least one rank");
         let mut senders = vec![Vec::with_capacity(size); size];
-        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> = (0..size)
-            .map(|_| (0..size).map(|_| None).collect())
-            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Tensor>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
         for from in 0..size {
             #[allow(clippy::needless_range_loop)] // `to` addresses the matching receiver slot
             for to in 0..size {
@@ -370,10 +366,7 @@ impl World {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank wrapper catches panics"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("rank wrapper catches panics")).collect()
         })
     }
 }
@@ -418,10 +411,7 @@ pub struct Communicator {
 
 impl std::fmt::Debug for Communicator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Communicator")
-            .field("rank", &self.rank)
-            .field("size", &self.size)
-            .finish()
+        f.debug_struct("Communicator").field("rank", &self.rank).field("size", &self.size).finish()
     }
 }
 
@@ -706,9 +696,7 @@ impl Communicator {
     pub fn try_recv(&self, from: usize) -> Result<Tensor, CollectiveError> {
         assert!(from < self.size, "recv: source {from} out of range");
         self.fault_gate("recv")?;
-        let _span = self
-            .tracer
-            .span_args("recv", || vec![("from", ArgValue::U64(from as u64))]);
+        let _span = self.tracer.span_args("recv", || vec![("from", ArgValue::U64(from as u64))]);
         let start = Instant::now();
         loop {
             if let Some(dead_rank) = self.exchange.first_dead() {

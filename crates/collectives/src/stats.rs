@@ -175,11 +175,9 @@ mod tests {
 
     #[test]
     fn single_rank_groups_are_free() {
-        for kind in [
-            CollectiveKind::AllReduce,
-            CollectiveKind::AllGather,
-            CollectiveKind::ReduceScatter,
-        ] {
+        for kind in
+            [CollectiveKind::AllReduce, CollectiveKind::AllGather, CollectiveKind::ReduceScatter]
+        {
             assert_eq!(kind.ring_wire_bytes(1 << 20, 1), 0);
         }
     }

@@ -146,8 +146,14 @@ fn transient_fault_recovers_on_retry() {
     }
     assert_eq!(plan.fired_count(), 1);
     let events = tracer.events();
-    assert!(events.iter().any(|e| e.name.as_ref() == "fault_injected"), "no fault_injected instant");
-    assert!(events.iter().any(|e| e.name.as_ref() == "fault_recovered"), "no fault_recovered instant");
+    assert!(
+        events.iter().any(|e| e.name.as_ref() == "fault_injected"),
+        "no fault_injected instant"
+    );
+    assert!(
+        events.iter().any(|e| e.name.as_ref() == "fault_recovered"),
+        "no fault_recovered instant"
+    );
 }
 
 /// An injected straggler delay — calibrated from the α–β cost model —
@@ -157,7 +163,8 @@ fn straggler_delay_preserves_results() {
     // Stall rank 0 by 100× the modeled time of this all-reduce on a DGX
     // A100: a calibrated "slow NIC" scenario rather than an arbitrary sleep.
     let payload_bytes = 4 * 2; // 4 elements, fp16 accounting
-    let modeled_s = CommCostModel::nvlink_dgx_a100().time(CollectiveKind::AllReduce, payload_bytes, 2);
+    let modeled_s =
+        CommCostModel::nvlink_dgx_a100().time(CollectiveKind::AllReduce, payload_bytes, 2);
     let micros = (modeled_s * 1e6 * 100.0).ceil() as u64;
     let plan = Arc::new(FaultPlan::builder().delay_collective(0, 0, micros).build());
     let mut world = World::new(2);

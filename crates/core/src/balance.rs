@@ -41,7 +41,8 @@ pub fn first_stage_relief_frontier(est: &Estimator, strategy: Strategy) -> Vec<R
     let balanced = l / p;
     let act = ActivationMemoryModel::new(est.shape, est.batch.micro, est.parallel.tensor);
     let per_layer = act.per_layer_bytes(strategy);
-    let layer = mt_perf::LayerTimeModel::new(est.gpu, est.shape, est.batch.micro, est.parallel.tensor);
+    let layer =
+        mt_perf::LayerTimeModel::new(est.gpu, est.shape, est.batch.micro, est.parallel.tensor);
     let aux = mt_perf::AuxCostModel::new(est.gpu, est.shape, est.parallel.tensor);
     let t = layer.times(strategy);
     let head_ms = aux.head_ms(est.batch.micro);
@@ -100,10 +101,7 @@ mod tests {
     #[test]
     fn balanced_assignment_is_near_the_time_minimum() {
         let pts = frontier();
-        let best = pts
-            .iter()
-            .map(|p| p.iteration_s)
-            .fold(f64::INFINITY, f64::min);
+        let best = pts.iter().map(|p| p.iteration_s).fold(f64::INFINITY, f64::min);
         let balanced = pts.iter().find(|p| p.first_stage_layers == 2).expect("k = L/p present");
         assert!(
             balanced.iteration_s <= best * 1.02,

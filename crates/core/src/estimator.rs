@@ -4,8 +4,8 @@
 use crate::zoo::PaperModel;
 use mt_flops::FlopsModel;
 use mt_memory::{
-    ActivationMemoryModel, Batch, ModelShape, ModelStateMemory, Parallelism,
-    PipelineMemoryProfile, Strategy, A100_80GB_BYTES,
+    ActivationMemoryModel, Batch, ModelShape, ModelStateMemory, Parallelism, PipelineMemoryProfile,
+    Strategy, A100_80GB_BYTES,
 };
 use mt_perf::{AuxCostModel, GpuSpec, LayerTimeModel};
 use mt_pipeline::{PipelineSim, StageCosts};
@@ -204,8 +204,7 @@ impl Estimator {
     /// this is the paper's 2240-GPU run (37.83 s → 39.15 s, MFU 56.0% →
     /// 54.2%).
     pub fn data_parallel_report(&self, strategy: Strategy, dp: u64) -> TimeReport {
-        let iteration_s =
-            self.iteration_ms(strategy) / 1e3 + self.data_parallel_overhead_s(dp);
+        let iteration_s = self.iteration_ms(strategy) / 1e3 + self.data_parallel_overhead_s(dp);
         // Model FLOPs scale by dp and so does the GPU count, so the MFU
         // denominator/numerator scaling cancels to the same formula on the
         // per-replica quantities with the new iteration time.

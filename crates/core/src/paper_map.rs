@@ -44,7 +44,9 @@ mod tests {
         let doc = include_str!("paper_map.rs");
         let rows = doc
             .lines()
-            .filter(|l| l.starts_with("//! | ") && !l.contains("---") && !l.contains("Paper artifact"))
+            .filter(|l| {
+                l.starts_with("//! | ") && !l.contains("---") && !l.contains("Paper artifact")
+            })
             .count();
         assert_eq!(rows, super::MAPPED_ARTIFACTS);
     }

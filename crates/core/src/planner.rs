@@ -83,13 +83,9 @@ impl TrainingPlanner {
     pub fn appendix_c_budgets(&self, strategy: Strategy) -> Vec<u64> {
         let est = &self.estimator;
         let state = ModelStateMemory::new(est.shape).bytes_per_gpu(est.parallel);
-        let act = mt_memory::ActivationMemoryModel::new(
-            est.shape,
-            est.batch.micro,
-            est.parallel.tensor,
-        );
-        let profile =
-            PipelineMemoryProfile::new(act, est.parallel, est.batch.num_micro());
+        let act =
+            mt_memory::ActivationMemoryModel::new(est.shape, est.batch.micro, est.parallel.tensor);
+        let profile = PipelineMemoryProfile::new(act, est.parallel, est.batch.num_micro());
         let store_all = Strategy {
             sequence_parallel: strategy.sequence_parallel,
             recompute: mt_memory::Recompute::None,
@@ -179,7 +175,8 @@ mod tests {
     fn appendix_c_budget_shrinks_with_budget() {
         let a = planner(ModelZoo::mtnlg_530b(), A100_80GB_BYTES)
             .appendix_c_budgets(Strategy::tp_sp_selective());
-        let b = planner(ModelZoo::mtnlg_530b(), 60e9).appendix_c_budgets(Strategy::tp_sp_selective());
+        let b =
+            planner(ModelZoo::mtnlg_530b(), 60e9).appendix_c_budgets(Strategy::tp_sp_selective());
         assert!(a.iter().sum::<u64>() >= b.iter().sum::<u64>());
     }
 }

@@ -44,7 +44,9 @@ impl CharVocab {
     /// Panics on a character outside the vocabulary.
     pub fn encode(&self, text: &str) -> Vec<usize> {
         text.chars()
-            .map(|c| *self.ids.get(&c).unwrap_or_else(|| panic!("character {c:?} not in vocabulary")))
+            .map(|c| {
+                *self.ids.get(&c).unwrap_or_else(|| panic!("character {c:?} not in vocabulary"))
+            })
             .collect()
     }
 
@@ -91,10 +93,8 @@ impl ByteVocab {
     ///
     /// Panics on an id ≥ 256.
     pub fn decode(&self, ids: &[usize]) -> String {
-        let bytes: Vec<u8> = ids
-            .iter()
-            .map(|&i| u8::try_from(i).expect("byte-vocab id must be < 256"))
-            .collect();
+        let bytes: Vec<u8> =
+            ids.iter().map(|&i| u8::try_from(i).expect("byte-vocab id must be < 256")).collect();
         String::from_utf8_lossy(&bytes).into_owned()
     }
 }

@@ -227,9 +227,7 @@ mod tests {
     fn floats_round_trip_bit_exactly() {
         // Values JSON text rendering would mangle or lose precision on:
         // negative zero, subnormals, and non-round decimals.
-        for f in
-            [0.0f32, -0.0, 1e-45, f32::MIN_POSITIVE, 0.1, -3.4e38, f32::NAN, f32::INFINITY]
-        {
+        for f in [0.0f32, -0.0, 1e-45, f32::MIN_POSITIVE, 0.1, -3.4e38, f32::NAN, f32::INFINITY] {
             let v = Value::Float(f64::from(f));
             let back = roundtrip(&v);
             let Value::Float(g) = back else { panic!("float expected") };

@@ -300,9 +300,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate fault site")]
     fn duplicate_sites_are_rejected() {
-        let _ = FaultPlan::builder()
-            .panic_at_collective(0, 1)
-            .delay_collective(0, 1, 10)
-            .build();
+        let _ = FaultPlan::builder().panic_at_collective(0, 1).delay_collective(0, 1, 10).build();
     }
 }

@@ -153,14 +153,12 @@ mod tests {
     use super::*;
 
     fn gpt3() -> FlopsModel {
-        let shape =
-            ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
+        let shape = ModelShape { heads: 96, hidden: 12288, layers: 96, seq: 2048, vocab: 51200 };
         FlopsModel::new(shape, 64)
     }
 
     fn mtnlg() -> FlopsModel {
-        let shape =
-            ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 };
+        let shape = ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 };
         FlopsModel::new(shape, 280)
     }
 

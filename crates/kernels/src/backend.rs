@@ -121,13 +121,18 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for b in [Backend::Serial, Backend::Threaded { threads: 1 }, Backend::Threaded { threads: 7 }] {
+        for b in
+            [Backend::Serial, Backend::Threaded { threads: 1 }, Backend::Threaded { threads: 7 }]
+        {
             let rt = decode(encode(b));
             assert_eq!(rt.threads(), b.threads());
         }
         // Threaded { 1 } and Serial intentionally decode to the same work
         // distribution (single worker).
-        assert_eq!(decode(encode(Backend::Threaded { threads: 1 })), Backend::Threaded { threads: 1 });
+        assert_eq!(
+            decode(encode(Backend::Threaded { threads: 1 })),
+            Backend::Threaded { threads: 1 }
+        );
     }
 
     #[test]

@@ -144,7 +144,16 @@ fn band_nt(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c
 /// `C[i][j] += A[kk][i] · B[kk][j]` — for each `kk` one row of `B` is
 /// broadcast-accumulated into every band row, k-blocked like `nn`.
 #[allow(clippy::too_many_arguments)]
-fn band_tn(row0: usize, rows: usize, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+fn band_tn(
+    row0: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     for k0 in (0..k).step_by(BLOCK_K) {
         let k1 = (k0 + BLOCK_K).min(k);
         for kk in k0..k1 {
@@ -165,7 +174,16 @@ fn band_tn(row0: usize, rows: usize, m: usize, n: usize, k: usize, a: &[f32], b:
 /// descriptor completeness (no call site in the model uses it on a hot
 /// path).
 #[allow(clippy::too_many_arguments)]
-fn band_tt(row0: usize, rows: usize, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+fn band_tt(
+    row0: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     for i in 0..rows {
         let crow = &mut c[i * n..(i + 1) * n];
         for (j, cv) in crow.iter_mut().enumerate() {
@@ -184,7 +202,15 @@ mod tests {
     use super::*;
 
     /// Naive reference with the same ascending-k per-element order.
-    fn reference(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    fn reference(
+        ta: bool,
+        tb: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -232,11 +258,8 @@ mod tests {
                 let want = reference(ta, tb, m, n, k, &a, &b);
                 let mut got = vec![0.0f32; m * n];
                 gemm(Backend::Serial, ta, tb, m, n, k, &a, &b, &mut got);
-                let max_diff = want
-                    .iter()
-                    .zip(&got)
-                    .map(|(w, g)| (w - g).abs())
-                    .fold(0.0f32, f32::max);
+                let max_diff =
+                    want.iter().zip(&got).map(|(w, g)| (w - g).abs()).fold(0.0f32, f32::max);
                 assert!(
                     max_diff <= 1e-4,
                     "{} m={m} n={n} k={k}: max diff {max_diff}",

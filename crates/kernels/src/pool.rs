@@ -36,8 +36,9 @@ where
         return;
     }
     // Deal items round-robin so worker w owns items w, w+threads, … .
-    let mut per_worker: Vec<Vec<(usize, T)>> =
-        (0..threads).map(|w| Vec::with_capacity(n / threads + usize::from(w < n % threads))).collect();
+    let mut per_worker: Vec<Vec<(usize, T)>> = (0..threads)
+        .map(|w| Vec::with_capacity(n / threads + usize::from(w < n % threads)))
+        .collect();
     for (i, item) in items.into_iter().enumerate() {
         per_worker[i % threads].push((i, item));
     }

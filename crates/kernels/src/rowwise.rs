@@ -167,9 +167,7 @@ pub fn layer_norm(
             let rs = 1.0 / (var + eps).sqrt();
             mchunk[i] = mu;
             rchunk[i] = rs;
-            for ((o, &xv), (&g, &b)) in
-                orow.iter_mut().zip(xrow).zip(gamma.iter().zip(beta))
-            {
+            for ((o, &xv), (&g, &b)) in orow.iter_mut().zip(xrow).zip(gamma.iter().zip(beta)) {
                 *o = g * (xv - mu) * rs + b;
             }
         }
@@ -369,7 +367,18 @@ mod tests {
             let mut mean = [vec![0.0; rows], vec![0.0; rows]];
             let mut rstd = [vec![0.0; rows], vec![0.0; rows]];
             for (i, b) in [Backend::Serial, mt].into_iter().enumerate() {
-                layer_norm(b, rows, cols, 1e-5, &x, &gamma, &beta, &mut out[i], &mut mean[i], &mut rstd[i]);
+                layer_norm(
+                    b,
+                    rows,
+                    cols,
+                    1e-5,
+                    &x,
+                    &gamma,
+                    &beta,
+                    &mut out[i],
+                    &mut mean[i],
+                    &mut rstd[i],
+                );
             }
             assert_eq!(bits(&out[0]), bits(&out[1]), "layer_norm threads={threads}");
 
@@ -378,7 +387,8 @@ mod tests {
             let mut db = [vec![0.0; cols], vec![0.0; cols]];
             for (i, b) in [Backend::Serial, mt].into_iter().enumerate() {
                 layer_norm_backward(
-                    b, rows, cols, &x, &gamma, &mean[0], &rstd[0], &dy, &mut dx[i], &mut dg[i], &mut db[i],
+                    b, rows, cols, &x, &gamma, &mean[0], &rstd[0], &dy, &mut dx[i], &mut dg[i],
+                    &mut db[i],
                 );
             }
             assert_eq!(bits(&dx[0]), bits(&dx[1]), "ln_backward dx threads={threads}");
@@ -407,8 +417,20 @@ mod tests {
         let x = filled(rows * cols, 7);
         let gamma = vec![1.0; cols];
         let beta = vec![0.0; cols];
-        let (mut out, mut mean, mut rstd) = (vec![0.0; rows * cols], vec![0.0; rows], vec![0.0; rows]);
-        layer_norm(Backend::Threaded { threads: 4 }, rows, cols, 1e-5, &x, &gamma, &beta, &mut out, &mut mean, &mut rstd);
+        let (mut out, mut mean, mut rstd) =
+            (vec![0.0; rows * cols], vec![0.0; rows], vec![0.0; rows]);
+        layer_norm(
+            Backend::Threaded { threads: 4 },
+            rows,
+            cols,
+            1e-5,
+            &x,
+            &gamma,
+            &beta,
+            &mut out,
+            &mut mean,
+            &mut rstd,
+        );
         for r in 0..rows {
             let row = &out[r * cols..(r + 1) * cols];
             let mu: f32 = row.iter().sum::<f32>() / cols as f32;

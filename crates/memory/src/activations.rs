@@ -181,7 +181,9 @@ mod tests {
     fn figure7_five_x_reduction_for_large_models() {
         // Figure 7: combined techniques bring the requirement under 20% of
         // the TP baseline (≈5× reduction) for the large models.
-        for (heads, hidden, layers) in [(96u64, 12288u64, 96u64), (128, 20480, 105), (160, 25600, 128)] {
+        for (heads, hidden, layers) in
+            [(96u64, 12288u64, 96u64), (128, 20480, 105), (160, 25600, 128)]
+        {
             let m = ActivationMemoryModel::new(
                 ModelShape { heads, hidden, layers, seq: 2048, vocab: 51200 },
                 1,
@@ -215,8 +217,8 @@ mod tests {
         let a = m.first_stage_total_bytes(Strategy::tp_sp_selective(), plain);
         let b = m.first_stage_total_bytes(Strategy::tp_sp_selective(), inter);
         assert!(b > a);
-        let ratio = (b - m.input_output_extra_bytes(inter))
-            / (a - m.input_output_extra_bytes(plain));
+        let ratio =
+            (b - m.input_output_extra_bytes(inter)) / (a - m.input_output_extra_bytes(plain));
         assert!((ratio - (1.0 + 7.0 / 24.0)).abs() < 1e-9);
     }
 

@@ -95,10 +95,8 @@ impl AllocatorStats {
         registry.high_water(&format!("{prefix}.peak_footprint"), self.peak_footprint);
         registry.counter_add(&format!("{prefix}.allocs"), self.allocs);
         registry.counter_add(&format!("{prefix}.frees"), self.frees);
-        registry.counter_add(
-            &format!("{prefix}.fragmentation_failures"),
-            self.fragmentation_failures,
-        );
+        registry
+            .counter_add(&format!("{prefix}.fragmentation_failures"), self.fragmentation_failures);
     }
 }
 
@@ -218,11 +216,8 @@ impl CachingAllocator {
         let offset = self.blocks[i].offset;
         if self.blocks[i].size > size {
             // Split: the tail stays free.
-            let tail = Block {
-                offset: offset + size,
-                size: self.blocks[i].size - size,
-                free: true,
-            };
+            let tail =
+                Block { offset: offset + size, size: self.blocks[i].size - size, free: true };
             self.blocks[i].size = size;
             self.blocks.insert(i + 1, tail);
         }
@@ -315,7 +310,7 @@ mod tests {
         let _y = a.malloc(20).unwrap();
         let _z = a.malloc(40).unwrap();
         a.free(x); // free: 40 at the front
-        // 40 free bytes... and a 60-byte request: genuine OOM.
+                   // 40 free bytes... and a 60-byte request: genuine OOM.
         assert!(matches!(a.malloc(60), Err(AllocError::OutOfMemory { .. })));
         // Free the tail too: 80 free in two 40-byte pieces.
         a.free(_z);
@@ -338,7 +333,7 @@ mod tests {
         let _w = a.malloc(40).unwrap();
         a.free(x); // 10-byte hole at 0
         a.free(z); // 20-byte hole at 40
-        // A 10-byte request must take the 10-byte hole, not split the 20.
+                   // A 10-byte request must take the 10-byte hole, not split the 20.
         let r = a.malloc(10).unwrap();
         assert_eq!(r, AllocId(0));
         assert_eq!(a.largest_free_block(), 20);

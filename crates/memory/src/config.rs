@@ -177,7 +177,10 @@ mod tests {
             (ModelShape { heads: 64, hidden: 6144, layers: 48, seq: 2048, vocab: 51200 }, 22e9),
             (gpt3(), 175e9),
             (ModelShape { heads: 128, hidden: 20480, layers: 105, seq: 2048, vocab: 51200 }, 530e9),
-            (ModelShape { heads: 160, hidden: 25600, layers: 128, seq: 2048, vocab: 51200 }, 1000e9),
+            (
+                ModelShape { heads: 160, hidden: 25600, layers: 128, seq: 2048, vocab: 51200 },
+                1000e9,
+            ),
         ];
         for (shape, nominal) in cases {
             let n = shape.parameters() as f64;

@@ -79,8 +79,7 @@ impl MixedLayerCheckpointing {
         assert!(k <= per_device, "cannot checkpoint {k} of {per_device} layers");
         let instances = self.act.shape().layers as f64 * self.parallel.first_stage_factor();
         let frac = k as f64 / per_device as f64;
-        instances
-            * (frac * self.checkpoint_per_layer() + (1.0 - frac) * self.store_all_per_layer())
+        instances * (frac * self.checkpoint_per_layer() + (1.0 - frac) * self.store_all_per_layer())
             + self.act.input_output_extra_bytes(self.parallel)
     }
 

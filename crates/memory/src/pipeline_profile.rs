@@ -95,14 +95,12 @@ impl PipelineMemoryProfile {
         }
         if rank == 0 {
             // Embedding dropout mask, sequence-parallel, p microbatches.
-            total += self.model.sbh() * self.parallel.pipeline as f64
-                / self.parallel.tensor as f64;
+            total += self.model.sbh() * self.parallel.pipeline as f64 / self.parallel.tensor as f64;
         }
         if rank == self.parallel.pipeline - 1 && self.parallel.pipeline > 1 {
             // Final LayerNorm + output projection + fp32 logits live on the
             // last stage (one microbatch in flight there).
-            let v_over_h =
-                self.model.shape().vocab as f64 / self.model.shape().hidden as f64;
+            let v_over_h = self.model.shape().vocab as f64 / self.model.shape().hidden as f64;
             total += 4.0 * self.model.sbh() / self.parallel.tensor as f64 * (1.0 + v_over_h);
         }
         total

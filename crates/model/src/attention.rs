@@ -102,7 +102,13 @@ fn extract_head(p: &AttnParams, packed: &Tensor, batch: usize, local_head: usize
 
 /// Adds the `[s, head_dim]` matrix of one `(batch, local head)` into a packed
 /// `[s·b, local_heads·head_dim]` tensor.
-fn scatter_head(p: &AttnParams, packed: &mut Tensor, src: &Tensor, batch: usize, local_head: usize) {
+fn scatter_head(
+    p: &AttnParams,
+    packed: &mut Tensor,
+    src: &Tensor,
+    batch: usize,
+    local_head: usize,
+) {
     let (s, b, hd) = (p.seq, p.micro_batch, p.head_dim);
     let width = p.local_width();
     for si in 0..s {
@@ -305,8 +311,7 @@ mod tests {
                 let parts = t.chunk_last_axis(2).unwrap();
                 parts[rank].clone()
             };
-            let (ctx_half, _) =
-                attention_forward(&p_half, &rng, &cols(&q), &cols(&k), &cols(&v));
+            let (ctx_half, _) = attention_forward(&p_half, &rng, &cols(&q), &cols(&k), &cols(&v));
             let expect = ctx_full.chunk_last_axis(2).unwrap()[rank].clone();
             assert!(
                 ctx_half.allclose(&expect, 1e-5, 1e-6),
@@ -359,9 +364,7 @@ mod tests {
         p.dropout_p = 0.25; // masks are deterministic, so the loss is smooth
         let rng = CounterRng::new(8);
         let (q, k, v) = rand_qkv(&p, 9);
-        let loss = |q_: &Tensor| {
-            attention_forward(&p, &rng, q_, &k, &v).0.sum()
-        };
+        let loss = |q_: &Tensor| attention_forward(&p, &rng, q_, &k, &v).0.sum();
         let (_, saved) = attention_forward(&p, &rng, &q, &k, &v);
         let ones = Tensor::full(&[p.seq, p.local_heads * p.head_dim], 1.0);
         let (dq, _, _) = attention_backward(&p, &rng, &q, &k, &v, &saved, &ones);

@@ -50,9 +50,24 @@ impl TransformerConfig {
     /// Panics if `hidden % heads != 0`, `heads % t != 0`, or `seq % t != 0`
     /// (sequence parallelism shards the `s` axis `t` ways).
     pub fn validate(&self, t: usize) {
-        assert!(self.hidden.is_multiple_of(self.heads), "hidden {} not divisible by heads {}", self.hidden, self.heads);
-        assert!(t > 0 && self.heads.is_multiple_of(t), "heads {} not divisible by t {}", self.heads, t);
-        assert!(self.seq.is_multiple_of(t), "seq {} not divisible by t {} (needed for sequence parallelism)", self.seq, t);
+        assert!(
+            self.hidden.is_multiple_of(self.heads),
+            "hidden {} not divisible by heads {}",
+            self.hidden,
+            self.heads
+        );
+        assert!(
+            t > 0 && self.heads.is_multiple_of(t),
+            "heads {} not divisible by t {}",
+            self.heads,
+            t
+        );
+        assert!(
+            self.seq.is_multiple_of(t),
+            "seq {} not divisible by t {} (needed for sequence parallelism)",
+            self.seq,
+            t
+        );
     }
 
     /// Per-head dimension `h / a`.

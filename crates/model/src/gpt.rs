@@ -44,8 +44,18 @@ impl GptGrads {
         let mut out = vec![&self.table, &self.positions, &self.final_ln_gamma, &self.final_ln_beta];
         for l in &self.layers {
             out.extend([
-                &l.ln1_gamma, &l.ln1_beta, &l.w_qkv, &l.b_qkv, &l.w_o, &l.b_o, &l.ln2_gamma,
-                &l.ln2_beta, &l.w1, &l.b1, &l.w2, &l.b2,
+                &l.ln1_gamma,
+                &l.ln1_beta,
+                &l.w_qkv,
+                &l.b_qkv,
+                &l.w_o,
+                &l.b_o,
+                &l.ln2_gamma,
+                &l.ln2_beta,
+                &l.w1,
+                &l.b1,
+                &l.w2,
+                &l.b2,
             ]);
         }
         out
@@ -234,9 +244,8 @@ impl Gpt {
         let ids_local = &tokens[row0..row0 + rows];
 
         let tracer = mt_trace::current();
-        let fwd_span = tracer.span_args("forward", || {
-            vec![("micro", mt_trace::ArgValue::U64(micro))]
-        });
+        let fwd_span =
+            tracer.span_args("forward", || vec![("micro", mt_trace::ArgValue::U64(micro))]);
 
         // --- forward: embedding ---
         let mut x = ops::embedding(ids_local, &self.embedding.table);
@@ -273,9 +282,8 @@ impl Gpt {
         ledger.record(Category::Logits, logits.numel() as u64);
         let ce = ops::cross_entropy(&logits, targets);
         drop(fwd_span);
-        let bwd_span = tracer.span_args("backward", || {
-            vec![("micro", mt_trace::ArgValue::U64(micro))]
-        });
+        let bwd_span =
+            tracer.span_args("backward", || vec![("micro", mt_trace::ArgValue::U64(micro))]);
 
         // --- backward: head ---
         let d_y_ln = ops::Gemm::NN.apply(&ce.dlogits, &self.embedding.table);
@@ -291,7 +299,8 @@ impl Gpt {
         };
 
         // --- backward: layers ---
-        let mut layer_grads: Vec<Option<LayerGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut layer_grads: Vec<Option<LayerGrads>> =
+            (0..self.layers.len()).map(|_| None).collect();
         for (i, (layer, st)) in self.layers.iter().zip(states).enumerate().rev() {
             let (dx, lg) = layer.backward(&d_act, st, mode);
             layer_grads[i] = Some(lg);
@@ -558,11 +567,7 @@ mod tests {
         let (tokens, targets) = data(&c, 3);
         let mut outs = Vec::new();
         for policy in [Recompute::None, Recompute::Selective, Recompute::Full] {
-            let gpt = Gpt::init(
-                TransformerConfig { dropout_p: 0.1, ..c },
-                policy,
-                13,
-            );
+            let gpt = Gpt::init(TransformerConfig { dropout_p: 0.1, ..c }, policy, 13);
             let mut ledger = ActivationLedger::new();
             outs.push(gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger));
         }
@@ -580,8 +585,7 @@ mod tests {
         let c = TransformerConfig { dropout_p: 0.1, ..cfg() };
         let (tokens, targets) = data(&c, 6);
         let uniform = Gpt::init(c, Recompute::None, 16);
-        let mixed =
-            Gpt::init_with_policies(c, &[Recompute::Full, Recompute::None], 16);
+        let mixed = Gpt::init_with_policies(c, &[Recompute::Full, Recompute::None], 16);
         let mut l_uniform = ActivationLedger::new();
         let mut l_mixed = ActivationLedger::new();
         let (loss_u, grads_u) =
@@ -592,10 +596,7 @@ mod tests {
         assert_eq!(grads_u, grads_m);
         // Layer 0 stores 2sbh; layer 1 stores the full Equation 1 amount.
         let per_layer_full = 34 * c.sbh() + 5 * c.as2b();
-        assert_eq!(
-            l_mixed.paper_bytes(),
-            l_uniform.paper_bytes() - per_layer_full + 2 * c.sbh()
-        );
+        assert_eq!(l_mixed.paper_bytes(), l_uniform.paper_bytes() - per_layer_full + 2 * c.sbh());
     }
 
     #[test]
@@ -612,10 +613,7 @@ mod tests {
         assert_eq!(ledger.bytes(Category::EmbeddingDropoutMask), sbh);
         assert_eq!(ledger.bytes(Category::Logits), 4 * sbv);
         // Per-layer LayerNormInput is 4sbh · L; the head adds 2sbh more.
-        assert_eq!(
-            ledger.bytes(Category::LayerNormInput),
-            4 * sbh * c.layers as u64 + 2 * sbh
-        );
+        assert_eq!(ledger.bytes(Category::LayerNormInput), 4 * sbh * c.layers as u64 + 2 * sbh);
     }
 
     #[test]
@@ -660,11 +658,7 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_is_bit_exact() {
         let c = TransformerConfig { dropout_p: 0.1, ..cfg() };
-        let gpt = Gpt::init_with_policies(
-            c,
-            &[Recompute::Selective, Recompute::Full],
-            17,
-        );
+        let gpt = Gpt::init_with_policies(c, &[Recompute::Selective, Recompute::Full], 17);
         let mut buf = Vec::new();
         gpt.save_json(&mut buf).expect("serialize");
         let restored = Gpt::load_json(buf.as_slice()).expect("deserialize");

@@ -15,7 +15,9 @@
 //! only the local shard `Yᵢˢ` is, and the backward pass re-all-gathers it
 //! (Section 4.2.2, last paragraph).
 
-use crate::attention::{attention_backward, attention_forward, attention_recompute, AttnParams, AttnSaved};
+use crate::attention::{
+    attention_backward, attention_forward, attention_recompute, AttnParams, AttnSaved,
+};
 use crate::config::TransformerConfig;
 use crate::ledger::{ActivationLedger, Category};
 use crate::streams::{element_offset, stream_id, DropoutSite};
@@ -231,7 +233,13 @@ impl TransformerLayer {
 
     /// Regenerates a row-region dropout mask addressed by global rows, so
     /// shards and the serial model draw identical bits.
-    fn region_mask(&self, site: DropoutSite, micro: u64, mode: &ExecMode<'_>, rows: usize) -> Vec<u8> {
+    fn region_mask(
+        &self,
+        site: DropoutSite,
+        micro: u64,
+        mode: &ExecMode<'_>,
+        rows: usize,
+    ) -> Vec<u8> {
         let stream = stream_id(site, self.layer_idx, micro);
         let h = self.cfg.hidden;
         let row0 = if mode.sequence_parallel() { mode.rank() * rows } else { 0 };
@@ -284,11 +292,8 @@ impl TransformerLayer {
 
         // Under SP we keep only the local LayerNorm output shards (the
         // paper's trick); otherwise y1/y2 *are* the gathered tensors.
-        let (y1_keep, y2_keep) = if mode.sequence_parallel() {
-            (y_ln1, y_ln2)
-        } else {
-            (y1_full, y2_full)
-        };
+        let (y1_keep, y2_keep) =
+            if mode.sequence_parallel() { (y_ln1, y_ln2) } else { (y1_full, y2_full) };
         let state = StoredState {
             micro,
             x: x.clone(),
@@ -446,8 +451,7 @@ impl TransformerLayer {
         // attention core
         let ap = self.attn_params(mode, micro);
         let attn = st.attn.as_ref().expect("attention state present after recompute");
-        let (d_q, d_k, d_v) =
-            attention_backward(&ap, &self.rng, &st.q, &st.k, &st.v, attn, &d_ctx);
+        let (d_q, d_k, d_v) = attention_backward(&ap, &self.rng, &st.q, &st.k, &st.v, attn, &d_ctx);
         let d_qkv = Tensor::concat_last_axis(&[d_q, d_k, d_v]);
         grads.b_qkv = ops::bias_grad(&d_qkv);
         let y1_full = mode.enter_parallel_region_fwd(&st.y1);

@@ -81,10 +81,8 @@ impl Adam {
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for ((p, g), (m, v)) in params
-            .into_iter()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in
+            params.into_iter().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
             for ((pv, &gv), (mv, vv)) in p
@@ -168,11 +166,7 @@ impl AdamW {
 /// before calling this with the combined value — or use this directly for
 /// single-rank training.
 pub fn clip_grad_norm(mut grads: Vec<&mut Tensor>, max_norm: f32) -> f32 {
-    let sq: f64 = grads
-        .iter()
-        .flat_map(|g| g.data())
-        .map(|&v| (v as f64) * (v as f64))
-        .sum();
+    let sq: f64 = grads.iter().flat_map(|g| g.data()).map(|&v| (v as f64) * (v as f64)).sum();
     let norm = sq.sqrt() as f32;
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
@@ -320,8 +314,10 @@ mod tests {
 
     #[test]
     fn clip_grad_norm_scales_to_the_target() {
-        let mut grads = [Tensor::from_vec(vec![2], vec![3.0, 0.0]).unwrap(),
-            Tensor::from_vec(vec![1], vec![4.0]).unwrap()];
+        let mut grads = [
+            Tensor::from_vec(vec![2], vec![3.0, 0.0]).unwrap(),
+            Tensor::from_vec(vec![1], vec![4.0]).unwrap(),
+        ];
         let norm = clip_grad_norm(grads.iter_mut().collect(), 1.0);
         assert!((norm - 5.0).abs() < 1e-6, "pre-clip norm {norm}");
         let new_sq: f32 = grads.iter().flat_map(|g| g.data()).map(|v| v * v).sum();

@@ -171,7 +171,13 @@ impl StageModel {
         let rng = gpt.dropout_rng();
         let layers = (stage * per_stage..(stage + 1) * per_stage)
             .map(|i| {
-                TransformerLayer::new(cfg, gpt.layers[i].weights().shard(tp, tp_rank), i, policy, rng)
+                TransformerLayer::new(
+                    cfg,
+                    gpt.layers[i].weights().shard(tp, tp_rank),
+                    i,
+                    policy,
+                    rng,
+                )
             })
             .collect();
         StageModel {
@@ -197,9 +203,10 @@ impl StageModel {
     /// Zero gradients shaped like this stage.
     fn zero_grads(&self) -> StageGrads {
         StageGrads {
-            embedding: self.embedding.as_ref().map(|e| {
-                (Tensor::zeros(e.table.shape()), Tensor::zeros(e.positions.shape()))
-            }),
+            embedding: self
+                .embedding
+                .as_ref()
+                .map(|e| (Tensor::zeros(e.table.shape()), Tensor::zeros(e.positions.shape()))),
             layers: self.layers.iter().map(|l| l.weights().zeros_like()).collect(),
             head: self.head.as_ref().map(|h| {
                 (
@@ -342,9 +349,11 @@ pub fn try_run_1f1b_iteration(
                 x
             } else {
                 let from = g.prev_stage_rank().expect("stage > 0 has a predecessor");
-                g.grid
-                    .try_recv(from)
-                    .map_err(at(model.stage, Some(m), "recv of forward activation"))?
+                g.grid.try_recv(from).map_err(at(
+                    model.stage,
+                    Some(m),
+                    "recv of forward activation",
+                ))?
             };
             let mut layer_states = Vec::with_capacity(model.layers.len());
             for layer in &model.layers {
@@ -354,9 +363,11 @@ pub fn try_run_1f1b_iteration(
             }
             let head = if model.stage == model.pp - 1 {
                 let y_full = if sp {
-                    g.tp
-                        .try_all_gather(&x)
-                        .map_err(at(model.stage, Some(m), "all-gather of final activations"))?
+                    g.tp.try_all_gather(&x).map_err(at(
+                        model.stage,
+                        Some(m),
+                        "all-gather of final activations",
+                    ))?
                 } else {
                     x.clone()
                 };
@@ -372,9 +383,11 @@ pub fn try_run_1f1b_iteration(
                 Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
             } else {
                 let to = g.next_stage_rank().expect("non-final stage has a successor");
-                g.grid
-                    .try_send(to, &x)
-                    .map_err(at(model.stage, Some(m), "send of forward activation"))?;
+                g.grid.try_send(to, &x).map_err(at(
+                    model.stage,
+                    Some(m),
+                    "send of forward activation",
+                ))?;
                 None
             };
             per_micro_bytes = ledger.paper_bytes();
@@ -409,9 +422,11 @@ pub fn try_run_1f1b_iteration(
                 }
             } else {
                 let from = g.next_stage_rank().expect("non-final stage has a successor");
-                g.grid
-                    .try_recv(from)
-                    .map_err(at(model.stage, Some(m), "recv of backward gradient"))?
+                g.grid.try_recv(from).map_err(at(
+                    model.stage,
+                    Some(m),
+                    "recv of backward gradient",
+                ))?
             };
             let mut layer_states = st.layer_states;
             for idx in (0..model.layers.len()).rev() {
@@ -444,9 +459,11 @@ pub fn try_run_1f1b_iteration(
                 d_table_acc.add_assign(&ops::embedding_backward(ids_local, &d_emb, cfg.vocab));
             } else {
                 let to = g.prev_stage_rank().expect("stage > 0 has a predecessor");
-                g.grid
-                    .try_send(to, &d)
-                    .map_err(at(model.stage, Some(m), "send of backward gradient"))?;
+                g.grid.try_send(to, &d).map_err(at(
+                    model.stage,
+                    Some(m),
+                    "send of backward gradient",
+                ))?;
             }
         }
     }
@@ -455,14 +472,16 @@ pub fn try_run_1f1b_iteration(
     // shards; sum across the tensor-parallel group.
     if sp {
         if let Some((t, p)) = grads.embedding.as_mut() {
-            *t = g
-                .tp
-                .try_all_reduce(t)
-                .map_err(at(model.stage, None, "all-reduce of embedding-table gradients"))?;
-            *p = g
-                .tp
-                .try_all_reduce(p)
-                .map_err(at(model.stage, None, "all-reduce of position gradients"))?;
+            *t = g.tp.try_all_reduce(t).map_err(at(
+                model.stage,
+                None,
+                "all-reduce of embedding-table gradients",
+            ))?;
+            *p = g.tp.try_all_reduce(p).map_err(at(
+                model.stage,
+                None,
+                "all-reduce of position gradients",
+            ))?;
         }
     }
 
@@ -474,9 +493,11 @@ pub fn try_run_1f1b_iteration(
         let tied = "tied-embedding gradient exchange";
         if model.stage == last {
             let (_, _, d_table_head) = grads.head.as_ref().expect("head grads");
-            g.grid
-                .try_send(g.peer_on_stage(0), d_table_head)
-                .map_err(at(model.stage, None, tied))?;
+            g.grid.try_send(g.peer_on_stage(0), d_table_head).map_err(at(
+                model.stage,
+                None,
+                tied,
+            ))?;
             let combined =
                 g.grid.try_recv(g.peer_on_stage(0)).map_err(at(model.stage, None, tied))?;
             grads.head.as_mut().expect("head grads").2 = combined;
@@ -486,9 +507,11 @@ pub fn try_run_1f1b_iteration(
             let (d_table, _) = grads.embedding.as_mut().expect("embedding grads");
             d_table.add_assign(&head_grad);
             let combined = d_table.clone();
-            g.grid
-                .try_send(g.peer_on_stage(last), &combined)
-                .map_err(at(model.stage, None, tied))?;
+            g.grid.try_send(g.peer_on_stage(last), &combined).map_err(at(
+                model.stage,
+                None,
+                tied,
+            ))?;
         }
     } else if let (Some((d_table, _)), Some((_, _, d_head))) =
         (grads.embedding.as_mut(), grads.head.as_ref())
@@ -639,9 +662,11 @@ pub fn try_run_interleaved_iteration(
                 // Previous virtual stage lives on device (device+p-1)%p
                 // (chunk v, or chunk v-1 when this is device 0).
                 let from_device = (device + p - 1) % p;
-                g.grid
-                    .try_recv(from_device * tp + g.tp_rank)
-                    .map_err(at(vs, Some(mb), "recv of forward activation"))?
+                g.grid.try_recv(from_device * tp + g.tp_rank).map_err(at(
+                    vs,
+                    Some(mb),
+                    "recv of forward activation",
+                ))?
             };
             let mut layer_states = Vec::with_capacity(model.layers.len());
             let mut scratch = ActivationLedger::new();
@@ -652,9 +677,11 @@ pub fn try_run_interleaved_iteration(
             }
             let head = if vs == vstages - 1 {
                 let y_full = if sp {
-                    g.tp
-                        .try_all_gather(&x)
-                        .map_err(at(vs, Some(mb), "all-gather of final activations"))?
+                    g.tp.try_all_gather(&x).map_err(at(
+                        vs,
+                        Some(mb),
+                        "all-gather of final activations",
+                    ))?
                 } else {
                     x.clone()
                 };
@@ -667,9 +694,11 @@ pub fn try_run_interleaved_iteration(
                 Some(HeadState { y_full, ln_saved, y_ln, dlogits: ce.dlogits })
             } else {
                 let to_device = (device + 1) % p;
-                g.grid
-                    .try_send(to_device * tp + g.tp_rank, &x)
-                    .map_err(at(vs, Some(mb), "send of forward activation"))?;
+                g.grid.try_send(to_device * tp + g.tp_rank, &x).map_err(at(
+                    vs,
+                    Some(mb),
+                    "send of forward activation",
+                ))?;
                 None
             };
             live[v][mb] = Some(MicroState { tokens_hash: mb, layer_states, head, ledger: scratch });
@@ -677,7 +706,9 @@ pub fn try_run_interleaved_iteration(
             peak_live = peak_live.max(live_count);
         } else {
             let st = live[v][mb].take().unwrap_or_else(|| {
-                panic!("virtual stage {vs}: backward of microbatch {mb} scheduled before its forward")
+                panic!(
+                    "virtual stage {vs}: backward of microbatch {mb} scheduled before its forward"
+                )
             });
             live_count -= 1;
             let mut d = if let Some(hs) = &st.head {
@@ -697,14 +728,18 @@ pub fn try_run_interleaved_iteration(
                 }
             } else {
                 let from_device = (device + 1) % p;
-                g.grid
-                    .try_recv(from_device * tp + g.tp_rank)
-                    .map_err(at(vs, Some(mb), "recv of backward gradient"))?
+                g.grid.try_recv(from_device * tp + g.tp_rank).map_err(at(
+                    vs,
+                    Some(mb),
+                    "recv of backward gradient",
+                ))?
             };
             let mut layer_states = st.layer_states;
             for idx in (0..chunks[v].layers.len()).rev() {
                 let lstate = layer_states.pop().unwrap_or_else(|| {
-                    panic!("virtual stage {vs}, microbatch {mb}: missing saved state for layer {idx}")
+                    panic!(
+                        "virtual stage {vs}, microbatch {mb}: missing saved state for layer {idx}"
+                    )
                 });
                 let (dx, lg) = chunks[v].layers[idx].backward(&d, lstate, &mode);
                 grads[v].layers[idx].accumulate(&lg);
@@ -728,9 +763,11 @@ pub fn try_run_interleaved_iteration(
                 d_table_acc.add_assign(&ops::embedding_backward(ids, &d_emb, cfg.vocab));
             } else {
                 let to_device = (device + p - 1) % p;
-                g.grid
-                    .try_send(to_device * tp + g.tp_rank, &d)
-                    .map_err(at(vs, Some(mb), "send of backward gradient"))?;
+                g.grid.try_send(to_device * tp + g.tp_rank, &d).map_err(at(
+                    vs,
+                    Some(mb),
+                    "send of backward gradient",
+                ))?;
             }
         }
     }
@@ -739,25 +776,24 @@ pub fn try_run_interleaved_iteration(
     // (device 0 holds chunk 0 / the embedding; device p−1 holds the head).
     if sp {
         if let Some(embedding) = grads[0].embedding.as_mut() {
-            embedding.0 = g
-                .tp
-                .try_all_reduce(&embedding.0)
-                .map_err(at(device, None, "all-reduce of embedding-table gradients"))?;
-            embedding.1 = g
-                .tp
-                .try_all_reduce(&embedding.1)
-                .map_err(at(device, None, "all-reduce of position gradients"))?;
+            embedding.0 = g.tp.try_all_reduce(&embedding.0).map_err(at(
+                device,
+                None,
+                "all-reduce of embedding-table gradients",
+            ))?;
+            embedding.1 = g.tp.try_all_reduce(&embedding.1).map_err(at(
+                device,
+                None,
+                "all-reduce of position gradients",
+            ))?;
         }
     }
     if p > 1 {
         let tied = "tied-embedding gradient exchange";
         if device == p - 1 {
             let (_, _, d_table_head) = grads[m - 1].head.as_ref().expect("head grads");
-            g.grid
-                .try_send(g.peer_on_stage(0), d_table_head)
-                .map_err(at(device, None, tied))?;
-            let combined =
-                g.grid.try_recv(g.peer_on_stage(0)).map_err(at(device, None, tied))?;
+            g.grid.try_send(g.peer_on_stage(0), d_table_head).map_err(at(device, None, tied))?;
+            let combined = g.grid.try_recv(g.peer_on_stage(0)).map_err(at(device, None, tied))?;
             grads[m - 1].head.as_mut().expect("head grads").2 = combined;
         } else if device == 0 {
             let head_grad =
@@ -765,9 +801,7 @@ pub fn try_run_interleaved_iteration(
             let (d_table, _) = grads[0].embedding.as_mut().expect("embedding grads");
             d_table.add_assign(&head_grad);
             let combined = d_table.clone();
-            g.grid
-                .try_send(g.peer_on_stage(p - 1), &combined)
-                .map_err(at(device, None, tied))?;
+            g.grid.try_send(g.peer_on_stage(p - 1), &combined).map_err(at(device, None, tied))?;
         }
     } else {
         // Single device: both tied copies are local; combine across chunks
@@ -799,10 +833,8 @@ mod tests {
             for stage in 0..pp {
                 let ops = stage_ops(stage, pp, n);
                 assert_eq!(ops.len(), 2 * n);
-                let fwd: Vec<usize> =
-                    ops.iter().filter(|(f, _)| *f).map(|(_, m)| *m).collect();
-                let bwd: Vec<usize> =
-                    ops.iter().filter(|(f, _)| !*f).map(|(_, m)| *m).collect();
+                let fwd: Vec<usize> = ops.iter().filter(|(f, _)| *f).map(|(_, m)| *m).collect();
+                let bwd: Vec<usize> = ops.iter().filter(|(f, _)| !*f).map(|(_, m)| *m).collect();
                 assert_eq!(fwd, (0..n).collect::<Vec<_>>());
                 assert_eq!(bwd, (0..n).collect::<Vec<_>>());
             }

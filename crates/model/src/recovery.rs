@@ -173,9 +173,7 @@ where
             let errs: Vec<String> = results
                 .iter()
                 .enumerate()
-                .filter_map(|(rank, r)| {
-                    r.as_ref().err().map(|e| format!("rank {rank}: {e}"))
-                })
+                .filter_map(|(rank, r)| r.as_ref().err().map(|e| format!("rank {rank}: {e}")))
                 .collect();
             report.retries += 1;
             consecutive += 1;

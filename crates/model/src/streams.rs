@@ -52,7 +52,14 @@ pub fn element_offset(row: usize, col: usize, cols: usize) -> u64 {
 /// Global flat offset of element `(q, k)` of the `[s, s]` attention-score
 /// matrix for `(batch, head)`: addressed by global head index so head-sharded
 /// ranks replay the same bits.
-pub fn attention_offset(batch: usize, head: usize, q: usize, k: usize, heads: usize, s: usize) -> u64 {
+pub fn attention_offset(
+    batch: usize,
+    head: usize,
+    q: usize,
+    k: usize,
+    heads: usize,
+    s: usize,
+) -> u64 {
     (((batch * heads + head) * s + q) * s + k) as u64
 }
 
@@ -65,11 +72,9 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for micro in 0..3u64 {
             for layer in 0..5usize {
-                for site in [
-                    DropoutSite::Softmax,
-                    DropoutSite::AttentionOutput,
-                    DropoutSite::MlpOutput,
-                ] {
+                for site in
+                    [DropoutSite::Softmax, DropoutSite::AttentionOutput, DropoutSite::MlpOutput]
+                {
                     assert!(seen.insert(stream_id(site, layer, micro)));
                 }
             }

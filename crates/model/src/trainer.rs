@@ -40,8 +40,7 @@ impl LrSchedule {
         if self.decay_steps == 0 {
             return self.base_lr;
         }
-        let progress =
-            ((step - self.warmup_steps) as f32 / self.decay_steps as f32).min(1.0);
+        let progress = ((step - self.warmup_steps) as f32 / self.decay_steps as f32).min(1.0);
         let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
         self.min_lr + (self.base_lr - self.min_lr) * cosine
     }
@@ -291,8 +290,7 @@ impl Trainer {
     /// Fails if the blob is not a decodable checkpoint of a supported
     /// version.
     pub fn resume_from_bytes(bytes: &[u8]) -> Result<Trainer, CheckpointError> {
-        let ckpt: TrainerCheckpoint =
-            binfmt::from_bytes(bytes).map_err(CheckpointError::Format)?;
+        let ckpt: TrainerCheckpoint = binfmt::from_bytes(bytes).map_err(CheckpointError::Format)?;
         Trainer::resume_from(ckpt)
     }
 
@@ -331,7 +329,8 @@ impl Trainer {
         let _step_span =
             tracer.span_args("step", move || vec![("step", mt_trace::ArgValue::U64(step_no))]);
         let mut ledger = ActivationLedger::new();
-        let (loss, mut grads) = self.gpt.loss_and_grads(tokens, targets, self.step, mode, &mut ledger);
+        let (loss, mut grads) =
+            self.gpt.loss_and_grads(tokens, targets, self.step, mode, &mut ledger);
         let opt_span = tracer.span("optimizer");
         let grad_norm = match self.cfg.clip_norm {
             Some(max) => clip_grad_norm(grads.tensors_mut(), max),
@@ -445,7 +444,12 @@ mod tests {
         let mut trainer = Trainer::new(
             gpt,
             TrainerConfig {
-                schedule: LrSchedule { base_lr: 5e-3, warmup_steps: 5, decay_steps: 100, min_lr: 5e-4 },
+                schedule: LrSchedule {
+                    base_lr: 5e-3,
+                    warmup_steps: 5,
+                    decay_steps: 100,
+                    min_lr: 5e-4,
+                },
                 weight_decay: 0.01,
                 clip_norm: Some(1.0),
             },

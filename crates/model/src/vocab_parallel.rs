@@ -108,12 +108,8 @@ pub fn vocab_parallel_cross_entropy(
         }
     }
     let target_prob = comm.all_reduce(&local_target_prob);
-    let loss = -target_prob
-        .data()
-        .iter()
-        .map(|&p| (p as f64).ln())
-        .sum::<f64>() as f32
-        / rows as f32;
+    let loss =
+        -target_prob.data().iter().map(|&p| (p as f64).ln()).sum::<f64>() as f32 / rows as f32;
 
     VocabParallelOutput {
         loss,

@@ -82,7 +82,11 @@ impl LayerWeights {
             ln1_gamma: self.ln1_gamma.clone(),
             ln1_beta: self.ln1_beta.clone(),
             w_qkv: Tensor::concat_last_axis(&[q[rank].clone(), k[rank].clone(), v[rank].clone()]),
-            b_qkv: Tensor::concat_last_axis(&[bq[rank].clone(), bk[rank].clone(), bv[rank].clone()]),
+            b_qkv: Tensor::concat_last_axis(&[
+                bq[rank].clone(),
+                bk[rank].clone(),
+                bv[rank].clone(),
+            ]),
             w_o: self.w_o.chunk_axis0(t).expect("w_o rows divide")[rank].clone(),
             b_o: self.b_o.clone(),
             ln2_gamma: self.ln2_gamma.clone(),
@@ -189,8 +193,18 @@ impl LayerWeights {
     /// Total parameter elements.
     pub fn num_parameters(&self) -> usize {
         [
-            &self.ln1_gamma, &self.ln1_beta, &self.w_qkv, &self.b_qkv, &self.w_o, &self.b_o,
-            &self.ln2_gamma, &self.ln2_beta, &self.w1, &self.b1, &self.w2, &self.b2,
+            &self.ln1_gamma,
+            &self.ln1_beta,
+            &self.w_qkv,
+            &self.b_qkv,
+            &self.w_o,
+            &self.b_o,
+            &self.ln2_gamma,
+            &self.ln2_beta,
+            &self.w1,
+            &self.b1,
+            &self.w2,
+            &self.b2,
         ]
         .iter()
         .map(|t| t.numel())

@@ -5,11 +5,11 @@
 
 use mt_collectives::{CollectiveError, World};
 use mt_fault::FaultPlan;
+use mt_memory::Recompute;
 use mt_model::gpt::Gpt;
 use mt_model::recovery::{train_with_recovery, RecoveryConfig};
 use mt_model::trainer::{Trainer, TrainerConfig};
 use mt_model::{ExecMode, TransformerConfig};
-use mt_memory::Recompute;
 use mt_tensor::rng::SplitMix64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -109,10 +109,7 @@ fn recovery_after_rank_panic_is_bit_identical_to_fault_free_run() {
 
     // Same run with rank 1 panicking at step 4 (second segment) and rank 3
     // hitting a transient failure at step 7 (third segment).
-    let plan = FaultPlan::builder()
-        .panic_at_step(1, 4)
-        .transient_at_step(3, 7)
-        .build();
+    let plan = FaultPlan::builder().panic_at_step(1, 4).transient_at_step(3, 7).build();
     let (recovered, report) = train_with_recovery(
         &init,
         t,

@@ -4,10 +4,10 @@
 //! serial and threaded kernel backends and through the binary wire format.
 
 use mt_fault::binfmt;
+use mt_memory::Recompute;
 use mt_model::gpt::Gpt;
 use mt_model::trainer::{CheckpointError, Trainer, TrainerConfig};
 use mt_model::{ExecMode, TransformerConfig};
-use mt_memory::Recompute;
 use mt_tensor::rng::SplitMix64;
 use mt_tensor::{set_default_backend, Backend};
 
@@ -176,10 +176,7 @@ fn corrupt_or_foreign_blobs_are_rejected() {
     // Logical schema version from the future.
     let mut ckpt = trainer.save_checkpoint();
     ckpt.version = u32::MAX;
-    assert!(matches!(
-        Trainer::resume_from(ckpt),
-        Err(CheckpointError::UnsupportedVersion(_))
-    ));
+    assert!(matches!(Trainer::resume_from(ckpt), Err(CheckpointError::UnsupportedVersion(_))));
 
     // Optimizer/trainer step disagreement.
     let mut ckpt = trainer.save_checkpoint();

@@ -182,13 +182,8 @@ fn zero1_training_matches_replicated_adam_on_a_gpt() {
     for _step in 0..STEPS {
         let grads = serial_sum(&ref_gpt, &data);
         let mut ledger = ActivationLedger::new();
-        let (loss, _) = ref_gpt.loss_and_grads(
-            &data[0].0,
-            &data[0].1,
-            0,
-            &ExecMode::Serial,
-            &mut ledger,
-        );
+        let (loss, _) =
+            ref_gpt.loss_and_grads(&data[0].0, &data[0].1, 0, &ExecMode::Serial, &mut ledger);
         ref_losses.push(loss);
         ref_adam.update(ref_gpt.param_tensors_mut(), &grads.tensors());
     }
@@ -196,8 +191,7 @@ fn zero1_training_matches_replicated_adam_on_a_gpt() {
     // ZeRO-1 over two replicas, each computing its own microbatch's grads.
     let zero_losses = World::run(2, |comm| {
         let mut gpt = Gpt::init(c, Recompute::None, SEED);
-        let elements: Vec<usize> =
-            gpt.param_tensors_mut().iter().map(|t| t.numel()).collect();
+        let elements: Vec<usize> = gpt.param_tensors_mut().iter().map(|t| t.numel()).collect();
         let mut zero = ZeroAdam::new(1e-3, &elements, 2, comm.rank());
         let mut losses = Vec::new();
         for _step in 0..STEPS {
@@ -242,13 +236,8 @@ fn replicas_agree_after_the_all_reduce() {
     let results = World::run(3, |comm| {
         let (tokens, targets) = &data[comm.rank()];
         let mut ledger = ActivationLedger::new();
-        let (_, mut grads) = gpt.loss_and_grads(
-            tokens,
-            targets,
-            comm.rank() as u64,
-            &ExecMode::Serial,
-            &mut ledger,
-        );
+        let (_, mut grads) =
+            gpt.loss_and_grads(tokens, targets, comm.rank() as u64, &ExecMode::Serial, &mut ledger);
         all_reduce_gpt_grads(&comm, &mut grads);
         grads
     });

@@ -44,8 +44,7 @@ fn serial_reference(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> (f32, GptGr
     let mut loss = 0.0_f64;
     for (mb, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
-        let (l, g) =
-            gpt.loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger);
+        let (l, g) = gpt.loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger);
         loss += l as f64;
         match &mut total {
             None => total = Some(g),
@@ -101,8 +100,8 @@ fn assert_matches(
             }
             if vs == p * m - 1 {
                 let (d_fg, _, d_head_table) = chunk_grads.head.as_ref().expect("head");
-                let rel = d_fg.max_abs_diff(&serial.final_ln_gamma)
-                    / serial.final_ln_gamma.max_abs();
+                let rel =
+                    d_fg.max_abs_diff(&serial.final_ln_gamma) / serial.final_ln_gamma.max_abs();
                 assert!(rel < 1e-3, "final ln rel {rel}");
                 let relt = d_head_table.max_abs_diff(&serial.table) / serial.table.max_abs();
                 assert!(relt < 1e-3, "tied head table rel {relt}");
@@ -149,7 +148,9 @@ fn interleaved_composes_with_tensor_and_sequence_parallelism() {
     let (loss_s, grads_s) = serial_reference(&gpt, &data);
     let results = run_grid(2, 2, |g| {
         let chunks: Vec<StageModel> = (0..2)
-            .map(|v| StageModel::from_gpt(&gpt, 4, v * 2 + g.stage, 2, g.tp_rank, Recompute::Selective))
+            .map(|v| {
+                StageModel::from_gpt(&gpt, 4, v * 2 + g.stage, 2, g.tp_rank, Recompute::Selective)
+            })
             .collect();
         let (loss, grads, _) = run_interleaved_iteration(&chunks, &g, true, &data, 0);
         (g.stage, g.tp_rank, loss, grads)
@@ -162,16 +163,11 @@ fn interleaved_composes_with_tensor_and_sequence_parallelism() {
     for device in 0..2 {
         for v in 0..2 {
             let vs = v * 2 + device;
-            let mut shards: Vec<_> = results
-                .iter()
-                .filter(|(s, _, _, _)| *s == device)
-                .collect();
+            let mut shards: Vec<_> = results.iter().filter(|(s, _, _, _)| *s == device).collect();
             shards.sort_by_key(|(_, tp_rank, _, _)| *tp_rank);
             for local in 0..layers_per_chunk {
-                let parts: Vec<_> = shards
-                    .iter()
-                    .map(|(_, _, _, g)| g[v].layers[local].clone())
-                    .collect();
+                let parts: Vec<_> =
+                    shards.iter().map(|(_, _, _, g)| g[v].layers[local].clone()).collect();
                 let full = mt_model::weights::LayerWeights::unshard(&parts);
                 let global = vs * layers_per_chunk + local;
                 let rel = full.max_rel_diff(&grads_s.layers[global]);

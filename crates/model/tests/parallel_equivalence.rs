@@ -44,18 +44,14 @@ fn run_parallel(
 ) -> Vec<RankResult> {
     World::run(t, |comm| {
         let rank = comm.rank();
-        let layer =
-            TransformerLayer::new(c, full.shard(t, rank), 0, policy, CounterRng::new(404));
+        let layer = TransformerLayer::new(c, full.shard(t, rank), 0, policy, CounterRng::new(404));
         let mode = if sp {
             ExecMode::TensorSequenceParallel(&comm)
         } else {
             ExecMode::TensorParallel(&comm)
         };
         let (x_local, dy_local) = if sp {
-            (
-                x.chunk_axis0(t).unwrap()[rank].clone(),
-                dy.chunk_axis0(t).unwrap()[rank].clone(),
-            )
+            (x.chunk_axis0(t).unwrap()[rank].clone(), dy.chunk_axis0(t).unwrap()[rank].clone())
         } else {
             (x.clone(), dy.clone())
         };
@@ -251,7 +247,8 @@ fn forward_wire_bytes_identical_between_tp_and_tpsp() {
             } else {
                 ExecMode::TensorParallel(&comm)
             };
-            let x_local = if sp { x.chunk_axis0(t).unwrap()[comm.rank()].clone() } else { x.clone() };
+            let x_local =
+                if sp { x.chunk_axis0(t).unwrap()[comm.rank()].clone() } else { x.clone() };
             let mut ledger = ActivationLedger::new();
             let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
             comm.stats()

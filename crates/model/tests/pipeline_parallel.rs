@@ -108,8 +108,7 @@ fn assert_grads_match(
     let layers_per_stage = c.layers / pp;
     for stage in 0..pp {
         // Gather this stage's tensor-parallel shards, ordered by tp_rank.
-        let mut shards: Vec<&PipeResult> =
-            results.iter().filter(|r| r.stage == stage).collect();
+        let mut shards: Vec<&PipeResult> = results.iter().filter(|r| r.stage == stage).collect();
         shards.sort_by_key(|r| r.tp_rank);
         for local in 0..layers_per_stage {
             let global = stage * layers_per_stage + local;
@@ -228,12 +227,7 @@ fn peak_in_flight_matches_appendix_b() {
         let data = micro_data(&c, n);
         let results = pipeline_iteration(&gpt, 1, pp, false, Recompute::None, &data, 0);
         for r in &results {
-            assert_eq!(
-                r.peak,
-                (pp - r.stage).min(n),
-                "pp={pp} n={n} stage={}",
-                r.stage
-            );
+            assert_eq!(r.peak, (pp - r.stage).min(n), "pp={pp} n={n} stage={}", r.stage);
         }
     }
 }
@@ -257,7 +251,8 @@ fn multi_step_pipeline_training_follows_serial_curve() {
     // Pipeline trajectory: each stage keeps its own Adam over its params.
     let template = Gpt::init(c, Recompute::Selective, SEED);
     let losses = run_grid(1, 2, |g| {
-        let mut model = StageModel::from_gpt(&template, 2, g.stage, 1, g.tp_rank, Recompute::Selective);
+        let mut model =
+            StageModel::from_gpt(&template, 2, g.stage, 1, g.tp_rank, Recompute::Selective);
         let mut adam = Adam::new(1e-3);
         let mut losses = Vec::new();
         for step in 0..STEPS {
@@ -277,8 +272,18 @@ fn multi_step_pipeline_training_follows_serial_curve() {
             for (layer, lg) in model.layers.iter_mut().zip(&out.grads.layers) {
                 param_list.extend(layer.weights_mut().tensors_mut());
                 grad_list.extend([
-                    &lg.ln1_gamma, &lg.ln1_beta, &lg.w_qkv, &lg.b_qkv, &lg.w_o, &lg.b_o,
-                    &lg.ln2_gamma, &lg.ln2_beta, &lg.w1, &lg.b1, &lg.w2, &lg.b2,
+                    &lg.ln1_gamma,
+                    &lg.ln1_beta,
+                    &lg.w_qkv,
+                    &lg.b_qkv,
+                    &lg.w_o,
+                    &lg.b_o,
+                    &lg.ln2_gamma,
+                    &lg.ln2_beta,
+                    &lg.w1,
+                    &lg.b1,
+                    &lg.w2,
+                    &lg.b2,
                 ]);
             }
             if let (Some(h), Some((gfg, gfb, gtab))) =
@@ -298,10 +303,7 @@ fn multi_step_pipeline_training_follows_serial_curve() {
 
     for rank_losses in &losses {
         for (step, (a, b)) in serial_losses.iter().zip(rank_losses).enumerate() {
-            assert!(
-                (a - b).abs() < 1e-3,
-                "step {step}: serial {a} vs pipeline {b}"
-            );
+            assert!((a - b).abs() < 1e-3, "step {step}: serial {a} vs pipeline {b}");
         }
     }
 }

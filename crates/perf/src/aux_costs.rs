@@ -43,8 +43,7 @@ impl AuxCostModel {
     /// Embedding lookup + dropout milliseconds for one microbatch — pure
     /// HBM traffic over `s·b·h` elements.
     pub fn embedding_ms(&self, micro_batch: u64) -> f64 {
-        let bytes =
-            10.0 * (self.shape.seq * micro_batch * self.shape.hidden) as f64;
+        let bytes = 10.0 * (self.shape.seq * micro_batch * self.shape.hidden) as f64;
         1e3 * bytes / self.gpu.hbm_bytes_per_s
     }
 

@@ -88,11 +88,7 @@ mod tests {
         let off = OffloadModel::pcie_gen4();
         for (shape, b) in shapes() {
             let (o, r) = off.versus_selective_recompute(GpuSpec::a100(), shape, b, 8);
-            assert!(
-                r < o,
-                "h={}: recompute {r:.2} ms should beat offload {o:.2} ms",
-                shape.hidden
-            );
+            assert!(r < o, "h={}: recompute {r:.2} ms should beat offload {o:.2} ms", shape.hidden);
         }
     }
 

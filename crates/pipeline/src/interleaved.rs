@@ -55,22 +55,14 @@ impl InterleavedSim {
     fn fwd_unit(&self, k: usize) -> Unit {
         let p = self.devices;
         let m = self.chunks;
-        Unit {
-            is_fwd: true,
-            chunk: (k / p) % m,
-            micro: (k / (p * m)) * p + k % p,
-        }
+        Unit { is_fwd: true, chunk: (k / p) % m, micro: (k / (p * m)) * p + k % p }
     }
 
     /// Backward units mirror forwards with the chunk order reversed.
     fn bwd_unit(&self, k: usize) -> Unit {
         let p = self.devices;
         let m = self.chunks;
-        Unit {
-            is_fwd: false,
-            chunk: m - 1 - (k / p) % m,
-            micro: (k / (p * m)) * p + k % p,
-        }
+        Unit { is_fwd: false, chunk: m - 1 - (k / p) % m, micro: (k / (p * m)) * p + k % p }
     }
 
     /// Warmup length for a device: `2(p − d − 1) + (m − 1)·p + 1`, capped at
@@ -380,7 +372,11 @@ mod tests {
         let s = sim(8, 3, 24);
         let r = s.simulate();
         for w in r.peak_in_flight.windows(2) {
-            assert!(w[0] >= w[1], "in-flight must not increase along the pipeline: {:?}", r.peak_in_flight);
+            assert!(
+                w[0] >= w[1],
+                "in-flight must not increase along the pipeline: {:?}",
+                r.peak_in_flight
+            );
         }
     }
 

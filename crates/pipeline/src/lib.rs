@@ -389,12 +389,8 @@ impl PipelineSim {
         let p = self.p() as f64;
         let n = self.num_micro as f64;
         let mean_f: f64 = self.stages.iter().map(|s| s.forward_ms).sum::<f64>() / p;
-        let mean_b: f64 = self
-            .stages
-            .iter()
-            .map(|s| s.backward_ms + s.recompute_ms)
-            .sum::<f64>()
-            / p;
+        let mean_b: f64 =
+            self.stages.iter().map(|s| s.backward_ms + s.recompute_ms).sum::<f64>() / p;
         let slots = n + (p - 1.0) / m as f64;
         slots * (mean_f + mean_b) + 2.0 * (p - 1.0) * self.p2p_ms
     }

@@ -97,8 +97,7 @@ pub fn replay_stage_memory(
     stage: usize,
     cfg: &ReplayConfig,
 ) -> ReplayReport {
-    let mine: Vec<TraceEvent> =
-        stage_events.iter().copied().filter(|e| e.stage == stage).collect();
+    let mine: Vec<TraceEvent> = stage_events.iter().copied().filter(|e| e.stage == stage).collect();
     assert!(!mine.is_empty(), "no events for stage {stage}");
     let actions = stage_actions(&mine, cfg);
     let total: u64 = actions.iter().filter(|a| a.0).map(|a| a.2).sum();
@@ -129,8 +128,7 @@ pub fn live_bytes_series(
     stage: usize,
     cfg: &ReplayConfig,
 ) -> Vec<(f64, u64)> {
-    let mut mine: Vec<&TraceEvent> =
-        stage_events.iter().filter(|e| e.stage == stage).collect();
+    let mut mine: Vec<&TraceEvent> = stage_events.iter().filter(|e| e.stage == stage).collect();
     assert!(!mine.is_empty(), "no events for stage {stage}");
     mine.sort_by(|a, b| a.end_ms.partial_cmp(&b.end_ms).expect("finite times"));
     let mut live = 0u64;
@@ -223,8 +221,7 @@ mod tests {
         let n = 24u64;
         let events = first_stage_trace(4, n, None);
         // Deterministic pseudo-random sizes in [60, 210].
-        let activation_bytes: Vec<u64> =
-            (0..n).map(|m| 60 + (m * 97 + 13) % 151).collect();
+        let activation_bytes: Vec<u64> = (0..n).map(|m| 60 + (m * 97 + 13) % 151).collect();
         let cfg = ReplayConfig {
             activation_bytes: activation_bytes.clone(),
             output_bytes: 7,
@@ -239,11 +236,7 @@ mod tests {
         );
         // The Appendix B deallocation removes the pinning and shrinks (or
         // eliminates) the overhead.
-        let dealloc = ReplayConfig {
-            activation_bytes,
-            output_bytes: 7,
-            deallocate_outputs: true,
-        };
+        let dealloc = ReplayConfig { activation_bytes, output_bytes: 7, deallocate_outputs: true };
         let better = replay_stage_memory(&events, 0, &dealloc);
         assert!(better.minimal_arena_bytes <= report.minimal_arena_bytes);
         assert!(better.peak_live_bytes < report.peak_live_bytes);

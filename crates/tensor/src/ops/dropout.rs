@@ -62,11 +62,7 @@ mod tests {
         let mask = vec![0, 1, 1, 0];
         let dx = dropout_backward(&dy, &mask, 0.25);
         let s = 1.0 / 0.75;
-        assert!(dx.allclose(
-            &Tensor::from_vec(vec![4], vec![0., s, s, 0.]).unwrap(),
-            1e-6,
-            1e-6
-        ));
+        assert!(dx.allclose(&Tensor::from_vec(vec![4], vec![0., s, s, 0.]).unwrap(), 1e-6, 1e-6));
     }
 
     #[test]

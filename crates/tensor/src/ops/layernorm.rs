@@ -117,13 +117,7 @@ mod tests {
         let beta = Tensor::rand_uniform(&[8], -0.5, 0.5, &mut rng);
         let w = Tensor::rand_uniform(&[4, 8], -1.0, 1.0, &mut rng);
         let loss = |x_: &Tensor, g_: &Tensor, b_: &Tensor| {
-            layer_norm(x_, g_, b_)
-                .0
-                .data()
-                .iter()
-                .zip(w.data())
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
+            layer_norm(x_, g_, b_).0.data().iter().zip(w.data()).map(|(a, b)| a * b).sum::<f32>()
         };
         let (_, saved) = layer_norm(&x, &gamma, &beta);
         let (dx, dg, db) = layer_norm_backward(&x, &gamma, &saved, &w);

@@ -95,21 +95,21 @@ impl Gemm {
     fn dims(&self, a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
         assert_eq!(a.rank(), 2, "gemm {}: A must be rank 2", self.kind());
         assert_eq!(b.rank(), 2, "gemm {}: B must be rank 2", self.kind());
-        let (m, ka) = if self.transpose_a {
-            (a.dim(1), a.dim(0))
-        } else {
-            (a.dim(0), a.dim(1))
-        };
-        let (kb, n) = if self.transpose_b {
-            (b.dim(1), b.dim(0))
-        } else {
-            (b.dim(0), b.dim(1))
-        };
+        let (m, ka) = if self.transpose_a { (a.dim(1), a.dim(0)) } else { (a.dim(0), a.dim(1)) };
+        let (kb, n) = if self.transpose_b { (b.dim(1), b.dim(0)) } else { (b.dim(0), b.dim(1)) };
         assert_eq!(ka, kb, "gemm {}: inner dims {ka} vs {kb}", self.kind());
         (m, n, ka)
     }
 
-    fn run(&self, backend: Backend, m: usize, n: usize, k: usize, a: &Tensor, b: &Tensor) -> Tensor {
+    fn run(
+        &self,
+        backend: Backend,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &Tensor,
+        b: &Tensor,
+    ) -> Tensor {
         let mut out = vec![0.0_f32; m * n];
         mt_kernels::gemm::gemm(
             backend,
@@ -155,15 +155,17 @@ mod tests {
         let mut rng = crate::rng::SplitMix64::new(1);
         let a = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[6, 5], -1.0, 1.0, &mut rng);
-        assert!(Gemm::NT
-            .apply(&a, &b)
-            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
-        assert!(Gemm::TN
-            .apply(&a.transpose2(), &b.transpose2())
-            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
-        assert!(Gemm::TT
-            .apply(&a.transpose2(), &b)
-            .allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
+        assert!(Gemm::NT.apply(&a, &b).allclose(&Gemm::NN.apply(&a, &b.transpose2()), 1e-5, 1e-6));
+        assert!(Gemm::TN.apply(&a.transpose2(), &b.transpose2()).allclose(
+            &Gemm::NN.apply(&a, &b.transpose2()),
+            1e-5,
+            1e-6
+        ));
+        assert!(Gemm::TT.apply(&a.transpose2(), &b).allclose(
+            &Gemm::NN.apply(&a, &b.transpose2()),
+            1e-5,
+            1e-6
+        ));
     }
 
     #[test]
@@ -175,11 +177,7 @@ mod tests {
         for threads in 1..=8 {
             let mt = Gemm::NN.apply_with(Backend::Threaded { threads }, &a, &b);
             assert!(
-                serial
-                    .data()
-                    .iter()
-                    .zip(mt.data())
-                    .all(|(s, t)| s.to_bits() == t.to_bits()),
+                serial.data().iter().zip(mt.data()).all(|(s, t)| s.to_bits() == t.to_bits()),
                 "threads={threads}: not bit-identical"
             );
         }

@@ -117,12 +117,7 @@ mod tests {
         let x = Tensor::rand_uniform(&[4, 4], -1.0, 1.0, &mut rng);
         let weights = Tensor::rand_uniform(&[4, 4], 0.0, 1.0, &mut rng);
         let loss = |t: &Tensor| {
-            softmax_rows(t, true)
-                .data()
-                .iter()
-                .zip(weights.data())
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
+            softmax_rows(t, true).data().iter().zip(weights.data()).map(|(a, b)| a * b).sum::<f32>()
         };
         let y = softmax_rows(&x, true);
         let dx = softmax_rows_backward(&y, &weights);

@@ -126,9 +126,7 @@ impl CounterRng {
     /// function of `(seed, stream, i, p)` and can therefore be regenerated
     /// during recomputation instead of being stored.
     pub fn dropout_mask(&self, stream: u64, len: usize, p: f32) -> Vec<u8> {
-        (0..len)
-            .map(|i| u8::from(self.uniform(stream, i as u64) >= p))
-            .collect()
+        (0..len).map(|i| u8::from(self.uniform(stream, i as u64) >= p)).collect()
     }
 }
 
@@ -156,8 +154,7 @@ mod tests {
         const N: usize = 20_000;
         let samples: Vec<f32> = (0..N).map(|_| r.next_gaussian()).collect();
         let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / N as f64;
-        let var: f64 =
-            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / N as f64;
+        let var: f64 = samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / N as f64;
         assert!(mean.abs() < 0.03, "gaussian mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "gaussian var {var}");
     }

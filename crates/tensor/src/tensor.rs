@@ -337,10 +337,7 @@ impl Tensor {
 
     /// Returns a tensor scaled by `alpha`.
     pub fn scale(&self, alpha: f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|v| v * alpha).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|v| v * alpha).collect() }
     }
 
     /// Applies `f` element-wise, returning a new tensor.
@@ -365,10 +362,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f32, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0_f32, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// Whether every element of `self` is within `atol + rtol * |other|` of
@@ -379,10 +373,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
         assert_eq!(self.shape, other.shape, "allclose: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .all(|(a, b)| (a - b).abs() <= atol + rtol * b.abs())
+        self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= atol + rtol * b.abs())
     }
 }
 

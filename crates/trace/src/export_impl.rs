@@ -197,12 +197,7 @@ pub fn ascii_timeline(events: &[TraceEvent], width: usize) -> String {
     }
 
     let mut out = String::new();
-    out.push_str(&format!(
-        "timeline: {:.1} us .. {:.1} us ({} spans)\n",
-        t0,
-        t1,
-        spans.len()
-    ));
+    out.push_str(&format!("timeline: {:.1} us .. {:.1} us ({} spans)\n", t0, t1, spans.len()));
     for (lane, track) in tracks.iter().enumerate() {
         out.push_str(&format!("track {track:>3} |"));
         out.extend(lanes[lane].iter());

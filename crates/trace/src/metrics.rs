@@ -60,11 +60,9 @@ impl MetricsRegistry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        self.with(|m| {
-            match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
-                Metric::Counter(v) => *v += delta,
-                other => panic!("metric {name:?} is {other:?}, not a counter"),
-            }
+        self.with(|m| match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name:?} is {other:?}, not a counter"),
         });
     }
 
@@ -74,11 +72,9 @@ impl MetricsRegistry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.with(|m| {
-            match m.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
-                Metric::Gauge(v) => *v = value,
-                other => panic!("metric {name:?} is {other:?}, not a gauge"),
-            }
+        self.with(|m| match m.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {name:?} is {other:?}, not a gauge"),
         });
     }
 
@@ -89,11 +85,9 @@ impl MetricsRegistry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn high_water(&self, name: &str, value: u64) {
-        self.with(|m| {
-            match m.entry(name.to_string()).or_insert(Metric::HighWater(value)) {
-                Metric::HighWater(v) => *v = (*v).max(value),
-                other => panic!("metric {name:?} is {other:?}, not a high-water mark"),
-            }
+        self.with(|m| match m.entry(name.to_string()).or_insert(Metric::HighWater(value)) {
+            Metric::HighWater(v) => *v = (*v).max(value),
+            other => panic!("metric {name:?} is {other:?}, not a high-water mark"),
         });
     }
 

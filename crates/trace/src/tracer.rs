@@ -133,10 +133,7 @@ impl Tracer {
     /// A recording tracer on track 0. The time base starts now.
     pub fn enabled() -> Self {
         Tracer {
-            inner: Some(Arc::new(Shared {
-                start: Instant::now(),
-                events: Mutex::new(Vec::new()),
-            })),
+            inner: Some(Arc::new(Shared { start: Instant::now(), events: Mutex::new(Vec::new()) })),
             track: 0,
         }
     }

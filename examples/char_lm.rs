@@ -79,8 +79,7 @@ fn main() {
         let mut ckpt = shards[0].clone();
         ckpt.cfg.micro_batch = 1;
         for (i, lw) in ckpt.layer_weights.iter_mut().enumerate() {
-            let parts: Vec<_> =
-                shards.iter().map(|s| s.layer_weights[i].clone()).collect();
+            let parts: Vec<_> = shards.iter().map(|s| s.layer_weights[i].clone()).collect();
             *lw = megatron_repro::model::weights::LayerWeights::unshard(&parts);
         }
         Gpt::from_checkpoint(ckpt)

@@ -9,8 +9,8 @@
 
 use megatron_repro::collectives::{run_grid3, World};
 use megatron_repro::memory::Recompute;
-use megatron_repro::model::gpt::Gpt;
 use megatron_repro::model::data_parallel::all_reduce_gpt_grads;
+use megatron_repro::model::gpt::Gpt;
 use megatron_repro::model::optim::Adam;
 use megatron_repro::model::zero::ZeroAdam;
 use megatron_repro::model::{ActivationLedger, ExecMode, TransformerConfig};

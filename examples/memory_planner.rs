@@ -14,22 +14,16 @@ fn main() {
     let name = args.first().map(String::as_str).unwrap_or("530B");
     let budget_gb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(80.0);
 
-    let model = ModelZoo::all()
-        .into_iter()
-        .find(|m| m.name.contains(name))
-        .unwrap_or_else(|| {
-            eprintln!("unknown model {name:?}; choose 22B, 175B, 530B, or 1T");
-            std::process::exit(1);
-        });
+    let model = ModelZoo::all().into_iter().find(|m| m.name.contains(name)).unwrap_or_else(|| {
+        eprintln!("unknown model {name:?}; choose 22B, 175B, 530B, or 1T");
+        std::process::exit(1);
+    });
     let est = Estimator::for_paper_model(&model);
     let planner = TrainingPlanner::new(est, budget_gb * 1e9);
 
     println!("== {} under a {budget_gb:.0} GB/GPU budget ==\n", model.name);
     let outcome = planner.plan();
-    println!(
-        "{:<55} {:>10} {:>10} {:>6}",
-        "strategy", "iter s", "peak GB", "fits"
-    );
+    println!("{:<55} {:>10} {:>10} {:>6}", "strategy", "iter s", "peak GB", "fits");
     for (s, iter_s, bytes, fits) in &outcome.candidates {
         println!(
             "{:<55} {:>10.2} {:>10.1} {:>6}",
@@ -50,7 +44,11 @@ fn main() {
         let with = est.pipeline_memory_profile(strategy, true);
         let without = est.pipeline_memory_profile(strategy, false);
         for (rank, (a, b)) in with.iter().zip(&without).enumerate().take(8) {
-            println!("  rank {rank:>2}: {:>6.2} GB (without dealloc: {:>6.2} GB)", a / 1e9, b / 1e9);
+            println!(
+                "  rank {rank:>2}: {:>6.2} GB (without dealloc: {:>6.2} GB)",
+                a / 1e9,
+                b / 1e9
+            );
         }
         if with.len() > 8 {
             println!("  … ({} more ranks, linearly decreasing)", with.len() - 8);

@@ -75,17 +75,11 @@ fn main() {
             }
             per_stage
         };
-        println!(
-            "{label:<34} loss {loss:.5} (Δserial {:+.1e})",
-            loss - serial_loss
-        );
+        println!("{label:<34} loss {loss:.5} (Δserial {:+.1e})", loss - serial_loss);
         println!(
             "   peak in-flight microbatch states per stage: {peaks:?}  (paper: min(p − stage, n))"
         );
-        println!(
-            "   activation bytes per microbatch on rank 0: {}\n",
-            results[0].3
-        );
+        println!("   activation bytes per microbatch on rank 0: {}\n", results[0].3);
     }
     println!("All configurations reproduce the serial loss — pipeline, tensor, and sequence");
     println!("parallelism plus recomputation change *where* bytes live and *when* work runs,");

@@ -13,8 +13,12 @@ fn main() {
     let model = ModelZoo::gpt3_175b();
     let est = Estimator::for_paper_model(&model);
 
-    println!("model: {} ({:.0}B parameters, {} GPUs)\n", model.name,
-        model.shape.parameters() as f64 / 1e9, model.gpus());
+    println!(
+        "model: {} ({:.0}B parameters, {} GPUs)\n",
+        model.name,
+        model.shape.parameters() as f64 / 1e9,
+        model.gpus()
+    );
 
     // --- memory: the Figure 1 / Figure 7 story -----------------------------
     for strategy in [

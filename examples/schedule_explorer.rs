@@ -27,7 +27,9 @@ fn main() {
 
     // --- recompute cost inside the schedule ----------------------------------
     println!("\nrecompute inside the pipeline (p=8, n=64):");
-    for (label, recompute) in [("no recompute", 0.0), ("selective (~5%)", 0.15), ("full (~100%)", 1.0)] {
+    for (label, recompute) in
+        [("no recompute", 0.0), ("selective (~5%)", 0.15), ("full (~100%)", 1.0)]
+    {
         let sim = PipelineSim::uniform(StageCosts::new(1.0, 2.0, recompute), 8, 64, 0.05);
         let r = sim.simulate_1f1b(None);
         println!("  {label:<18} makespan {:>8.1} ms", r.makespan_ms);

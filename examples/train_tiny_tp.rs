@@ -100,24 +100,24 @@ fn main() {
 
     // 1. Loss-curve equivalence across modes and policies.
     let serial = train_serial(Recompute::None);
-    println!("serial loss curve: {:.4} -> {:.4} over {STEPS} Adam steps", serial[0], serial[STEPS - 1]);
+    println!(
+        "serial loss curve: {:.4} -> {:.4} over {STEPS} Adam steps",
+        serial[0],
+        serial[STEPS - 1]
+    );
     for (label, t, sp, policy) in [
         ("serial + selective recompute", 1, false, Recompute::Selective),
         ("serial + full recompute", 1, false, Recompute::Full),
         ("tensor parallel t=4", 4, false, Recompute::Selective),
         ("tensor + sequence parallel t=4", 4, true, Recompute::Selective),
     ] {
-        let losses = if t == 1 {
-            train_serial(policy)
-        } else {
-            train_parallel(t, sp, policy).0
-        };
-        let max_dev = serial
-            .iter()
-            .zip(&losses)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f32, f32::max);
-        println!("{label:<32} final loss {:.4}  (max deviation from serial {max_dev:.2e})", losses[STEPS - 1]);
+        let losses = if t == 1 { train_serial(policy) } else { train_parallel(t, sp, policy).0 };
+        let max_dev =
+            serial.iter().zip(&losses).map(|(a, b)| (a - b).abs()).fold(0.0_f32, f32::max);
+        println!(
+            "{label:<32} final loss {:.4}  (max deviation from serial {max_dev:.2e})",
+            losses[STEPS - 1]
+        );
         assert!(max_dev < 1e-2, "loss curves must agree");
     }
 

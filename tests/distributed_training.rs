@@ -77,10 +77,7 @@ fn train_parallel(t: usize, sp: bool, policy: Recompute) -> Vec<Vec<f32>> {
 
 fn assert_curves_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
     for (step, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            (x - y).abs() < tol,
-            "{what}: step {step} diverged: {x} vs {y}"
-        );
+        assert!((x - y).abs() < tol, "{what}: step {step} diverged: {x} vs {y}");
     }
 }
 

@@ -126,10 +126,8 @@ fn trainer_works_under_tensor_parallelism() {
     let mut sampler = MicrobatchSampler::new(&ds, cfg.micro_batch, 4);
     let batches: Vec<(Vec<usize>, Vec<usize>)> =
         (0..6).map(|_| ds.microbatch(&sampler.next_indices())).collect();
-    let serial_losses: Vec<f32> = batches
-        .iter()
-        .map(|(t, g)| serial.step(t, g, ExecMode::Serial).loss)
-        .collect();
+    let serial_losses: Vec<f32> =
+        batches.iter().map(|(t, g)| serial.step(t, g, ExecMode::Serial).loss).collect();
 
     let template = Gpt::init(cfg, Recompute::None, 321);
     let parallel_losses = World::run(2, |comm| {

@@ -12,7 +12,12 @@ use megatron_repro::tensor::rng::{CounterRng, SplitMix64};
 use megatron_repro::tensor::Tensor;
 
 /// Runs one layer forward on `t` ranks and returns rank 0's ledger.
-fn measure_ledger(cfg: TransformerConfig, t: usize, sp: bool, policy: Recompute) -> ActivationLedger {
+fn measure_ledger(
+    cfg: TransformerConfig,
+    t: usize,
+    sp: bool,
+    policy: Recompute,
+) -> ActivationLedger {
     let mut rng = SplitMix64::new(7);
     let full = LayerWeights::init(&cfg, &mut rng);
     let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
@@ -23,8 +28,13 @@ fn measure_ledger(cfg: TransformerConfig, t: usize, sp: bool, policy: Recompute)
         ledger
     } else {
         World::run(t, |comm| {
-            let layer =
-                TransformerLayer::new(cfg, full.shard(t, comm.rank()), 0, policy, CounterRng::new(3));
+            let layer = TransformerLayer::new(
+                cfg,
+                full.shard(t, comm.rank()),
+                0,
+                policy,
+                CounterRng::new(3),
+            );
             let mode = if sp {
                 ExecMode::TensorSequenceParallel(&comm)
             } else {
@@ -44,10 +54,46 @@ fn measure_ledger(cfg: TransformerConfig, t: usize, sp: bool, policy: Recompute)
 #[test]
 fn ledger_equals_table2_across_a_config_sweep() {
     let configs = [
-        TransformerConfig { hidden: 16, heads: 2, seq: 4, micro_batch: 1, layers: 1, vocab: 32, dropout_p: 0.1, causal: true },
-        TransformerConfig { hidden: 32, heads: 4, seq: 8, micro_batch: 2, layers: 1, vocab: 32, dropout_p: 0.1, causal: true },
-        TransformerConfig { hidden: 48, heads: 6, seq: 6, micro_batch: 3, layers: 1, vocab: 32, dropout_p: 0.0, causal: false },
-        TransformerConfig { hidden: 64, heads: 8, seq: 16, micro_batch: 1, layers: 1, vocab: 32, dropout_p: 0.2, causal: true },
+        TransformerConfig {
+            hidden: 16,
+            heads: 2,
+            seq: 4,
+            micro_batch: 1,
+            layers: 1,
+            vocab: 32,
+            dropout_p: 0.1,
+            causal: true,
+        },
+        TransformerConfig {
+            hidden: 32,
+            heads: 4,
+            seq: 8,
+            micro_batch: 2,
+            layers: 1,
+            vocab: 32,
+            dropout_p: 0.1,
+            causal: true,
+        },
+        TransformerConfig {
+            hidden: 48,
+            heads: 6,
+            seq: 6,
+            micro_batch: 3,
+            layers: 1,
+            vocab: 32,
+            dropout_p: 0.0,
+            causal: false,
+        },
+        TransformerConfig {
+            hidden: 64,
+            heads: 8,
+            seq: 16,
+            micro_batch: 1,
+            layers: 1,
+            vocab: 32,
+            dropout_p: 0.2,
+            causal: true,
+        },
     ];
     for cfg in configs {
         for t in [1usize, 2] {

@@ -10,8 +10,8 @@ use megatron_repro::memory::{ActivationMemoryModel, Strategy, A100_80GB_BYTES};
 fn five_x_activation_memory_reduction() {
     for model in ModelZoo::all() {
         let act = ActivationMemoryModel::new(model.shape, model.batch.micro, 8);
-        let reduction = act.per_layer_bytes(Strategy::tp())
-            / act.per_layer_bytes(Strategy::tp_sp_selective());
+        let reduction =
+            act.per_layer_bytes(Strategy::tp()) / act.per_layer_bytes(Strategy::tp_sp_selective());
         assert!(
             (4.0..7.0).contains(&reduction),
             "{}: reduction {reduction:.2}x (paper ~5x)",
@@ -54,11 +54,7 @@ fn throughput_increase_close_to_thirty_percent() {
         let full = est.time_report(Strategy::full_recompute()).iteration_s;
         let present = est.time_report(Strategy::tp_sp_selective()).iteration_s;
         let gain = 100.0 * (full / present - 1.0);
-        assert!(
-            (22.0..45.0).contains(&gain),
-            "{}: {gain:.1}% (paper 29.0–32.1%)",
-            model.name
-        );
+        assert!((22.0..45.0).contains(&gain), "{}: {gain:.1}% (paper 29.0–32.1%)", model.name);
     }
 }
 
@@ -86,14 +82,9 @@ fn full_recompute_costs_thirty_to_forty_percent() {
             model.batch.micro,
             model.parallel.tensor,
         );
-        let overhead = layer
-            .times(Strategy::full_recompute())
-            .overhead_pct(&layer.times(Strategy::tp()));
-        assert!(
-            (30.0..45.0).contains(&overhead),
-            "{}: {overhead:.1}%",
-            model.name
-        );
+        let overhead =
+            layer.times(Strategy::full_recompute()).overhead_pct(&layer.times(Strategy::tp()));
+        assert!((30.0..45.0).contains(&overhead), "{}: {overhead:.1}%", model.name);
     }
 }
 
@@ -102,8 +93,8 @@ fn full_recompute_costs_thirty_to_forty_percent() {
 fn hardware_model_ratio_approximation() {
     for model in ModelZoo::all() {
         let f = FlopsModel::new(model.shape, model.batch.global);
-        let exact = f.hardware_flops(megatron_repro::memory::Recompute::Selective)
-            / f.model_flops();
+        let exact =
+            f.hardware_flops(megatron_repro::memory::Recompute::Selective) / f.model_flops();
         let approx = f.selective_ratio_approx();
         assert!(
             (exact - approx).abs() / approx < 0.01,
@@ -134,7 +125,11 @@ fn planner_requires_both_techniques_at_80gb() {
         assert!(!fits(Strategy::tp()), "{}: the TP baseline must not fit", model.name);
         if model.name != "22B" {
             assert!(!fits(Strategy::tp_sp()), "{}: SP alone must not fit", model.name);
-            assert!(!fits(Strategy::tp_selective()), "{}: selective alone must not fit", model.name);
+            assert!(
+                !fits(Strategy::tp_selective()),
+                "{}: selective alone must not fit",
+                model.name
+            );
         }
         assert!(fits(Strategy::full_recompute()), "{}: full recompute is the fallback", model.name);
     }

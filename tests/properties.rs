@@ -2,10 +2,10 @@
 //! simulator: the paper's algebraic identities must hold for *arbitrary*
 //! valid configurations, not just the Table 3 presets.
 
+use megatron_repro::flops::FlopsModel;
 use megatron_repro::memory::{
     ActivationMemoryModel, ModelShape, Parallelism, PipelineMemoryProfile, Recompute, Strategy,
 };
-use megatron_repro::flops::FlopsModel;
 use megatron_repro::pipeline::{PipelineSim, StageCosts};
 use proptest::prelude::*;
 

@@ -78,12 +78,14 @@ impl Condvar {
     /// [`Condvar::wait`] with a timeout: returns once notified, on a
     /// spurious wakeup, or after `timeout` elapses — whichever comes first.
     /// The returned [`WaitTimeoutResult`] says whether the wait timed out.
-    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard present before wait");
-        let (inner, result) = self
-            .inner
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (inner, result) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
         WaitTimeoutResult { timed_out: result.timed_out() }
     }

@@ -191,8 +191,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
-        TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy, TestRng,
     };
 }
 
@@ -279,7 +278,11 @@ macro_rules! prop_assert_ne {
         if a == b {
             return ::std::result::Result::Err(format!(
                 "assertion failed: {} != {} (both: {:?}) ({}:{})",
-                stringify!($a), stringify!($b), a, file!(), line!()
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
             ));
         }
     }};

@@ -196,9 +196,7 @@ fn key_string(v: Value) -> String {
 
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(
-            self.iter().map(|(k, v)| (key_string(k.to_value()), v.to_value())).collect(),
-        )
+        Value::Object(self.iter().map(|(k, v)| (key_string(k.to_value()), v.to_value())).collect())
     }
 }
 
@@ -335,9 +333,7 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     }
 }
 
-impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize
-    for (A, B, C, D)
-{
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Array(items) if items.len() == 4 => Ok((
@@ -366,9 +362,7 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         match v {
             Value::Object(pairs) => pairs
                 .iter()
-                .map(|(k, val)| {
-                    Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?))
-                })
+                .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
                 .collect(),
             other => Err(DeError::new(format!("expected object, found {other:?}"))),
         }
@@ -385,9 +379,7 @@ where
         match v {
             Value::Object(pairs) => pairs
                 .iter()
-                .map(|(k, val)| {
-                    Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?))
-                })
+                .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
                 .collect(),
             other => Err(DeError::new(format!("expected object, found {other:?}"))),
         }

@@ -250,10 +250,7 @@ fn serialize_named_fields(prefix: &str, fields: &[NamedField]) -> String {
     let pairs: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))",
-                n = f.name
-            )
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n}))", n = f.name)
         })
         .collect();
     format!("::serde::Value::Object(vec![{}])", pairs.join(", "))

@@ -247,8 +247,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| err("truncated \\u escape", *pos))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex)
-                                .map_err(|_| err("bad \\u escape", *pos))?,
+                            std::str::from_utf8(hex).map_err(|_| err("bad \\u escape", *pos))?,
                             16,
                         )
                         .map_err(|_| err("bad \\u escape", *pos))?;
