@@ -10,10 +10,10 @@
 //! verifies the *actual* rendezvous identities.
 
 use crate::ir::{AllocId, GroupId, Program, RankProgram, ScheduleOp};
-use mt_collectives::{CallTag, CollectiveKind};
+use mt_collectives::{chunk_rows, CallTag, CollectiveKind};
 use mt_memory::Recompute;
 use mt_model::pipeline_exec::{interleaved_device_ops, stage_ops};
-use mt_model::{Category, TransformerConfig};
+use mt_model::{Category, OverlapPolicy, TransformerConfig};
 
 /// Static image of `mt_model::ExecMode`: how a layer executes, without a
 /// live communicator attached.
@@ -74,7 +74,10 @@ impl Emitter {
     }
 
     /// Emits a collective with the tag the runtime's single constructor
-    /// would build: `op` + the *argument* tensor's shape + optional root.
+    /// would build: `op` + the *argument* tensor's shape + optional root +
+    /// optional chunk coordinate (for the `OverlapPolicy::Overlapped`
+    /// sub-rendezvous).
+    #[allow(clippy::too_many_arguments)]
     fn collective(
         &mut self,
         group: GroupId,
@@ -82,9 +85,10 @@ impl Emitter {
         op: &'static str,
         shape: &[usize],
         root: Option<usize>,
+        chunk: Option<(usize, usize)>,
         payload_elems: u64,
     ) {
-        let tag = CallTag { op, shape: shape.to_vec(), root };
+        let tag = CallTag { op, shape: shape.to_vec(), root, chunk };
         self.ops.push(ScheduleOp::Collective { group, kind, tag, payload_elems });
     }
 
@@ -104,6 +108,7 @@ struct LayerCtx {
     t: usize,
     mode: StaticMode,
     policy: Recompute,
+    overlap: OverlapPolicy,
     group: GroupId,
 }
 
@@ -123,24 +128,57 @@ impl LayerCtx {
 
     /// `g` forward / the SP re-gathers: all-gather of a `[rows, h]` shard
     /// (tag carries the shard shape; stats record the full gathered size).
+    /// Under [`OverlapPolicy::Overlapped`] the gather is `C` chunk
+    /// sub-rendezvous, tagged and sized exactly as
+    /// `Communicator::all_gather_chunk` tags and sizes them: chunk `j`
+    /// carries shard rows `[a, b)` of the [`chunk_rows`] partition, so the
+    /// per-chunk payloads sum to the whole-tensor payload.
     fn enter_region_fwd(&self, e: &mut Emitter) {
-        if self.mode.sequence_parallel() {
-            e.collective(
-                self.group,
-                CollectiveKind::AllGather,
-                "all_gather",
-                &[self.rows(), self.cfg.hidden],
-                None,
-                (self.rows() * self.t * self.cfg.hidden) as u64,
-            );
+        if !self.mode.sequence_parallel() {
+            return;
+        }
+        let h = self.cfg.hidden;
+        let rows = self.rows();
+        match self.overlap {
+            OverlapPolicy::Exposed => {
+                e.collective(
+                    self.group,
+                    CollectiveKind::AllGather,
+                    "all_gather",
+                    &[rows, h],
+                    None,
+                    None,
+                    (rows * self.t * h) as u64,
+                );
+            }
+            OverlapPolicy::Overlapped { chunks } => {
+                for j in 0..chunks {
+                    let (a, b) = chunk_rows(rows, chunks, j);
+                    e.collective(
+                        self.group,
+                        CollectiveKind::AllGather,
+                        "all_gather",
+                        &[b - a, h],
+                        None,
+                        Some((j, chunks)),
+                        ((b - a) * self.t * h) as u64,
+                    );
+                }
+            }
         }
     }
 
     /// `f̄`/`ḡ` forward: all-reduce (TP) or reduce-scatter (SP) of the full
-    /// `[tokens, h]` partial sums.
+    /// `[tokens, h]` partial sums. The SP reduce-scatter chunks under
+    /// [`OverlapPolicy::Overlapped`], mirroring
+    /// `Communicator::reduce_scatter_chunk`: the partition runs over the
+    /// *result-shard* rows, and chunk `j`'s contribution (and tag shape) is
+    /// `[t·(b−a), h]`. The TP all-reduce is unaffected by the policy, as in
+    /// the runtime.
     fn exit_region_fwd(&self, e: &mut Emitter) {
-        let shape = [self.tokens(), self.cfg.hidden];
-        let payload = (self.tokens() * self.cfg.hidden) as u64;
+        let h = self.cfg.hidden;
+        let shape = [self.tokens(), h];
+        let payload = (self.tokens() * h) as u64;
         match self.mode {
             StaticMode::Serial => {}
             StaticMode::TensorParallel => {
@@ -150,19 +188,38 @@ impl LayerCtx {
                     "all_reduce",
                     &shape,
                     None,
-                    payload,
-                );
-            }
-            StaticMode::TensorSequenceParallel => {
-                e.collective(
-                    self.group,
-                    CollectiveKind::ReduceScatter,
-                    "reduce_scatter",
-                    &shape,
                     None,
                     payload,
                 );
             }
+            StaticMode::TensorSequenceParallel => match self.overlap {
+                OverlapPolicy::Exposed => {
+                    e.collective(
+                        self.group,
+                        CollectiveKind::ReduceScatter,
+                        "reduce_scatter",
+                        &shape,
+                        None,
+                        None,
+                        payload,
+                    );
+                }
+                OverlapPolicy::Overlapped { chunks } => {
+                    let shard_rows = self.rows();
+                    for j in 0..chunks {
+                        let (a, b) = chunk_rows(shard_rows, chunks, j);
+                        e.collective(
+                            self.group,
+                            CollectiveKind::ReduceScatter,
+                            "reduce_scatter",
+                            &[self.t * (b - a), h],
+                            None,
+                            Some((j, chunks)),
+                            (self.t * (b - a) * h) as u64,
+                        );
+                    }
+                }
+            },
         }
     }
 
@@ -260,6 +317,7 @@ impl LayerCtx {
                     "all_reduce",
                     &[hidden],
                     None,
+                    None,
                     hidden as u64,
                 );
             }
@@ -267,27 +325,36 @@ impl LayerCtx {
     }
 }
 
-fn single_layer_ctx(cfg: &TransformerConfig, t: usize, sp: bool, policy: Recompute) -> LayerCtx {
+fn single_layer_ctx(
+    cfg: &TransformerConfig,
+    t: usize,
+    sp: bool,
+    policy: Recompute,
+    overlap: OverlapPolicy,
+) -> LayerCtx {
     cfg.validate(t);
     LayerCtx {
         cfg: *cfg,
         t,
         mode: StaticMode::select(t, sp),
         policy,
+        overlap,
         group: GroupId::Tp { stage: 0 },
     }
 }
 
 /// Program for one layer's forward **and** backward pass on a `t`-wide
 /// tensor-parallel group (no pipeline). The static counterpart of
-/// `TransformerLayer::forward` + `backward` under `World::run(t, …)`.
+/// `TransformerLayer::forward` + `backward` under `World::run(t, …)` with
+/// the given [`OverlapPolicy`] installed on the layer.
 pub fn layer_program(
     cfg: &TransformerConfig,
     t: usize,
     sequence_parallel: bool,
     policy: Recompute,
+    overlap: OverlapPolicy,
 ) -> Program {
-    let ctx = single_layer_ctx(cfg, t, sequence_parallel, policy);
+    let ctx = single_layer_ctx(cfg, t, sequence_parallel, policy, overlap);
     let ranks = (0..t)
         .map(|rank| {
             let mut e = Emitter::new();
@@ -307,8 +374,9 @@ pub fn layer_forward_program(
     t: usize,
     sequence_parallel: bool,
     policy: Recompute,
+    overlap: OverlapPolicy,
 ) -> Program {
-    let ctx = single_layer_ctx(cfg, t, sequence_parallel, policy);
+    let ctx = single_layer_ctx(cfg, t, sequence_parallel, policy, overlap);
     let ranks = (0..t)
         .map(|rank| {
             let mut e = Emitter::new();
@@ -360,6 +428,7 @@ impl StageCtx {
                     CollectiveKind::AllGather,
                     "all_gather",
                     &[self.layer.rows(), cfg.hidden],
+                    None,
                     None,
                     tokens_h,
                 );
@@ -420,6 +489,7 @@ impl StageCtx {
                 "all_reduce",
                 &[cfg.vocab, cfg.hidden],
                 None,
+                None,
                 table_elems,
             );
             e.collective(
@@ -427,6 +497,7 @@ impl StageCtx {
                 CollectiveKind::AllReduce,
                 "all_reduce",
                 &[cfg.seq, cfg.hidden],
+                None,
                 None,
                 (cfg.seq * cfg.hidden) as u64,
             );
@@ -446,6 +517,7 @@ impl StageCtx {
             "broadcast",
             &[],
             Some(loss_root),
+            None,
             1,
         );
     }
@@ -471,7 +543,16 @@ pub fn pipeline_1f1b_program(
     for stage in 0..pp {
         for tp_rank in 0..tp {
             let ctx = StageCtx {
-                layer: LayerCtx { cfg: *cfg, t: tp, mode, policy, group: GroupId::Tp { stage } },
+                layer: LayerCtx {
+                    cfg: *cfg,
+                    t: tp,
+                    mode,
+                    policy,
+                    // The pipeline executors run layers with the default
+                    // (exposed) policy.
+                    overlap: OverlapPolicy::Exposed,
+                    group: GroupId::Tp { stage },
+                },
                 layers_here: cfg.layers / pp,
             };
             let first = stage == 0;
@@ -537,6 +618,7 @@ pub fn interleaved_program(
                     t: tp,
                     mode,
                     policy,
+                    overlap: OverlapPolicy::Exposed,
                     group: GroupId::Tp { stage: device },
                 },
                 layers_here: cfg.layers / vstages,
@@ -590,7 +672,7 @@ mod tests {
     fn tp_layer_is_four_all_reduces() {
         // Section 4.2.1: 4 all-reduces per layer per full pass (2 fwd, 2 bwd).
         let cfg = TransformerConfig::tiny();
-        let p = layer_program(&cfg, 2, false, Recompute::None);
+        let p = layer_program(&cfg, 2, false, Recompute::None, OverlapPolicy::Exposed);
         assert_eq!(count_kinds(&p, 0), vec![(CollectiveKind::AllReduce, 4)]);
     }
 
@@ -599,7 +681,7 @@ mod tests {
         // Pinned by the runtime parallel-equivalence tests: 6 AG + 4 RS +
         // 6 AR (the last six are the small replicated-gradient syncs).
         let cfg = TransformerConfig::tiny();
-        let p = layer_program(&cfg, 2, true, Recompute::None);
+        let p = layer_program(&cfg, 2, true, Recompute::None, OverlapPolicy::Exposed);
         assert_eq!(
             count_kinds(&p, 0),
             vec![
@@ -613,7 +695,7 @@ mod tests {
     #[test]
     fn serial_layer_has_no_collectives() {
         let cfg = TransformerConfig::tiny();
-        let p = layer_program(&cfg, 1, false, Recompute::None);
+        let p = layer_program(&cfg, 1, false, Recompute::None, OverlapPolicy::Exposed);
         assert!(count_kinds(&p, 0).is_empty());
         // Every alloc is freed.
         let allocs =
@@ -625,7 +707,7 @@ mod tests {
     #[test]
     fn full_recompute_replays_forward_collectives_in_backward() {
         let cfg = TransformerConfig::tiny();
-        let p = layer_program(&cfg, 2, false, Recompute::Full);
+        let p = layer_program(&cfg, 2, false, Recompute::Full, OverlapPolicy::Exposed);
         // 2 fwd + (2 replay + 2 bwd) = 6 all-reduces.
         assert_eq!(count_kinds(&p, 0), vec![(CollectiveKind::AllReduce, 6)]);
     }

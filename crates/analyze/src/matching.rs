@@ -305,7 +305,7 @@ mod tests {
         ScheduleOp::Collective {
             group,
             kind: CollectiveKind::AllReduce,
-            tag: CallTag { op, shape, root: None },
+            tag: CallTag { op, shape, root: None, chunk: None },
             payload_elems: 4,
         }
     }

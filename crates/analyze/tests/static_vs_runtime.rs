@@ -9,15 +9,18 @@
 //! are what entitles it to speak for the runtime.
 
 use mt_analyze::{
-    analyze_liveness, analyze_rank_liveness, check_schedule, layer_program, pipeline_1f1b_program,
-    rank_comm_stats, GroupId, Program, RankProgram, ScheduleFault, ScheduleOp,
+    analyze_liveness, analyze_rank_liveness, check_schedule, layer_forward_program, layer_program,
+    pipeline_1f1b_program, rank_comm_stats, GroupId, Program, RankProgram, ScheduleFault,
+    ScheduleOp,
 };
 use mt_collectives::{run_grid, CallTag, CollectiveError, CollectiveKind, CommStats, World};
 use mt_memory::{ActivationMemoryModel, Recompute, Strategy};
 use mt_model::gpt::Gpt;
 use mt_model::pipeline_exec::{run_1f1b_iteration, StageModel};
 use mt_model::weights::LayerWeights;
-use mt_model::{ActivationLedger, Category, ExecMode, TransformerConfig, TransformerLayer};
+use mt_model::{
+    ActivationLedger, Category, ExecMode, OverlapPolicy, TransformerConfig, TransformerLayer,
+};
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
 use proptest::prelude::*;
@@ -32,12 +35,14 @@ fn runtime_layer(
     t: usize,
     sp: bool,
     policy: Recompute,
+    overlap: OverlapPolicy,
 ) -> Vec<(ActivationLedger, CommStats)> {
     let mut rng = SplitMix64::new(7);
     let full = LayerWeights::init(&cfg, &mut rng);
     let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
     if t == 1 {
-        let layer = TransformerLayer::new(cfg, full, 0, policy, CounterRng::new(3));
+        let layer = TransformerLayer::new(cfg, full, 0, policy, CounterRng::new(3))
+            .with_overlap_policy(overlap);
         let mut ledger = ActivationLedger::new();
         let (y, state) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
         let _ = layer.backward(&y, state, &ExecMode::Serial);
@@ -50,7 +55,8 @@ fn runtime_layer(
                 0,
                 policy,
                 CounterRng::new(3),
-            );
+            )
+            .with_overlap_policy(overlap);
             let mode = if sp {
                 ExecMode::TensorSequenceParallel(&comm)
             } else {
@@ -75,10 +81,24 @@ fn elements(ledger: &ActivationLedger) -> Vec<(Category, u64)> {
 
 /// One config × mode × policy cell of the agreement matrix.
 fn assert_layer_agreement(cfg: TransformerConfig, t: usize, sp: bool, policy: Recompute) {
-    let what = format!("cfg {cfg:?} t={t} sp={sp} policy={policy:?}");
-    let prog = layer_program(&cfg, t, sp, policy);
+    assert_layer_agreement_overlap(cfg, t, sp, policy, OverlapPolicy::Exposed);
+}
+
+/// Same agreement matrix, parameterized over the overlap policy: the
+/// chunked collective sequence the overlapped runtime emits must match the
+/// static program call for call (tags carry the chunk coordinates) and
+/// byte for byte.
+fn assert_layer_agreement_overlap(
+    cfg: TransformerConfig,
+    t: usize,
+    sp: bool,
+    policy: Recompute,
+    overlap: OverlapPolicy,
+) {
+    let what = format!("cfg {cfg:?} t={t} sp={sp} policy={policy:?} overlap={overlap:?}");
+    let prog = layer_program(&cfg, t, sp, policy, overlap);
     assert_eq!(check_schedule(&prog), Ok(()), "{what}: static matching");
-    let runtime = runtime_layer(cfg, t, sp, policy);
+    let runtime = runtime_layer(cfg, t, sp, policy, overlap);
     for (rank, (rt_ledger, rt_stats)) in runtime.iter().enumerate() {
         let report = analyze_rank_liveness(&prog.ranks[rank]).expect("static liveness");
         // Same stored tensors, category by category.
@@ -131,6 +151,79 @@ fn layer_static_matches_runtime_across_the_matrix() {
                 }
             }
         }
+    }
+}
+
+/// Chunked collectives (PR 5's overlap tentpole): for every chunk count —
+/// including ragged partitions and chunks exceeding the shard rows — the
+/// overlapped runtime's collective ledger matches the static program, and
+/// the static matcher proves the chunked schedule deadlock-free. The TP
+/// (non-SP) row checks that `Overlapped` is a no-op outside sequence
+/// parallelism on both sides.
+#[test]
+fn overlapped_layer_static_matches_runtime_across_chunk_counts() {
+    let cfg = TransformerConfig::tiny();
+    for chunks in [1usize, 2, 3, 7] {
+        let overlap = OverlapPolicy::Overlapped { chunks };
+        for policy in POLICIES {
+            assert_layer_agreement_overlap(cfg, 2, true, policy, overlap);
+        }
+        assert_layer_agreement_overlap(cfg, 2, false, Recompute::None, overlap);
+    }
+}
+
+/// A dropped chunk sub-rendezvous is caught by both detectors. Statically:
+/// removing one rank's final reduce-scatter chunk from the overlapped
+/// program leaves the peer blocked in a round whose tag names the chunk
+/// coordinate — a [`ScheduleFault::Deadlock`]. At runtime: a rank that
+/// skips its last chunk (but stays alive) strands the peer until its
+/// rendezvous deadline fires as [`CollectiveError::Timeout`].
+#[test]
+fn dropped_chunk_deadlocks_statically_and_times_out_at_runtime() {
+    let cfg = TransformerConfig::tiny();
+    let chunks = 4usize;
+    let overlap = OverlapPolicy::Overlapped { chunks };
+    let mut prog = layer_forward_program(&cfg, 2, true, Recompute::None, overlap);
+    assert_eq!(check_schedule(&prog), Ok(()), "intact chunked program is deadlock-free");
+    let ops = &mut prog.ranks[1].ops;
+    let last = ops
+        .iter()
+        .rposition(|op| matches!(op, ScheduleOp::Collective { .. }))
+        .expect("program has collectives");
+    ops.remove(last);
+    match check_schedule(&prog) {
+        Err(ScheduleFault::Deadlock { blocked }) => {
+            assert_eq!(blocked.len(), 1, "only the stranded peer blocks");
+            assert_eq!(blocked[0].0, 0);
+            assert!(
+                blocked[0].1.contains("chunk=3/4"),
+                "wait description names the chunk: {}",
+                blocked[0].1
+            );
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+
+    // Runtime counterpart: rank 1 fires chunks 0..3 then silently skips the
+    // last one, outliving rank 0's deadline so the failure is a Timeout
+    // (not RankDead).
+    let mut world = World::new(2);
+    world.set_collective_timeout(Duration::from_millis(100));
+    let results = world.run_fallible(|c| {
+        let shard = Tensor::full(&[4, 2], (c.rank() + 1) as f32);
+        for j in 0..chunks {
+            if c.rank() == 1 && j == chunks - 1 {
+                std::thread::sleep(Duration::from_millis(400));
+                return Ok(());
+            }
+            c.try_all_gather_chunk(&shard, j, chunks)?;
+        }
+        Ok(())
+    });
+    assert!(results[1].is_ok(), "the dropping rank itself exits cleanly");
+    match &results[0] {
+        Err(CollectiveError::Timeout { rank: 0, op: "all_gather", .. }) => {}
+        other => panic!("expected Timeout on rank 0, got {other:?}"),
     }
 }
 
@@ -234,7 +327,7 @@ proptest! {
                         ops: vec![ScheduleOp::Collective {
                             group: GroupId::Tp { stage: 0 },
                             kind: CollectiveKind::AllReduce,
-                            tag: CallTag { op: "all_reduce", shape, root: None },
+                            tag: CallTag { op: "all_reduce", shape, root: None, chunk: None },
                             payload_elems: elems,
                         }],
                     }

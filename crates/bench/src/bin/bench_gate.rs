@@ -1,0 +1,254 @@
+//! CI performance-regression gate: compares fresh `--smoke` benchmark JSON
+//! against the checked-in baselines and fails loudly on regression.
+//!
+//! ```text
+//! bench_gate --kernels reports/BENCH_kernels.json \
+//!            --kernels-baseline reports/baselines/BENCH_kernels.baseline.json \
+//!            --e2e reports/BENCH_e2e.json \
+//!            --e2e-baseline reports/baselines/BENCH_e2e.baseline.json \
+//!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5]
+//! ```
+//!
+//! Kernel entries are keyed by `(kernel, kind, m, n, k, backend, threads)`
+//! and fail when `best_ms` regresses past `--max-slowdown` (default ×1.25)
+//! or `gflops` drops below `--min-gflops-ratio` (default ×0.80) of the
+//! baseline. E2e entries are keyed by `(policy, chunks, threads)` and fail
+//! when `step_ms` regresses past `--max-step-slowdown` (default ×1.5 —
+//! end-to-end steps on shared CI runners are noisier than microbenches).
+//! The gate also re-checks the overlap invariant on the *fresh* numbers:
+//! every `overlapped` config with C ≥ 2 must show strictly less exposed
+//! communication time than the `exposed` config.
+//!
+//! A key present in the baseline but missing from the fresh run (or vice
+//! versa) is a failure: silently dropping a benchmark is how regressions
+//! hide. A per-entry delta table is printed to stdout and appended to
+//! `$GITHUB_STEP_SUMMARY` when that variable is set (GitHub renders it as a
+//! Markdown table in the job summary).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+struct GateArgs {
+    kernels: String,
+    kernels_baseline: String,
+    e2e: String,
+    e2e_baseline: String,
+    max_slowdown: f64,
+    min_gflops_ratio: f64,
+    max_step_slowdown: f64,
+}
+
+fn parse_args() -> GateArgs {
+    let mut args = GateArgs {
+        kernels: "reports/BENCH_kernels.json".to_string(),
+        kernels_baseline: "reports/baselines/BENCH_kernels.baseline.json".to_string(),
+        e2e: "reports/BENCH_e2e.json".to_string(),
+        e2e_baseline: "reports/baselines/BENCH_e2e.baseline.json".to_string(),
+        max_slowdown: 1.25,
+        min_gflops_ratio: 0.80,
+        max_step_slowdown: 1.5,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let Some(value) = argv.get(i + 1) else {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        };
+        match flag {
+            "--kernels" => args.kernels = value.clone(),
+            "--kernels-baseline" => args.kernels_baseline = value.clone(),
+            "--e2e" => args.e2e = value.clone(),
+            "--e2e-baseline" => args.e2e_baseline = value.clone(),
+            "--max-slowdown" => args.max_slowdown = parse_f64(flag, value),
+            "--min-gflops-ratio" => args.min_gflops_ratio = parse_f64(flag, value),
+            "--max-step-slowdown" => args.max_step_slowdown = parse_f64(flag, value),
+            _ => {
+                eprintln!("unknown argument {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn parse_f64(flag: &str, value: &str) -> f64 {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires a number, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `results` array of a bench JSON, keyed by the given fields.
+fn index_results(doc: &Value, path: &str, key_fields: &[&str]) -> BTreeMap<String, Value> {
+    let results = doc["results"].as_array().unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} has no results array");
+        std::process::exit(2);
+    });
+    let mut map = BTreeMap::new();
+    for r in results {
+        let key: Vec<String> = key_fields.iter().map(|f| r[*f].to_string()).collect();
+        map.insert(key.join("/"), r.clone());
+    }
+    map
+}
+
+fn f(v: &Value, field: &str) -> f64 {
+    v[field].as_f64().unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures: Vec<String> = Vec::new();
+    let mut table = String::new();
+    writeln!(table, "| bench | key | baseline | fresh | ratio | verdict |").unwrap();
+    writeln!(table, "|---|---|---:|---:|---:|---|").unwrap();
+
+    // --- kernel microbenches ---
+    let fresh = index_results(
+        &load(&args.kernels),
+        &args.kernels,
+        &["kernel", "kind", "m", "n", "k", "backend", "threads"],
+    );
+    let base = index_results(
+        &load(&args.kernels_baseline),
+        &args.kernels_baseline,
+        &["kernel", "kind", "m", "n", "k", "backend", "threads"],
+    );
+    compare_keys(&fresh, &base, "kernels", &mut failures);
+    for (key, b) in &base {
+        let Some(n) = fresh.get(key) else { continue };
+        let (b_ms, n_ms) = (f(b, "best_ms"), f(n, "best_ms"));
+        let (b_gf, n_gf) = (f(b, "gflops"), f(n, "gflops"));
+        let ms_ratio = n_ms / b_ms;
+        let gf_ratio = n_gf / b_gf;
+        let mut verdict = "ok";
+        if ms_ratio.is_nan() || ms_ratio > args.max_slowdown {
+            verdict = "FAIL";
+            failures.push(format!(
+                "kernels {key}: best_ms {n_ms:.3} vs baseline {b_ms:.3} (×{ms_ratio:.2} > ×{})",
+                args.max_slowdown
+            ));
+        }
+        if gf_ratio.is_nan() || gf_ratio < args.min_gflops_ratio {
+            verdict = "FAIL";
+            failures.push(format!(
+                "kernels {key}: gflops {n_gf:.2} vs baseline {b_gf:.2} (×{gf_ratio:.2} < ×{})",
+                args.min_gflops_ratio
+            ));
+        }
+        writeln!(
+            table,
+            "| kernels | {key} | {b_ms:.3} ms | {n_ms:.3} ms | ×{ms_ratio:.2} | {verdict} |"
+        )
+        .unwrap();
+    }
+
+    // --- e2e step bench ---
+    let fresh_doc = load(&args.e2e);
+    let fresh = index_results(&fresh_doc, &args.e2e, &["policy", "chunks", "threads"]);
+    let base = index_results(
+        &load(&args.e2e_baseline),
+        &args.e2e_baseline,
+        &["policy", "chunks", "threads"],
+    );
+    compare_keys(&fresh, &base, "e2e", &mut failures);
+    for (key, b) in &base {
+        let Some(n) = fresh.get(key) else { continue };
+        let (b_ms, n_ms) = (f(b, "step_ms"), f(n, "step_ms"));
+        let ratio = n_ms / b_ms;
+        let mut verdict = "ok";
+        if ratio.is_nan() || ratio > args.max_step_slowdown {
+            verdict = "FAIL";
+            failures.push(format!(
+                "e2e {key}: step_ms {n_ms:.3} vs baseline {b_ms:.3} (×{ratio:.2} > ×{})",
+                args.max_step_slowdown
+            ));
+        }
+        writeln!(table, "| e2e | {key} | {b_ms:.3} ms | {n_ms:.3} ms | ×{ratio:.2} | {verdict} |")
+            .unwrap();
+    }
+
+    // Overlap invariant on the fresh run: chunked+overlapped must expose
+    // strictly less communication than the exposed policy.
+    let exposed_ms =
+        fresh.values().find(|r| r["policy"] == "exposed").map(|r| f(r, "exposed_comm_ms"));
+    match exposed_ms {
+        None => failures.push("e2e: fresh run has no exposed config".to_string()),
+        Some(exposed_ms) => {
+            for r in fresh.values() {
+                if r["policy"] != "overlapped" || r["chunks"].as_u64().unwrap_or(0) < 2 {
+                    continue;
+                }
+                let overlapped_ms = f(r, "exposed_comm_ms");
+                let verdict = if overlapped_ms < exposed_ms { "ok" } else { "FAIL" };
+                if verdict == "FAIL" {
+                    failures.push(format!(
+                        "e2e overlap invariant: overlapped C={} exposes {overlapped_ms:.3} ms, \
+                         not below exposed policy's {exposed_ms:.3} ms",
+                        r["chunks"]
+                    ));
+                }
+                writeln!(
+                    table,
+                    "| e2e overlap | C={} exposed comm | {exposed_ms:.3} ms | {overlapped_ms:.3} ms \
+                     | ×{:.2} | {verdict} |",
+                    r["chunks"],
+                    overlapped_ms / exposed_ms
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    println!("{table}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(summary) {
+            let _ = writeln!(file, "## bench gate\n\n{table}");
+        }
+    }
+    if failures.is_empty() {
+        println!("bench_gate: all checks passed");
+    } else {
+        eprintln!("bench_gate: {} failure(s):", failures.len());
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Both directions of key coverage: a benchmark that disappears (or a
+/// baseline that was never regenerated) is itself a failure.
+fn compare_keys(
+    fresh: &BTreeMap<String, Value>,
+    base: &BTreeMap<String, Value>,
+    what: &str,
+    failures: &mut Vec<String>,
+) {
+    for key in base.keys() {
+        if !fresh.contains_key(key) {
+            failures.push(format!("{what}: baseline key {key} missing from fresh run"));
+        }
+    }
+    for key in fresh.keys() {
+        if !base.contains_key(key) {
+            failures.push(format!("{what}: fresh key {key} missing from baseline (regenerate it)"));
+        }
+    }
+}

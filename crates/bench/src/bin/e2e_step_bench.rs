@@ -1,0 +1,252 @@
+//! End-to-end step benchmark for the communication-overlap tentpole,
+//! written to `reports/BENCH_e2e.json`.
+//!
+//! ```text
+//! e2e_step_bench [--smoke] [--threads N]
+//! ```
+//!
+//! Runs one TP+SP transformer layer (forward + backward) on a 2-rank
+//! [`World`] with a simulated interconnect ([`World::set_link_cost`]: every
+//! collective sleeps its α–β ring time, concurrently on all ranks, exactly
+//! as a DMA engine would occupy the wire) and measures, per policy:
+//!
+//! * `step_ms` — best-of-N wall time for the whole step,
+//! * `comm_ms` — time spent inside collectives (hidden or not),
+//! * `exposed_comm_ms` — the portion no dependent compute could cover; the
+//!   quantity the paper's §4.2.2 overlap is meant to shrink.
+//!
+//! Configs: `exposed` (whole-tensor collectives) vs `overlapped` at C = 2
+//! and C = 4 chunks. Before timing, the harness asserts the three configs
+//! produce **bit-identical** outputs and input gradients — the overlap is a
+//! pure scheduling change. The link is sized so compute and communication
+//! are the same order of magnitude; on any machine with a few cores the
+//! overlapped exposed-comm time must come out strictly below the exposed
+//! policy's, which `bench_gate` enforces against the checked-in baseline.
+
+use mt_collectives::cost::CommCostModel;
+use mt_collectives::World;
+use mt_kernels::{set_default_backend, Backend};
+use mt_memory::Recompute;
+use mt_model::weights::LayerWeights;
+use mt_model::{
+    take_comm_timing, ActivationLedger, ExecMode, OverlapPolicy, TransformerConfig,
+    TransformerLayer,
+};
+use mt_tensor::rng::{CounterRng, SplitMix64};
+use mt_tensor::Tensor;
+use std::time::Instant;
+
+const SCHEMA_VERSION: u64 = 1;
+const T: usize = 2;
+
+struct Entry {
+    policy: &'static str,
+    chunks: usize,
+    threads: usize,
+    reps: usize,
+    step_ms: f64,
+    comm_ms: f64,
+    exposed_comm_ms: f64,
+}
+
+/// One measured config: best-of-`reps` step time plus the comm ledger of
+/// the best rep (max over ranks — the critical path), and the output bits
+/// for the cross-config identity check.
+struct Measured {
+    step_ms: f64,
+    comm_ms: f64,
+    exposed_comm_ms: f64,
+    bits: Vec<Vec<u32>>,
+}
+
+fn run_config(
+    cfg: TransformerConfig,
+    overlap: OverlapPolicy,
+    threads: usize,
+    reps: usize,
+    link: CommCostModel,
+) -> Measured {
+    set_default_backend(Backend::Threaded { threads });
+    let mut rng = SplitMix64::new(17);
+    let full = LayerWeights::init(&cfg, &mut rng);
+    let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+    let dy = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let mut world = World::new(T);
+        world.set_link_cost(link);
+        let per_rank = world.run_fallible(|comm| {
+            let layer = TransformerLayer::new(
+                cfg,
+                full.shard(T, comm.rank()),
+                0,
+                Recompute::Selective,
+                CounterRng::new(5),
+            )
+            .with_overlap_policy(overlap);
+            let mode = ExecMode::TensorSequenceParallel(&comm);
+            let x_local = x.chunk_axis0(T).unwrap()[comm.rank()].clone();
+            let dy_local = dy.chunk_axis0(T).unwrap()[comm.rank()].clone();
+            let _ = take_comm_timing(); // reset this rank thread's ledger
+            let t0 = Instant::now();
+            let mut ledger = ActivationLedger::new();
+            let (y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
+            let (dx, _grads) = layer.backward(&dy_local, state, &mode);
+            let step_us = t0.elapsed().as_secs_f64() * 1e6;
+            let timing = take_comm_timing();
+            let bits: Vec<u32> =
+                y.data().iter().chain(dx.data().iter()).map(|v| v.to_bits()).collect();
+            Ok((step_us, timing, bits))
+        });
+        let per_rank: Vec<_> =
+            per_rank.into_iter().map(|r| r.expect("bench step failed")).collect();
+        let step_ms = per_rank.iter().map(|(us, _, _)| *us).fold(0.0, f64::max) / 1e3;
+        let comm_ms = per_rank.iter().map(|(_, t, _)| t.comm_us as f64).fold(0.0, f64::max) / 1e3;
+        let exposed_ms =
+            per_rank.iter().map(|(_, t, _)| t.exposed_us as f64).fold(0.0, f64::max) / 1e3;
+        let bits: Vec<Vec<u32>> = per_rank.into_iter().map(|(_, _, b)| b).collect();
+        // Select by the gated metric: the benchmark reports the best
+        // exposure the schedule achieved, not the exposure of the rep that
+        // happened to have the fastest wall clock (scheduler noise on an
+        // oversubscribed host makes those different reps).
+        if best.as_ref().is_none_or(|b| exposed_ms < b.exposed_comm_ms) {
+            best = Some(Measured { step_ms, comm_ms, exposed_comm_ms: exposed_ms, bits });
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut threads = 4usize;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        threads = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--threads requires a positive integer");
+            std::process::exit(2);
+        });
+    }
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            a.as_str() != "--smoke"
+                && a.as_str() != "--threads"
+                && !(*i > 0 && args[i - 1] == "--threads")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument {bad}\nusage: e2e_step_bench [--smoke] [--threads N]");
+        std::process::exit(2);
+    }
+
+    let reps = 5usize;
+    let cfg = if smoke {
+        TransformerConfig {
+            hidden: 256,
+            heads: 4,
+            seq: 256,
+            micro_batch: 2,
+            layers: 1,
+            vocab: 64,
+            dropout_p: 0.1,
+            causal: true,
+        }
+    } else {
+        TransformerConfig {
+            hidden: 320,
+            heads: 5,
+            seq: 320,
+            micro_batch: 3,
+            layers: 1,
+            vocab: 64,
+            dropout_p: 0.1,
+            causal: true,
+        }
+    };
+    // A deliberately slow link (tens of MB/s) so per-layer communication is
+    // the same order of magnitude as compute — the regime where overlap
+    // matters and where the exposed-vs-overlapped gap is measurable.
+    let link = CommCostModel { alpha_s: 5e-6, beta_bytes_per_s: 8e6 };
+
+    println!(
+        "e2e_step_bench: {} mode, t={T}, threads={threads}, best of {reps}, \
+         link α={}s β={} B/s",
+        if smoke { "smoke" } else { "full" },
+        link.alpha_s,
+        link.beta_bytes_per_s,
+    );
+
+    let configs: [(&'static str, OverlapPolicy); 3] = [
+        ("exposed", OverlapPolicy::Exposed),
+        ("overlapped", OverlapPolicy::Overlapped { chunks: 2 }),
+        ("overlapped", OverlapPolicy::Overlapped { chunks: 4 }),
+    ];
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut reference_bits: Option<Vec<Vec<u32>>> = None;
+    for (label, overlap) in configs {
+        let m = run_config(cfg, overlap, threads, reps, link);
+        match &reference_bits {
+            None => reference_bits = Some(m.bits.clone()),
+            Some(reference) => assert_eq!(
+                reference,
+                &m.bits,
+                "{label} C={} is not bit-identical to the exposed reference",
+                overlap.chunks()
+            ),
+        }
+        println!(
+            "  {:<10} C={} step {:>9.3} ms  comm {:>9.3} ms  exposed {:>9.3} ms",
+            label,
+            overlap.chunks(),
+            m.step_ms,
+            m.comm_ms,
+            m.exposed_comm_ms
+        );
+        entries.push(Entry {
+            policy: label,
+            chunks: overlap.chunks(),
+            threads,
+            reps,
+            step_ms: m.step_ms,
+            comm_ms: m.comm_ms,
+            exposed_comm_ms: m.exposed_comm_ms,
+        });
+    }
+
+    let result_values: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "policy": e.policy,
+                "chunks": e.chunks,
+                "threads": e.threads,
+                "reps": e.reps,
+                "step_ms": e.step_ms,
+                "comm_ms": e.comm_ms,
+                "exposed_comm_ms": e.exposed_comm_ms,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "e2e_step_bench",
+        "smoke": smoke,
+        "t": T,
+        "threads": threads,
+        "hidden": cfg.hidden,
+        "seq": cfg.seq,
+        "micro_batch": cfg.micro_batch,
+        "link_alpha_s": link.alpha_s,
+        "link_beta_bytes_per_s": link.beta_bytes_per_s,
+        "available_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "results": result_values,
+    });
+    std::fs::create_dir_all("reports").expect("create reports/");
+    std::fs::write(
+        "reports/BENCH_e2e.json",
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write reports/BENCH_e2e.json");
+    println!("\nwrote reports/BENCH_e2e.json ({} entries)", entries.len());
+}

@@ -21,6 +21,11 @@ pub struct CallTag {
     pub shape: Vec<usize>,
     /// Root rank, for rooted collectives (`broadcast`).
     pub root: Option<usize>,
+    /// Sub-rendezvous coordinate `(index, count)` for chunked collectives.
+    /// `None` for whole-tensor rounds. Each chunk of a chunked collective is
+    /// its own rendezvous, so a rank issuing chunk 2 while a peer issues
+    /// chunk 3 of the same op is an SPMD mismatch, not a silent reorder.
+    pub chunk: Option<(usize, usize)>,
 }
 
 impl fmt::Display for CallTag {
@@ -28,6 +33,9 @@ impl fmt::Display for CallTag {
         write!(f, "{}(shape={:?}", self.op, self.shape)?;
         if let Some(root) = self.root {
             write!(f, ", root={root}")?;
+        }
+        if let Some((j, c)) = self.chunk {
+            write!(f, ", chunk={j}/{c}")?;
         }
         write!(f, ")")
     }
@@ -63,10 +71,12 @@ pub enum CollectiveError {
     SpmdMismatch {
         /// Rank that observed the mismatch.
         rank: usize,
-        /// Tag deposited by the first rank of the round.
-        expected: CallTag,
+        /// Tag deposited by the first rank of the round. Boxed to keep the
+        /// error (and every `Result` carrying it) pointer-sized-ish; the
+        /// mismatch path is already the slow path.
+        expected: Box<CallTag>,
         /// Tag this rank (or the mismatching rank) brought.
-        found: CallTag,
+        found: Box<CallTag>,
     },
     /// A point-to-point peer's channel endpoint is gone.
     PeerDisconnected {
@@ -130,13 +140,29 @@ mod tests {
     fn display_names_the_coordinates() {
         let e = CollectiveError::SpmdMismatch {
             rank: 1,
-            expected: CallTag { op: "all_reduce", shape: vec![2, 3], root: None },
-            found: CallTag { op: "broadcast", shape: vec![2, 3], root: Some(0) },
+            expected: Box::new(CallTag {
+                op: "all_reduce",
+                shape: vec![2, 3],
+                root: None,
+                chunk: None,
+            }),
+            found: Box::new(CallTag {
+                op: "broadcast",
+                shape: vec![2, 3],
+                root: Some(0),
+                chunk: None,
+            }),
         };
         let msg = e.to_string();
         assert!(msg.contains("rank 1"), "{msg}");
         assert!(msg.contains("all_reduce(shape=[2, 3])"), "{msg}");
         assert!(msg.contains("broadcast(shape=[2, 3], root=0)"), "{msg}");
         assert_eq!(e.label(), "spmd_mismatch");
+    }
+
+    #[test]
+    fn display_names_the_chunk_coordinate() {
+        let t = CallTag { op: "all_gather", shape: vec![4, 8], root: None, chunk: Some((1, 4)) };
+        assert_eq!(t.to_string(), "all_gather(shape=[4, 8], chunk=1/4)");
     }
 }

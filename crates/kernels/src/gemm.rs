@@ -107,7 +107,15 @@ pub fn kind_label(transpose_a: bool, transpose_b: bool) -> &'static str {
 
 /// `C[i][j] += A[i][kk] · B[kk][j]` — the k-blocked i-k-j order streams a
 /// `BLOCK_K × n` slab of `B` across the band's rows.
-fn band_nn(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub(crate) fn band_nn(
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     for k0 in (0..k).step_by(BLOCK_K) {
         let k1 = (k0 + BLOCK_K).min(k);
         for i in 0..rows {
@@ -126,7 +134,15 @@ fn band_nn(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c
 
 /// `C[i][j] = Σ A[i][kk] · B[j][kk]` — row-row dot products; both operands
 /// are streamed along their contiguous axis.
-fn band_nt(row0: usize, rows: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub(crate) fn band_nt(
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
         let crow = &mut c[i * n..(i + 1) * n];

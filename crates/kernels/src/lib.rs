@@ -52,6 +52,7 @@
 
 mod backend;
 pub mod gemm;
+pub mod overlap;
 pub mod pool;
 mod rowwise;
 

@@ -20,9 +20,11 @@ use crate::attention::{
 };
 use crate::config::TransformerConfig;
 use crate::ledger::{ActivationLedger, Category};
+use crate::overlap::{timed_exposed, OverlapPolicy};
 use crate::streams::{element_offset, stream_id, DropoutSite};
 use crate::weights::{LayerGrads, LayerWeights};
-use mt_collectives::Communicator;
+use mt_collectives::{chunk_rows, Communicator};
+use mt_kernels::overlap::{gemm_gathered, ChunkSlab, OverlapPlan};
 use mt_memory::Recompute;
 use mt_tensor::ops;
 use mt_tensor::ops::LayerNormSaved;
@@ -82,44 +84,6 @@ impl<'a> ExecMode<'a> {
             ExecMode::TensorParallel(c) | ExecMode::TensorSequenceParallel(c) => Some(c),
         }
     }
-
-    /// `g` in the forward direction / the forward half of `f`: produce the
-    /// full-sequence tensor the GEMMs need.
-    fn enter_parallel_region_fwd(&self, x: &Tensor) -> Tensor {
-        match self {
-            ExecMode::Serial | ExecMode::TensorParallel(_) => x.clone(),
-            ExecMode::TensorSequenceParallel(c) => c.all_gather(x),
-        }
-    }
-
-    /// Backward of the region entry: `f` backward is an all-reduce; `g`
-    /// backward is a reduce-scatter.
-    fn enter_parallel_region_bwd(&self, dy_full: &Tensor) -> Tensor {
-        match self {
-            ExecMode::Serial => dy_full.clone(),
-            ExecMode::TensorParallel(c) => c.all_reduce(dy_full),
-            ExecMode::TensorSequenceParallel(c) => c.reduce_scatter(dy_full),
-        }
-    }
-
-    /// `f̄`/`ḡ` forward: combine the per-rank partial sums, landing on the
-    /// layout the LayerNorm/dropout region uses.
-    fn exit_parallel_region_fwd(&self, partial: &Tensor) -> Tensor {
-        match self {
-            ExecMode::Serial => partial.clone(),
-            ExecMode::TensorParallel(c) => c.all_reduce(partial),
-            ExecMode::TensorSequenceParallel(c) => c.reduce_scatter(partial),
-        }
-    }
-
-    /// Backward of the region exit: `f̄` backward is the identity; `ḡ`
-    /// backward is an all-gather.
-    fn exit_parallel_region_bwd(&self, dy: &Tensor) -> Tensor {
-        match self {
-            ExecMode::Serial | ExecMode::TensorParallel(_) => dy.clone(),
-            ExecMode::TensorSequenceParallel(c) => c.all_gather(dy),
-        }
-    }
 }
 
 /// Everything a non-recomputing backward pass needs. Field names follow the
@@ -172,6 +136,7 @@ pub struct TransformerLayer {
     weights: LayerWeights,
     layer_idx: usize,
     policy: Recompute,
+    overlap: OverlapPolicy,
     rng: CounterRng,
 }
 
@@ -188,7 +153,25 @@ impl TransformerLayer {
         policy: Recompute,
         rng: CounterRng,
     ) -> Self {
-        TransformerLayer { cfg, weights, layer_idx, policy, rng }
+        TransformerLayer { cfg, weights, layer_idx, policy, overlap: OverlapPolicy::Exposed, rng }
+    }
+
+    /// Selects exposed vs. overlapped `g`/`ḡ` regions for TP+SP execution.
+    /// The two policies are bit-identical; all ranks of a group must use
+    /// the same policy (the chunking is part of the SPMD protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Overlapped { chunks: 0 }` is requested.
+    pub fn with_overlap_policy(mut self, overlap: OverlapPolicy) -> Self {
+        assert!(overlap.chunks() > 0, "overlap policy needs at least one chunk");
+        self.overlap = overlap;
+        self
+    }
+
+    /// The active overlap policy.
+    pub fn overlap_policy(&self) -> OverlapPolicy {
+        self.overlap
     }
 
     /// The layer's weights (shard-shaped in parallel execution).
@@ -253,6 +236,106 @@ impl TransformerLayer {
         mask
     }
 
+    /// `g` forward / `ḡ` backward fused with its consumer GEMM: gathers the
+    /// sequence shard (identity outside SP) and computes
+    /// `gathered · w` (`transpose_b` selects `A·Bᵀ`). The gathered rows are
+    /// the GEMM's *output* rows, so under [`OverlapPolicy::Overlapped`] the
+    /// chunked gather pipelines into `mt-kernels`' band driver; the exposed
+    /// policy blocks on one whole-tensor all-gather first. Returns the
+    /// product and, when `want_full`, the gathered tensor itself (for
+    /// contraction-side consumers like the weight gradients, which cannot
+    /// be row-decomposed).
+    fn gather_gemm(
+        &self,
+        mode: &ExecMode<'_>,
+        shard: &Tensor,
+        w: &Tensor,
+        transpose_b: bool,
+        want_full: bool,
+    ) -> (Tensor, Option<Tensor>) {
+        let descriptor = if transpose_b { ops::Gemm::NT } else { ops::Gemm::NN };
+        let comm = match mode {
+            ExecMode::TensorSequenceParallel(c) => c,
+            // f forward / f̄ backward enter the region as the identity.
+            _ => return (descriptor.apply(shard, w), want_full.then(|| shard.clone())),
+        };
+        let chunks = match self.overlap {
+            OverlapPolicy::Exposed => {
+                let full = timed_exposed(|| comm.all_gather(shard));
+                let out = descriptor.apply(&full, w);
+                return (out, want_full.then_some(full));
+            }
+            OverlapPolicy::Overlapped { chunks } => chunks,
+        };
+        let n = comm.size();
+        let shard_rows = shard.shape()[0];
+        let m = n * shard_rows;
+        let (wn, wk) =
+            if transpose_b { (w.shape()[0], w.shape()[1]) } else { (w.shape()[1], w.shape()[0]) };
+        assert_eq!(shard.shape()[1], wk, "gather_gemm: contraction dims disagree");
+        let mut plan = OverlapPlan::default();
+        for j in 0..chunks {
+            let (a, b) = chunk_rows(shard_rows, chunks, j);
+            plan.chunks.push(
+                (0..n).map(|i| ChunkSlab { out_row0: i * shard_rows + a, rows: b - a }).collect(),
+            );
+        }
+        let mut out = vec![0.0f32; m * wn];
+        let mut full = want_full.then(|| vec![0.0f32; m * wk]);
+        let report = gemm_gathered(
+            mt_kernels::default_backend(),
+            transpose_b,
+            wn,
+            wk,
+            &plan,
+            w.data(),
+            &mut out,
+            full.as_deref_mut(),
+            |j| comm.all_gather_chunk(shard, j, chunks).data().to_vec(),
+        );
+        crate::overlap::add_comm_time(report.comm_us, report.exposed_us);
+        (
+            Tensor::from_vec_unchecked(vec![m, wn], out),
+            full.map(|v| Tensor::from_vec_unchecked(vec![m, wk], v)),
+        )
+    }
+
+    /// `f̄`/`ḡ` forward and `f`/`g` backward: combine the per-rank partial
+    /// sums onto the LayerNorm/dropout region's layout. The SP
+    /// reduce-scatter is chunked under [`OverlapPolicy::Overlapped`] (same
+    /// wire traffic, and the static extractor mirrors the chunking); it has
+    /// no row-parallel consumer to hide behind, so it stays exposed either
+    /// way.
+    fn combine_region(&self, mode: &ExecMode<'_>, partial: &Tensor) -> Tensor {
+        match mode {
+            ExecMode::Serial => partial.clone(),
+            ExecMode::TensorParallel(c) => timed_exposed(|| c.all_reduce(partial)),
+            ExecMode::TensorSequenceParallel(c) => match self.overlap {
+                OverlapPolicy::Exposed => timed_exposed(|| c.reduce_scatter(partial)),
+                OverlapPolicy::Overlapped { chunks } => {
+                    timed_exposed(|| c.reduce_scatter_chunked(partial, chunks))
+                }
+            },
+        }
+    }
+
+    /// The backward re-gather of a stored LayerNorm-output shard (the
+    /// paper's extra all-gather). Its consumer is the contraction side of a
+    /// `TN` weight-gradient GEMM, which cannot start on partial rows, so
+    /// the gather is chunked under [`OverlapPolicy::Overlapped`] but not
+    /// pipelined.
+    fn regather(&self, mode: &ExecMode<'_>, shard: &Tensor) -> Tensor {
+        match mode {
+            ExecMode::Serial | ExecMode::TensorParallel(_) => shard.clone(),
+            ExecMode::TensorSequenceParallel(c) => match self.overlap {
+                OverlapPolicy::Exposed => timed_exposed(|| c.all_gather(shard)),
+                OverlapPolicy::Overlapped { chunks } => {
+                    timed_exposed(|| c.all_gather_chunked(shard, chunks))
+                }
+            },
+        }
+    }
+
     /// Full forward pass producing the complete stored state; records
     /// nothing. The policy-aware [`TransformerLayer::forward`] wraps this.
     fn forward_full(&self, x: &Tensor, micro: u64, mode: &ExecMode<'_>) -> (Tensor, StoredState) {
@@ -265,35 +348,44 @@ impl TransformerLayer {
         );
         let w = &self.weights;
 
+        // Under SP the gathered tensors are not needed again (only the local
+        // shard is kept for backward), so the fused gather-GEMMs can skip
+        // assembling them.
+        let keep_full = !mode.sequence_parallel();
+
         // --- attention half ---
         let (y_ln1, ln1_saved) = ops::layer_norm(x, &w.ln1_gamma, &w.ln1_beta);
-        let y1_full = mode.enter_parallel_region_fwd(&y_ln1); // g / f
-        let qkv = ops::add_bias(&ops::Gemm::NN.apply(&y1_full, &w.w_qkv), &w.b_qkv);
+        // g / f fused with the QKV GEMM.
+        let (qkv_raw, y1_full) = self.gather_gemm(mode, &y_ln1, &w.w_qkv, false, keep_full);
+        let qkv = ops::add_bias(&qkv_raw, &w.b_qkv);
         let blocks = qkv.chunk_last_axis(3).expect("qkv packs 3 blocks");
         let (q, k, v) = (blocks[0].clone(), blocks[1].clone(), blocks[2].clone());
         let ap = self.attn_params(mode, micro);
         let (ctx, attn_saved) = attention_forward(&ap, &self.rng, &q, &k, &v);
         let o_partial = ops::Gemm::NN.apply(&ctx, &w.w_o);
-        let o = ops::add_bias(&mode.exit_parallel_region_fwd(&o_partial), &w.b_o); // f̄ / ḡ
+        let o = ops::add_bias(&self.combine_region(mode, &o_partial), &w.b_o); // f̄ / ḡ
         let mask_attn = self.region_mask(DropoutSite::AttentionOutput, micro, mode, rows);
         let od = ops::dropout(&o, &mask_attn, self.cfg.dropout_p);
         let r1 = ops::residual_add(x, &od);
 
         // --- MLP half ---
         let (y_ln2, ln2_saved) = ops::layer_norm(&r1, &w.ln2_gamma, &w.ln2_beta);
-        let y2_full = mode.enter_parallel_region_fwd(&y_ln2);
-        let m1 = ops::add_bias(&ops::Gemm::NN.apply(&y2_full, &w.w1), &w.b1);
+        let (m1_raw, y2_full) = self.gather_gemm(mode, &y_ln2, &w.w1, false, keep_full);
+        let m1 = ops::add_bias(&m1_raw, &w.b1);
         let g_act = ops::gelu(&m1);
         let m2_partial = ops::Gemm::NN.apply(&g_act, &w.w2);
-        let m2 = ops::add_bias(&mode.exit_parallel_region_fwd(&m2_partial), &w.b2);
+        let m2 = ops::add_bias(&self.combine_region(mode, &m2_partial), &w.b2);
         let mask_mlp = self.region_mask(DropoutSite::MlpOutput, micro, mode, rows);
         let md = ops::dropout(&m2, &mask_mlp, self.cfg.dropout_p);
         let out = ops::residual_add(&r1, &md);
 
         // Under SP we keep only the local LayerNorm output shards (the
         // paper's trick); otherwise y1/y2 *are* the gathered tensors.
-        let (y1_keep, y2_keep) =
-            if mode.sequence_parallel() { (y_ln1, y_ln2) } else { (y1_full, y2_full) };
+        let (y1_keep, y2_keep) = if mode.sequence_parallel() {
+            (y_ln1, y_ln2)
+        } else {
+            (y1_full.expect("full tensors kept outside SP"), y2_full.expect("full tensors kept"))
+        };
         let state = StoredState {
             micro,
             x: x.clone(),
@@ -420,20 +512,20 @@ impl TransformerLayer {
         let mask_mlp = self.region_mask(DropoutSite::MlpOutput, micro, mode, rows);
         let d_m2 = ops::dropout_backward(dy, &mask_mlp, self.cfg.dropout_p);
         grads.b2 = ops::bias_grad(&d_m2);
-        // ḡ backward: all-gather; f̄ backward: identity.
-        let d_m2_full = mode.exit_parallel_region_bwd(&d_m2);
+        // ḡ backward (all-gather; f̄ backward: identity) fused with the
+        // d_g GEMM; the assembled gradient also feeds the w2 gradient.
         // m2_partial = g_act · w2
-        let d_g = ops::Gemm::NT.apply(&d_m2_full, &w.w2);
-        grads.w2 = ops::Gemm::TN.apply(&st.g_act, &d_m2_full);
+        let (d_g, d_m2_full) = self.gather_gemm(mode, &d_m2, &w.w2, true, true);
+        grads.w2 = ops::Gemm::TN.apply(&st.g_act, &d_m2_full.expect("full grad requested"));
         let d_m1 = ops::gelu_backward(&st.m1, &d_g);
         grads.b1 = ops::bias_grad(&d_m1);
         // m1 = y2_full · w1. Under SP, y2 was kept as a shard: re-gather
         // (the extra all-gather the paper overlaps with the dW computation).
-        let y2_full = mode.enter_parallel_region_fwd(&st.y2);
+        let y2_full = self.regather(mode, &st.y2);
         grads.w1 = ops::Gemm::TN.apply(&y2_full, &d_m1);
         let d_y2_full = ops::Gemm::NT.apply(&d_m1, &w.w1);
         // g backward: reduce-scatter; f backward: all-reduce.
-        let d_y_ln2 = mode.enter_parallel_region_bwd(&d_y2_full);
+        let d_y_ln2 = self.combine_region(mode, &d_y2_full);
         let (d_r1_ln, d_ln2_gamma, d_ln2_beta) =
             ops::layer_norm_backward(&st.r1, &w.ln2_gamma, &st.ln2_saved, &d_y_ln2);
         grads.ln2_gamma = d_ln2_gamma;
@@ -444,20 +536,19 @@ impl TransformerLayer {
         let mask_attn = self.region_mask(DropoutSite::AttentionOutput, micro, mode, rows);
         let d_o = ops::dropout_backward(&d_r1, &mask_attn, self.cfg.dropout_p);
         grads.b_o = ops::bias_grad(&d_o);
-        let d_o_full = mode.exit_parallel_region_bwd(&d_o);
         // o_partial = ctx · w_o
-        let d_ctx = ops::Gemm::NT.apply(&d_o_full, &w.w_o);
-        grads.w_o = ops::Gemm::TN.apply(&st.ctx, &d_o_full);
+        let (d_ctx, d_o_full) = self.gather_gemm(mode, &d_o, &w.w_o, true, true);
+        grads.w_o = ops::Gemm::TN.apply(&st.ctx, &d_o_full.expect("full grad requested"));
         // attention core
         let ap = self.attn_params(mode, micro);
         let attn = st.attn.as_ref().expect("attention state present after recompute");
         let (d_q, d_k, d_v) = attention_backward(&ap, &self.rng, &st.q, &st.k, &st.v, attn, &d_ctx);
         let d_qkv = Tensor::concat_last_axis(&[d_q, d_k, d_v]);
         grads.b_qkv = ops::bias_grad(&d_qkv);
-        let y1_full = mode.enter_parallel_region_fwd(&st.y1);
+        let y1_full = self.regather(mode, &st.y1);
         grads.w_qkv = ops::Gemm::TN.apply(&y1_full, &d_qkv);
         let d_y1_full = ops::Gemm::NT.apply(&d_qkv, &w.w_qkv);
-        let d_y_ln1 = mode.enter_parallel_region_bwd(&d_y1_full);
+        let d_y_ln1 = self.combine_region(mode, &d_y1_full);
         let (d_x_ln, d_ln1_gamma, d_ln1_beta) =
             ops::layer_norm_backward(&st.x, &w.ln1_gamma, &st.ln1_saved, &d_y_ln1);
         grads.ln1_gamma = d_ln1_gamma;
@@ -468,12 +559,12 @@ impl TransformerLayer {
         // sequence shards; sum them so every rank holds exact gradients
         // (Megatron's gradient sync for SP).
         if let (true, Some(comm)) = (mode.sequence_parallel(), mode.comm()) {
-            grads.ln1_gamma = comm.all_reduce(&grads.ln1_gamma);
-            grads.ln1_beta = comm.all_reduce(&grads.ln1_beta);
-            grads.ln2_gamma = comm.all_reduce(&grads.ln2_gamma);
-            grads.ln2_beta = comm.all_reduce(&grads.ln2_beta);
-            grads.b_o = comm.all_reduce(&grads.b_o);
-            grads.b2 = comm.all_reduce(&grads.b2);
+            grads.ln1_gamma = timed_exposed(|| comm.all_reduce(&grads.ln1_gamma));
+            grads.ln1_beta = timed_exposed(|| comm.all_reduce(&grads.ln1_beta));
+            grads.ln2_gamma = timed_exposed(|| comm.all_reduce(&grads.ln2_gamma));
+            grads.ln2_beta = timed_exposed(|| comm.all_reduce(&grads.ln2_beta));
+            grads.b_o = timed_exposed(|| comm.all_reduce(&grads.b_o));
+            grads.b2 = timed_exposed(|| comm.all_reduce(&grads.b2));
         }
         (d_x, grads)
     }

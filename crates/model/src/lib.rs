@@ -52,6 +52,7 @@ pub mod gpt;
 mod layer;
 mod ledger;
 pub mod optim;
+mod overlap;
 pub mod pipeline_exec;
 pub mod recovery;
 pub mod streams;
@@ -63,3 +64,4 @@ pub mod zero;
 pub use config::TransformerConfig;
 pub use layer::{ExecMode, LayerState, StoredState, TransformerLayer};
 pub use ledger::{ActivationLedger, Category};
+pub use overlap::{take_comm_timing, CommTiming, OverlapPolicy};

@@ -1,0 +1,127 @@
+//! Communication-overlap policy for the TP+SP layer, plus the per-thread
+//! ledger of how much collective time a step spent (and how much of it was
+//! exposed on the critical path).
+//!
+//! The paper's sequence-parallel layer leaves the `g`/`ḡ` conjugate
+//! collectives fully exposed: the QKV/MLP GEMM waits for the whole
+//! all-gather. [`OverlapPolicy::Overlapped`] splits those collectives into
+//! `C` chunk sub-rendezvous (`mt-collectives`) and feeds the row-parallel
+//! consumer GEMMs through `mt-kernels`' dependency-aware driver, which
+//! starts a row band as soon as its chunk lands. The overlapped schedule is
+//! **bit-identical** to the exposed one — same work units, same ascending
+//! reduction orders — so the policy is purely a performance knob, exactly
+//! like the kernel backend.
+
+use std::cell::Cell;
+
+/// Whether the TP+SP `g`/`ḡ` regions run exposed or overlapped.
+///
+/// Only sequence-parallel execution is affected: the tensor-parallel
+/// conjugates (`f`/`f̄`) are identity/all-reduce, which have no
+/// row-decomposable consumer. Under `Overlapped { chunks }` every `g`/`ḡ`
+/// collective of the layer is issued as `chunks` sub-rendezvous (so all
+/// ranks agree on the chunking — it is part of the SPMD protocol), and the
+/// four gather-feeds-row-parallel-GEMM sites additionally pipeline compute
+/// into the gaps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverlapPolicy {
+    /// Whole-tensor collectives; every GEMM waits for the full gather.
+    #[default]
+    Exposed,
+    /// Chunked collectives pipelined with their consumer GEMMs.
+    Overlapped {
+        /// Number of sequence-dimension chunks `C ≥ 1` per collective.
+        chunks: usize,
+    },
+}
+
+impl OverlapPolicy {
+    /// Short label for reports (`"exposed"` / `"overlapped"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverlapPolicy::Exposed => "exposed",
+            OverlapPolicy::Overlapped { .. } => "overlapped",
+        }
+    }
+
+    /// The chunk count (1 for [`OverlapPolicy::Exposed`]).
+    pub fn chunks(&self) -> usize {
+        match self {
+            OverlapPolicy::Exposed => 1,
+            OverlapPolicy::Overlapped { chunks } => *chunks,
+        }
+    }
+}
+
+/// Collective time accumulated on this thread since the last
+/// [`take_comm_timing`], in microseconds of the shared process clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommTiming {
+    /// Total time spent inside blocking collectives (including the portion
+    /// hidden under compute by the overlapped driver).
+    pub comm_us: u64,
+    /// The portion of `comm_us` during which no dependent compute ran —
+    /// communication exposed on the critical path. Exposed collectives
+    /// contribute their full duration; overlapped ones only what the
+    /// pipeline failed to hide.
+    pub exposed_us: u64,
+}
+
+thread_local! {
+    static COMM_US: Cell<u64> = const { Cell::new(0) };
+    static EXPOSED_US: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds one collective's timing to this thread's ledger. Layer code calls
+/// this; rank threads harvest with [`take_comm_timing`].
+pub(crate) fn add_comm_time(comm_us: u64, exposed_us: u64) {
+    COMM_US.with(|c| c.set(c.get() + comm_us));
+    EXPOSED_US.with(|c| c.set(c.get() + exposed_us));
+}
+
+/// Runs a blocking (exposed) collective and books its wall time as both
+/// total and exposed comm time.
+pub(crate) fn timed_exposed<T>(f: impl FnOnce() -> T) -> T {
+    let t0 = mt_trace::monotonic_us();
+    let out = f();
+    let dt = mt_trace::monotonic_us().saturating_sub(t0);
+    add_comm_time(dt, dt);
+    out
+}
+
+/// Returns and resets this thread's accumulated collective timing. Each
+/// rank thread's layer calls accumulate into its own ledger, so a step
+/// bench brackets the step with `take_comm_timing()` calls on the rank
+/// thread.
+pub fn take_comm_timing() -> CommTiming {
+    CommTiming {
+        comm_us: COMM_US.with(|c| c.replace(0)),
+        exposed_us: EXPOSED_US.with(|c| c.replace(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_ledger_is_per_thread_and_resets_on_take() {
+        assert_eq!(take_comm_timing(), CommTiming::default());
+        add_comm_time(100, 40);
+        add_comm_time(10, 10);
+        let t = take_comm_timing();
+        assert_eq!(t, CommTiming { comm_us: 110, exposed_us: 50 });
+        assert_eq!(take_comm_timing(), CommTiming::default());
+        let other = std::thread::spawn(take_comm_timing).join().unwrap();
+        assert_eq!(other, CommTiming::default(), "ledger is thread-local");
+    }
+
+    #[test]
+    fn policy_labels_and_chunks() {
+        assert_eq!(OverlapPolicy::default(), OverlapPolicy::Exposed);
+        assert_eq!(OverlapPolicy::Exposed.label(), "exposed");
+        assert_eq!(OverlapPolicy::Overlapped { chunks: 4 }.label(), "overlapped");
+        assert_eq!(OverlapPolicy::Overlapped { chunks: 4 }.chunks(), 4);
+        assert_eq!(OverlapPolicy::Exposed.chunks(), 1);
+    }
+}

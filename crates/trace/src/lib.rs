@@ -27,7 +27,8 @@ mod tracer;
 
 pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{
-    current, install, ArgValue, EventKind, InstalledTracer, SpanGuard, TraceEvent, Tracer,
+    current, install, monotonic_us, ArgValue, EventKind, InstalledTracer, SpanGuard, TraceEvent,
+    Tracer,
 };
 
 /// Exporters for recorded trace events.

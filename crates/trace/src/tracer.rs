@@ -341,6 +341,17 @@ impl Drop for InstalledTracer {
     }
 }
 
+/// Microseconds elapsed since the first call in this process, from a single
+/// shared monotonic origin. Durations computed from two readings are
+/// comparable across threads, which plain per-call `Instant`s would not be.
+/// This is the sanctioned clock for crates whose own use of `Instant` is
+/// denied by the `wall-clock` lint.
+pub fn monotonic_us() -> u64 {
+    use std::sync::OnceLock;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
