@@ -6,8 +6,16 @@
 //!            --kernels-baseline reports/baselines/BENCH_kernels.baseline.json \
 //!            --e2e reports/BENCH_e2e.json \
 //!            --e2e-baseline reports/baselines/BENCH_e2e.baseline.json \
+//!            [--profile reports/PROFILE_e2e.json] \
+//!            [--profile-baseline reports/baselines/PROFILE_e2e.baseline.json] \
 //!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5]
 //! ```
+//!
+//! When the gate fails and both profile documents (from
+//! `e2e_step_bench --profile`) are readable, the failure is annotated with
+//! an `mt-profile` attribution diff: a per-category narrative naming what
+//! regressed (exposed comm? gemm? recompute?), on stdout and in the
+//! `$GITHUB_STEP_SUMMARY`.
 //!
 //! Kernel entries are keyed by `(kernel, kind, m, n, k, backend, threads)`
 //! and fail when `best_ms` regresses past `--max-slowdown` (default ×1.25)
@@ -34,6 +42,8 @@ struct GateArgs {
     kernels_baseline: String,
     e2e: String,
     e2e_baseline: String,
+    profile: String,
+    profile_baseline: String,
     max_slowdown: f64,
     min_gflops_ratio: f64,
     max_step_slowdown: f64,
@@ -45,6 +55,8 @@ fn parse_args() -> GateArgs {
         kernels_baseline: "reports/baselines/BENCH_kernels.baseline.json".to_string(),
         e2e: "reports/BENCH_e2e.json".to_string(),
         e2e_baseline: "reports/baselines/BENCH_e2e.baseline.json".to_string(),
+        profile: "reports/PROFILE_e2e.json".to_string(),
+        profile_baseline: "reports/baselines/PROFILE_e2e.baseline.json".to_string(),
         max_slowdown: 1.25,
         min_gflops_ratio: 0.80,
         max_step_slowdown: 1.5,
@@ -62,6 +74,8 @@ fn parse_args() -> GateArgs {
             "--kernels-baseline" => args.kernels_baseline = value.clone(),
             "--e2e" => args.e2e = value.clone(),
             "--e2e-baseline" => args.e2e_baseline = value.clone(),
+            "--profile" => args.profile = value.clone(),
+            "--profile-baseline" => args.profile_baseline = value.clone(),
             "--max-slowdown" => args.max_slowdown = parse_f64(flag, value),
             "--min-gflops-ratio" => args.min_gflops_ratio = parse_f64(flag, value),
             "--max-step-slowdown" => args.max_step_slowdown = parse_f64(flag, value),
@@ -215,11 +229,25 @@ fn main() {
         }
     }
 
+    // On failure, explain the regression: diff the fresh attribution
+    // profile against the checked-in baseline and name the category that
+    // moved, instead of leaving CI with a bare ratio.
+    let mut diff_text = String::new();
+    if !failures.is_empty() {
+        diff_text = attribution_diff(&args.profile_baseline, &args.profile);
+    }
+
     println!("{table}");
+    if !diff_text.is_empty() {
+        println!("attribution diff (baseline → fresh):\n{diff_text}");
+    }
     if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
         use std::io::Write;
         if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(summary) {
             let _ = writeln!(file, "## bench gate\n\n{table}");
+            if !diff_text.is_empty() {
+                let _ = writeln!(file, "### attribution diff\n\n```\n{diff_text}```");
+            }
         }
     }
     if failures.is_empty() {
@@ -231,6 +259,21 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Per-category profile-diff narrative for the failure path. Missing or
+/// malformed profile files degrade to an explanatory note — the gate has
+/// already failed; this only affects how much context the failure carries.
+fn attribution_diff(baseline_path: &str, fresh_path: &str) -> String {
+    let base = match mt_profile::load_profiles(baseline_path) {
+        Ok(p) => p,
+        Err(e) => return format!("(no baseline attribution profile: {e})\n"),
+    };
+    let fresh = match mt_profile::load_profiles(fresh_path) {
+        Ok(p) => p,
+        Err(e) => return format!("(no fresh attribution profile: {e})\n"),
+    };
+    mt_profile::diff_documents(&base, &fresh)
 }
 
 /// Both directions of key coverage: a benchmark that disappears (or a

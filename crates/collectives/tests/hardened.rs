@@ -213,3 +213,45 @@ fn infallible_wrappers_raise_recoverable_errors() {
     // ...and run_fallible hands it back as the original Timeout.
     assert!(matches!(out[0], Err(CollectiveError::Timeout { .. })), "{:?}", out[0]);
 }
+
+/// Traces from faulted runs stay balanced: a span open on a rank thread
+/// when the rank panics still records its close event (`SpanGuard::drop`
+/// runs during unwinding), annotated `panicked = true`, so chaos-test
+/// traces are complete rather than truncated.
+#[test]
+fn panicking_span_under_run_fallible_keeps_the_trace_balanced() {
+    let tracer = Tracer::enabled();
+    let mut world = World::new(2);
+    world.set_tracer(tracer.clone());
+    world.set_collective_timeout(Duration::from_secs(10));
+    let out = world.run_fallible(|c| {
+        let _step = mt_trace::current().span("step");
+        let _inner = mt_trace::current().span("doomed_region");
+        if c.rank() == 1 {
+            panic!("injected fault under an open span");
+        }
+        Ok(c.rank())
+    });
+    assert!(out[0].is_ok());
+    assert!(matches!(out[1], Err(CollectiveError::RankDead { rank: 1, .. })), "{:?}", out[1]);
+
+    // Balanced: every opened span on every rank closed into exactly one
+    // Complete event — the panicking rank loses nothing.
+    for rank in 0..2u32 {
+        for name in ["step", "doomed_region"] {
+            let matching: Vec<_> =
+                tracer.events().into_iter().filter(|e| e.track == rank && e.name == name).collect();
+            assert_eq!(matching.len(), 1, "rank {rank} span {name:?} must close exactly once");
+            let ev = &matching[0];
+            assert!(
+                matches!(ev.kind, mt_trace::EventKind::Complete { dur_us } if dur_us >= 0.0),
+                "{ev:?}"
+            );
+            let panicked = ev
+                .args
+                .iter()
+                .any(|(k, v)| *k == "panicked" && *v == mt_trace::ArgValue::Bool(true));
+            assert_eq!(panicked, rank == 1, "panic marker on rank {rank} span {name:?}: {ev:?}");
+        }
+    }
+}

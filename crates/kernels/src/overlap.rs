@@ -179,7 +179,7 @@ pub fn gemm_gathered(
 
     let threads = backend.threads();
     let tracer = mt_trace::current();
-    let _span = tracer.span_args("gemm_overlapped", || {
+    let mut span = tracer.span_args("gemm_overlapped", || {
         vec![
             ("kind", ArgValue::from(if transpose_b { "nt" } else { "nn" })),
             ("m", ArgValue::from(m)),
@@ -298,7 +298,14 @@ pub fn gemm_gathered(
     });
 
     let st = ctl.into_inner().unwrap();
-    OverlapReport { comm_us, exposed_us: st.exposed_us.min(comm_us), bands: bands.len() }
+    let report =
+        OverlapReport { comm_us, exposed_us: st.exposed_us.min(comm_us), bands: bands.len() };
+    // Close-time args mirror the exact integers the caller books into its
+    // comm ledger, so profile attribution can cross-check them exactly.
+    span.arg("comm_us", report.comm_us);
+    span.arg("exposed_us", report.exposed_us);
+    drop(span);
+    report
 }
 
 #[cfg(test)]

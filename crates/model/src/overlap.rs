@@ -81,11 +81,21 @@ pub(crate) fn add_comm_time(comm_us: u64, exposed_us: u64) {
 
 /// Runs a blocking (exposed) collective and books its wall time as both
 /// total and exposed comm time.
+///
+/// The call is wrapped in a `comm_exposed` span carrying the **same**
+/// `monotonic_us`-derived integers that go into the [`CommTiming`] ledger
+/// as close-time args (`comm_us`, `exposed_us`), so `mt-profile` can
+/// cross-check its attribution against the ledger with exact integer
+/// equality rather than clock-tolerance comparisons.
 pub(crate) fn timed_exposed<T>(f: impl FnOnce() -> T) -> T {
+    let mut span = mt_trace::current().span("comm_exposed");
     let t0 = mt_trace::monotonic_us();
     let out = f();
     let dt = mt_trace::monotonic_us().saturating_sub(t0);
     add_comm_time(dt, dt);
+    span.arg("comm_us", dt);
+    span.arg("exposed_us", dt);
+    drop(span);
     out
 }
 

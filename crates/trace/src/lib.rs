@@ -25,7 +25,7 @@ mod export_impl;
 mod metrics;
 mod tracer;
 
-pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Histogram, Metric, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS};
 pub use tracer::{
     current, install, monotonic_us, ArgValue, EventKind, InstalledTracer, SpanGuard, TraceEvent,
     Tracer,

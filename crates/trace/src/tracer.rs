@@ -290,14 +290,35 @@ struct OpenSpan {
 
 /// Closes its span when dropped. Returned by [`Tracer::span`]; owns no
 /// lifetime, so it can outlive the `&Tracer` it came from.
+///
+/// The close event is recorded even when the guard drops during panic
+/// unwinding (a rank dying inside `World::run_fallible`), so traces from
+/// faulted runs stay balanced; such spans carry a `panicked = true`
+/// annotation so post-mortem tooling can tell an aborted interval from a
+/// completed one.
 pub struct SpanGuard {
     rec: Option<OpenSpan>,
 }
 
+impl SpanGuard {
+    /// Appends an annotation recorded when the span closes — the complement
+    /// of [`Tracer::span_args`], whose closure runs at open. Use it for
+    /// values only known at the end of the interval (measured durations,
+    /// result sizes). No-op on a disabled tracer's guard.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(open) = self.rec.as_mut() {
+            open.args.push((key, value.into()));
+        }
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(open) = self.rec.take() {
+        if let Some(mut open) = self.rec.take() {
             let end_us = open.shared.now_us();
+            if std::thread::panicking() {
+                open.args.push(("panicked", ArgValue::Bool(true)));
+            }
             open.shared.push(TraceEvent {
                 name: open.name,
                 track: open.track,
@@ -434,6 +455,37 @@ mod tests {
         let _g = install(t);
         let other = std::thread::spawn(|| current().is_enabled()).join().unwrap();
         assert!(!other, "install is thread-local");
+    }
+
+    #[test]
+    fn close_time_args_append_after_open_args() {
+        let t = Tracer::enabled();
+        {
+            let mut s = t.span_args("g", || vec![("open", ArgValue::U64(1))]);
+            s.arg("close", 2u64);
+        }
+        let evs = t.events();
+        assert_eq!(evs[0].args, vec![("open", ArgValue::U64(1)), ("close", ArgValue::U64(2))]);
+        // Disabled guards accept (and drop) close-time args.
+        let mut d = Tracer::disabled().span("g");
+        d.arg("close", 2u64);
+    }
+
+    #[test]
+    fn span_closes_and_is_marked_during_panic_unwinding() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        let joined = std::thread::spawn(move || {
+            let _s = t2.span("doomed");
+            panic!("boom");
+        })
+        .join();
+        assert!(joined.is_err(), "the thread must actually panic");
+        let evs = t.events();
+        assert_eq!(evs.len(), 1, "the unwound span still records its close");
+        assert_eq!(evs[0].name, "doomed");
+        assert!(matches!(evs[0].kind, EventKind::Complete { .. }));
+        assert_eq!(evs[0].args, vec![("panicked", ArgValue::Bool(true))]);
     }
 
     #[test]
