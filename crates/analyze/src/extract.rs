@@ -151,7 +151,11 @@ impl LayerCtx {
                     (rows * self.t * h) as u64,
                 );
             }
-            OverlapPolicy::Overlapped { chunks } => {
+            // `OverlappedRecompute` adds a recompute-prefetch thread, not a
+            // wire change: the replay it hides is collective-free, so its
+            // collective schedule is exactly `Overlapped`'s chunked one.
+            OverlapPolicy::Overlapped { chunks }
+            | OverlapPolicy::OverlappedRecompute { chunks } => {
                 for j in 0..chunks {
                     let (a, b) = chunk_rows(rows, chunks, j);
                     e.collective(
@@ -204,7 +208,8 @@ impl LayerCtx {
                         payload,
                     );
                 }
-                OverlapPolicy::Overlapped { chunks } => {
+                OverlapPolicy::Overlapped { chunks }
+                | OverlapPolicy::OverlappedRecompute { chunks } => {
                     let shard_rows = self.rows();
                     for j in 0..chunks {
                         let (a, b) = chunk_rows(shard_rows, chunks, j);

@@ -19,7 +19,8 @@ use mt_model::gpt::Gpt;
 use mt_model::pipeline_exec::{run_1f1b_iteration, StageModel};
 use mt_model::weights::LayerWeights;
 use mt_model::{
-    ActivationLedger, Category, ExecMode, OverlapPolicy, TransformerConfig, TransformerLayer,
+    ActivationLedger, Category, ExecMode, ExecPolicy, OverlapPolicy, TransformerConfig,
+    TransformerLayer,
 };
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
@@ -41,11 +42,15 @@ fn runtime_layer(
     let full = LayerWeights::init(&cfg, &mut rng);
     let x = Tensor::rand_uniform(&[cfg.tokens(), cfg.hidden], -1.0, 1.0, &mut rng);
     if t == 1 {
-        let layer = TransformerLayer::new(cfg, full, 0, policy, CounterRng::new(3))
-            .with_overlap_policy(overlap);
+        let layer = TransformerLayer::new(cfg, full, 0, policy, CounterRng::new(3));
+        let exec = ExecPolicy::builder()
+            .backend(ExecMode::Serial)
+            .overlap(overlap)
+            .build()
+            .expect("valid overlap policy");
         let mut ledger = ActivationLedger::new();
-        let (y, state) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
-        let _ = layer.backward(&y, state, &ExecMode::Serial);
+        let (y, state) = layer.forward(&x, 0, exec, &mut ledger);
+        let _ = layer.backward(&y, state, exec);
         vec![(ledger, CommStats::new())]
     } else {
         World::run(t, |comm| {
@@ -55,18 +60,22 @@ fn runtime_layer(
                 0,
                 policy,
                 CounterRng::new(3),
-            )
-            .with_overlap_policy(overlap);
+            );
             let mode = if sp {
                 ExecMode::TensorSequenceParallel(&comm)
             } else {
                 ExecMode::TensorParallel(&comm)
             };
+            let exec = ExecPolicy::builder()
+                .backend(mode)
+                .overlap(overlap)
+                .build()
+                .expect("valid overlap policy");
             let x_local =
                 if sp { x.chunk_axis0(t).unwrap()[comm.rank()].clone() } else { x.clone() };
             let mut ledger = ActivationLedger::new();
-            let (y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
-            let _ = layer.backward(&y, state, &mode);
+            let (y, state) = layer.forward(&x_local, 0, exec, &mut ledger);
+            let _ = layer.backward(&y, state, exec);
             (ledger, comm.stats())
         })
     }
@@ -154,21 +163,28 @@ fn layer_static_matches_runtime_across_the_matrix() {
     }
 }
 
-/// Chunked collectives (PR 5's overlap tentpole): for every chunk count —
-/// including ragged partitions and chunks exceeding the shard rows — the
-/// overlapped runtime's collective ledger matches the static program, and
-/// the static matcher proves the chunked schedule deadlock-free. The TP
-/// (non-SP) row checks that `Overlapped` is a no-op outside sequence
-/// parallelism on both sides.
+/// Chunked collectives (PR 5's overlap tentpole) and the recompute-prefetch
+/// policy on top of them: for every chunk count — including ragged
+/// partitions and chunks exceeding the shard rows — the overlapped
+/// runtime's collective ledger matches the static program, and the static
+/// matcher proves the chunked schedule deadlock-free. `OverlappedRecompute`
+/// runs the same matrix: its prefetched replay is collective-free, so the
+/// interleaved backward+recompute schedule must agree with the static
+/// program tag for tag (the split backward halves preserve the collective
+/// order) and leave the liveness proof intact. The TP (non-SP) rows check
+/// that both policies are wire no-ops outside sequence parallelism.
 #[test]
 fn overlapped_layer_static_matches_runtime_across_chunk_counts() {
     let cfg = TransformerConfig::tiny();
     for chunks in [1usize, 2, 3, 7] {
-        let overlap = OverlapPolicy::Overlapped { chunks };
-        for policy in POLICIES {
-            assert_layer_agreement_overlap(cfg, 2, true, policy, overlap);
+        for overlap in
+            [OverlapPolicy::Overlapped { chunks }, OverlapPolicy::OverlappedRecompute { chunks }]
+        {
+            for policy in POLICIES {
+                assert_layer_agreement_overlap(cfg, 2, true, policy, overlap);
+            }
+            assert_layer_agreement_overlap(cfg, 2, false, Recompute::None, overlap);
         }
-        assert_layer_agreement_overlap(cfg, 2, false, Recompute::None, overlap);
     }
 }
 
@@ -182,7 +198,9 @@ fn overlapped_layer_static_matches_runtime_across_chunk_counts() {
 fn dropped_chunk_deadlocks_statically_and_times_out_at_runtime() {
     let cfg = TransformerConfig::tiny();
     let chunks = 4usize;
-    let overlap = OverlapPolicy::Overlapped { chunks };
+    // The recompute-prefetch variant shares the chunked wire schedule, so
+    // the deadlock proof covers it too.
+    let overlap = OverlapPolicy::OverlappedRecompute { chunks };
     let mut prog = layer_forward_program(&cfg, 2, true, Recompute::None, overlap);
     assert_eq!(check_schedule(&prog), Ok(()), "intact chunked program is deadlock-free");
     let ops = &mut prog.ranks[1].ops;

@@ -42,8 +42,8 @@ fn layer_forward_backward(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut ledger = ActivationLedger::new();
-                let (y, st) = layer.forward(black_box(&x), 0, &ExecMode::Serial, &mut ledger);
-                let (dx, grads) = layer.backward(black_box(&dy), st, &ExecMode::Serial);
+                let (y, st) = layer.forward(black_box(&x), 0, ExecMode::Serial, &mut ledger);
+                let (dx, grads) = layer.backward(black_box(&dy), st, ExecMode::Serial);
                 black_box((y, dx, grads))
             })
         });
@@ -85,8 +85,8 @@ fn layer_tensor_parallel(c: &mut Criterion) {
                         (x.clone(), dy.clone())
                     };
                     let mut ledger = ActivationLedger::new();
-                    let (_, st) = layer.forward(&x_local, 0, &mode, &mut ledger);
-                    layer.backward(&dy_local, st, &mode).0
+                    let (_, st) = layer.forward(&x_local, 0, mode, &mut ledger);
+                    layer.backward(&dy_local, st, mode).0
                 });
                 black_box(out)
             })
@@ -130,7 +130,7 @@ fn gpt_training_step(c: &mut Criterion) {
                     black_box(&tokens),
                     black_box(&targets),
                     0,
-                    &ExecMode::Serial,
+                    ExecMode::Serial,
                     &mut ledger,
                 );
                 adam.update(gpt.param_tensors_mut(), &grads.tensors());

@@ -8,27 +8,35 @@
 //! With `--profile`, each config's best rep is traced and profiled with
 //! `mt-profile`: the step-time attribution, cross-rank critical path, and
 //! latency histograms land in `reports/PROFILE_e2e.json`, and the run
-//! asserts the three-way exposed-comm identity — profiled span args ==
-//! `CommTiming` ledger == the `exposed_comm_ms` written to
+//! asserts the three-way identities — profiled span args == `StepTiming`
+//! ledger == the `exposed_comm_ms` / `exposed_recompute_ms` written to
 //! `reports/BENCH_e2e.json` — exactly.
 //!
-//! Runs one TP+SP transformer layer (forward + backward) on a 2-rank
-//! [`World`] with a simulated interconnect ([`World::set_link_cost`]: every
-//! collective sleeps its α–β ring time, concurrently on all ranks, exactly
-//! as a DMA engine would occupy the wire) and measures, per policy:
+//! Runs one TP+SP transformer layer (forward + backward with selective
+//! recompute) on a 2-rank [`World`] with a simulated interconnect
+//! ([`World::set_link_cost`]: every collective sleeps its α–β ring time,
+//! concurrently on all ranks, exactly as a DMA engine would occupy the
+//! wire) and measures, per policy:
 //!
 //! * `step_ms` — best-of-N wall time for the whole step,
 //! * `comm_ms` — time spent inside collectives (hidden or not),
 //! * `exposed_comm_ms` — the portion no dependent compute could cover; the
-//!   quantity the paper's §4.2.2 overlap is meant to shrink.
+//!   quantity the paper's §4.2.2 overlap is meant to shrink,
+//! * `recompute_ms` — time spent replaying checkpointed activations,
+//! * `exposed_recompute_ms` — the replay time serialized into the backward
+//!   (inline replays, or the join wait the covering GEMMs failed to hide).
 //!
-//! Configs: `exposed` (whole-tensor collectives) vs `overlapped` at C = 2
-//! and C = 4 chunks. Before timing, the harness asserts the three configs
-//! produce **bit-identical** outputs and input gradients — the overlap is a
-//! pure scheduling change. The link is sized so compute and communication
-//! are the same order of magnitude; on any machine with a few cores the
+//! Configs: `exposed` (whole-tensor collectives, inline recompute) vs
+//! `overlapped` comm at C = 2 and C = 4 chunks vs `overlapped_recompute`
+//! (chunked comm **plus** the recompute-prefetch driver) at the same chunk
+//! counts. Before timing, the harness asserts all five configs produce
+//! **bit-identical** outputs and input gradients — both overlaps are pure
+//! scheduling changes. The link is sized so compute and communication are
+//! the same order of magnitude; on any machine with a few cores the
 //! overlapped exposed-comm time must come out strictly below the exposed
-//! policy's, which `bench_gate` enforces against the checked-in baseline.
+//! policy's — and the prefetched exposed-recompute time strictly below the
+//! inline replay's — which `bench_gate` enforces against the checked-in
+//! baseline.
 
 use mt_collectives::cost::CommCostModel;
 use mt_collectives::World;
@@ -36,18 +44,20 @@ use mt_kernels::{set_default_backend, Backend};
 use mt_memory::Recompute;
 use mt_model::weights::LayerWeights;
 use mt_model::{
-    take_comm_timing, ActivationLedger, CommTiming, ExecMode, OverlapPolicy, TransformerConfig,
-    TransformerLayer,
+    take_step_timing, ActivationLedger, ExecMode, ExecPolicy, OverlapPolicy, StepTiming,
+    TransformerConfig, TransformerLayer,
 };
 use mt_perf::GpuSpec;
-use mt_profile::{analyze, AnalyzeOptions, ProfileDocument, ProfileReport};
+use mt_profile::{analyze, AnalyzeOptions, ExpectedTiming, ProfileDocument, ProfileReport};
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
 use mt_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 1;
+/// v2: adds the `overlapped_recompute` configs and the per-config
+/// `recompute_ms` / `exposed_recompute_ms` columns.
+const SCHEMA_VERSION: u64 = 2;
 const T: usize = 2;
 
 struct Entry {
@@ -58,18 +68,22 @@ struct Entry {
     step_ms: f64,
     comm_ms: f64,
     exposed_comm_ms: f64,
+    recompute_ms: f64,
+    exposed_recompute_ms: f64,
 }
 
-/// One measured config: best-of-`reps` step time plus the comm ledger of
+/// One measured config: best-of-`reps` step time plus the step ledger of
 /// the best rep (max over ranks — the critical path), and the output bits
 /// for the cross-config identity check.
 struct Measured {
     step_ms: f64,
     comm_ms: f64,
     exposed_comm_ms: f64,
+    recompute_ms: f64,
+    exposed_recompute_ms: f64,
     bits: Vec<Vec<u32>>,
-    /// Per-rank `CommTiming` of the selected rep (for `--profile`).
-    timings: Vec<CommTiming>,
+    /// Per-rank `StepTiming` of the selected rep (for `--profile`).
+    timings: Vec<StepTiming>,
     /// Trace of the selected rep; empty unless `--profile`.
     events: Vec<TraceEvent>,
 }
@@ -102,39 +116,50 @@ fn run_config(
                 0,
                 Recompute::Selective,
                 CounterRng::new(5),
-            )
-            .with_overlap_policy(overlap);
-            let mode = ExecMode::TensorSequenceParallel(&comm);
+            );
+            let policy = ExecPolicy::builder()
+                .backend(ExecMode::TensorSequenceParallel(&comm))
+                .overlap(overlap)
+                .build()
+                .expect("valid overlap policy");
             let x_local = x.chunk_axis0(T).unwrap()[comm.rank()].clone();
             let dy_local = dy.chunk_axis0(T).unwrap()[comm.rank()].clone();
-            let _ = take_comm_timing(); // reset this rank thread's ledger
+            let _ = take_step_timing(); // reset this rank thread's ledger
             let t0 = Instant::now();
             let mut ledger = ActivationLedger::new();
-            let (y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
-            let (dx, _grads) = layer.backward(&dy_local, state, &mode);
+            let (y, state) = layer.forward(&x_local, 0, policy, &mut ledger);
+            let (dx, _grads) = layer.backward(&dy_local, state, policy);
             let step_us = t0.elapsed().as_secs_f64() * 1e6;
-            let timing = take_comm_timing();
+            let timing = take_step_timing();
             let bits: Vec<u32> =
                 y.data().iter().chain(dx.data().iter()).map(|v| v.to_bits()).collect();
             Ok((step_us, timing, bits))
         });
         let per_rank: Vec<_> =
             per_rank.into_iter().map(|r| r.expect("bench step failed")).collect();
+        let max_ms = |f: &dyn Fn(&StepTiming) -> u64| {
+            per_rank.iter().map(|(_, t, _)| f(t) as f64).fold(0.0, f64::max) / 1e3
+        };
         let step_ms = per_rank.iter().map(|(us, _, _)| *us).fold(0.0, f64::max) / 1e3;
-        let comm_ms = per_rank.iter().map(|(_, t, _)| t.comm_us as f64).fold(0.0, f64::max) / 1e3;
-        let exposed_ms =
-            per_rank.iter().map(|(_, t, _)| t.exposed_us as f64).fold(0.0, f64::max) / 1e3;
-        let timings: Vec<CommTiming> = per_rank.iter().map(|(_, t, _)| *t).collect();
+        let comm_ms = max_ms(&|t| t.comm_us);
+        let exposed_ms = max_ms(&|t| t.exposed_us);
+        let recompute_ms = max_ms(&|t| t.recompute_us);
+        let exposed_recompute_ms = max_ms(&|t| t.exposed_recompute_us);
+        let timings: Vec<StepTiming> = per_rank.iter().map(|(_, t, _)| *t).collect();
         let bits: Vec<Vec<u32>> = per_rank.into_iter().map(|(_, _, b)| b).collect();
-        // Select by the gated metric: the benchmark reports the best
-        // exposure the schedule achieved, not the exposure of the rep that
-        // happened to have the fastest wall clock (scheduler noise on an
-        // oversubscribed host makes those different reps).
-        if best.as_ref().is_none_or(|b| exposed_ms < b.exposed_comm_ms) {
+        // Select by the gated metric — total exposure (comm + recompute):
+        // the benchmark reports the best exposure the schedule achieved,
+        // not the exposure of the rep that happened to have the fastest
+        // wall clock (scheduler noise on an oversubscribed host makes
+        // those different reps).
+        let exposure = exposed_ms + exposed_recompute_ms;
+        if best.as_ref().is_none_or(|b| exposure < b.exposed_comm_ms + b.exposed_recompute_ms) {
             best = Some(Measured {
                 step_ms,
                 comm_ms,
                 exposed_comm_ms: exposed_ms,
+                recompute_ms,
+                exposed_recompute_ms,
                 bits,
                 timings,
                 events: tracer.map(|t| t.events()).unwrap_or_default(),
@@ -209,10 +234,12 @@ fn main() {
         link.beta_bytes_per_s,
     );
 
-    let configs: [(&'static str, OverlapPolicy); 3] = [
+    let configs: [(&'static str, OverlapPolicy); 5] = [
         ("exposed", OverlapPolicy::Exposed),
         ("overlapped", OverlapPolicy::Overlapped { chunks: 2 }),
         ("overlapped", OverlapPolicy::Overlapped { chunks: 4 }),
+        ("overlapped_recompute", OverlapPolicy::OverlappedRecompute { chunks: 2 }),
+        ("overlapped_recompute", OverlapPolicy::OverlappedRecompute { chunks: 4 }),
     ];
     let mut entries: Vec<Entry> = Vec::new();
     let mut reference_bits: Option<Vec<Vec<u32>>> = None;
@@ -229,12 +256,15 @@ fn main() {
             ),
         }
         println!(
-            "  {:<10} C={} step {:>9.3} ms  comm {:>9.3} ms  exposed {:>9.3} ms",
+            "  {:<20} C={} step {:>9.3} ms  comm {:>9.3} ms  exposed {:>9.3} ms  \
+             recompute {:>9.3} ms  exposed recompute {:>9.3} ms",
             label,
             overlap.chunks(),
             m.step_ms,
             m.comm_ms,
-            m.exposed_comm_ms
+            m.exposed_comm_ms,
+            m.recompute_ms,
+            m.exposed_recompute_ms
         );
         entries.push(Entry {
             policy: label,
@@ -244,17 +274,23 @@ fn main() {
             step_ms: m.step_ms,
             comm_ms: m.comm_ms,
             exposed_comm_ms: m.exposed_comm_ms,
+            recompute_ms: m.recompute_ms,
+            exposed_recompute_ms: m.exposed_recompute_ms,
         });
 
         if profile {
             // Profile the exact rep the benchmark reports: the analysis
             // enforces attribution==wall, ledger equality, and the
             // critical-path telescope; on top, assert the three-way
-            // exposed-comm identity — trace span args == CommTiming ledger
-            // == the exposed_comm_ms written to BENCH_e2e.json.
+            // identities — trace span args == StepTiming ledger == the
+            // exposed_comm_ms / exposed_recompute_ms written to
+            // BENCH_e2e.json.
             let profile_label = match overlap {
                 OverlapPolicy::Exposed => "exposed".to_string(),
                 OverlapPolicy::Overlapped { chunks } => format!("overlapped_c{chunks}"),
+                OverlapPolicy::OverlappedRecompute { chunks } => {
+                    format!("overlapped_recompute_c{chunks}")
+                }
             };
             let opts = AnalyzeOptions {
                 label: profile_label.clone(),
@@ -265,7 +301,17 @@ fn main() {
                     .timings
                     .iter()
                     .enumerate()
-                    .map(|(rank, t)| (rank as u32, (t.comm_us, t.exposed_us)))
+                    .map(|(rank, t)| {
+                        (
+                            rank as u32,
+                            ExpectedTiming {
+                                comm_us: t.comm_us,
+                                exposed_us: t.exposed_us,
+                                recompute_us: t.recompute_us,
+                                exposed_recompute_us: t.exposed_recompute_us,
+                            },
+                        )
+                    })
                     .collect(),
             };
             let report = analyze(&m.events, &opts).expect("profile analysis of the best rep");
@@ -279,8 +325,38 @@ fn main() {
                 m.comm_ms,
                 "{profile_label}: profiled total comm must equal the benched comm_ms"
             );
+            assert_eq!(
+                report.max_wrapped_recompute_us() as f64 / 1e3,
+                m.recompute_ms,
+                "{profile_label}: profiled recompute must equal the benched recompute_ms"
+            );
+            assert_eq!(
+                report.max_wrapped_exposed_recompute_us() as f64 / 1e3,
+                m.exposed_recompute_ms,
+                "{profile_label}: profiled exposed recompute must equal the benched \
+                 exposed_recompute_ms"
+            );
             profiles.insert(profile_label, report);
         }
+    }
+
+    // The tentpole's win condition: prefetching the replay under the
+    // backward GEMMs must leave strictly less recompute exposed than
+    // running it inline, config for config.
+    let inline_exposed = entries
+        .iter()
+        .find(|e| e.policy == "exposed")
+        .expect("exposed config present")
+        .exposed_recompute_ms;
+    for e in entries.iter().filter(|e| e.policy == "overlapped_recompute") {
+        assert!(
+            e.exposed_recompute_ms < inline_exposed,
+            "overlapped_recompute C={} exposes {:.3} ms of recompute, not below the inline \
+             replay's {:.3} ms",
+            e.chunks,
+            e.exposed_recompute_ms,
+            inline_exposed
+        );
     }
 
     let result_values: Vec<serde_json::Value> = entries
@@ -294,6 +370,8 @@ fn main() {
                 "step_ms": e.step_ms,
                 "comm_ms": e.comm_ms,
                 "exposed_comm_ms": e.exposed_comm_ms,
+                "recompute_ms": e.recompute_ms,
+                "exposed_recompute_ms": e.exposed_recompute_ms,
             })
         })
         .collect();

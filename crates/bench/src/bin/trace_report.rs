@@ -149,7 +149,7 @@ fn main() {
         let mode = ExecMode::TensorSequenceParallel(&comm);
         let x_local = x.chunk_axis0(TP).unwrap()[comm.rank()].clone();
         let mut ledger = ActivationLedger::new();
-        let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
+        let _ = layer.forward(&x_local, 0, mode, &mut ledger);
         ledger
     });
     let analytical_layer =

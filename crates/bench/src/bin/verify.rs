@@ -48,7 +48,7 @@ fn serial_loss(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> f32 {
     for (mb, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
         loss +=
-            gpt.loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger).0 as f64;
+            gpt.loss_and_grads(tokens, targets, mb as u64, ExecMode::Serial, &mut ledger).0 as f64;
     }
     (loss / n as f64) as f32
 }
@@ -78,7 +78,7 @@ fn main() -> ExitCode {
                         tokens,
                         targets,
                         mb as u64,
-                        &ExecMode::TensorParallel(&comm),
+                        ExecMode::TensorParallel(&comm),
                         &mut ledger,
                     )
                     .0 as f64;
@@ -103,13 +103,13 @@ fn main() -> ExitCode {
                     &d[0].0,
                     &d[0].1,
                     0,
-                    &ExecMode::TensorSequenceParallel(&comm),
+                    ExecMode::TensorSequenceParallel(&comm),
                     &mut ledger,
                 )
                 .0
         });
         let mut ledger = ActivationLedger::new();
-        let serial0 = gpt.loss_and_grads(&d[0].0, &d[0].1, 0, &ExecMode::Serial, &mut ledger).0;
+        let serial0 = gpt.loss_and_grads(&d[0].0, &d[0].1, 0, ExecMode::Serial, &mut ledger).0;
         let dev = losses.iter().map(|l| (l - serial0).abs()).fold(0.0_f32, f32::max);
         checks.push(Check {
             name: "tensor+sequence parallel (t=4, selective) == serial",
@@ -128,8 +128,8 @@ fn main() -> ExitCode {
             .map(|p| {
                 let layer = mt_model::TransformerLayer::new(c, w.clone(), 0, p, CounterRng::new(5));
                 let mut ledger = ActivationLedger::new();
-                let (y, st) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
-                let (dx, _) = layer.backward(&y, st, &ExecMode::Serial);
+                let (y, st) = layer.forward(&x, 0, ExecMode::Serial, &mut ledger);
+                let (dx, _) = layer.backward(&y, st, ExecMode::Serial);
                 dx
             })
             .collect();
@@ -155,7 +155,7 @@ fn main() -> ExitCode {
                 CounterRng::new(5),
             );
             let mut ledger = ActivationLedger::new();
-            let _ = layer.forward(&x, 0, &ExecMode::TensorParallel(&comm), &mut ledger);
+            let _ = layer.forward(&x, 0, ExecMode::TensorParallel(&comm), &mut ledger);
             ledger.paper_bytes()
         })[0];
         let analytical = ActivationMemoryModel::new(c.to_shape(), c.micro_batch as u64, 4)
@@ -189,7 +189,7 @@ fn main() -> ExitCode {
                 let x_local =
                     if sp { x.chunk_axis0(4).unwrap()[comm.rank()].clone() } else { x.clone() };
                 let mut ledger = ActivationLedger::new();
-                let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
+                let _ = layer.forward(&x_local, 0, mode, &mut ledger);
                 let s = comm.stats();
                 s.kind(CollectiveKind::AllReduce).wire_bytes
                     + s.kind(CollectiveKind::AllGather).wire_bytes

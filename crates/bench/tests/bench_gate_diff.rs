@@ -9,21 +9,23 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// A minimal valid profile: one gemm span then one all-reduce of the given
-/// length — so a fresh-vs-base pair with a longer all-reduce diffs to an
-/// `exposed_comm` regression.
-fn synthetic_profile(label: &str, comm_us: f64) -> ProfileReport {
+/// A minimal valid profile: one gemm span, one all-reduce, and one inline
+/// recompute replay of the given lengths — so a fresh-vs-base pair with a
+/// longer all-reduce diffs to an `exposed_comm` regression and one with a
+/// longer replay to an `exposed_recompute` regression.
+fn synthetic_profile(label: &str, comm_us: f64, recompute_us: f64) -> ProfileReport {
     let t = Tracer::enabled();
     t.complete_at("kernel_gemm", 0, 0.0, 40.0, Vec::new());
     t.complete_at("all_reduce", 0, 40.0, comm_us, Vec::new());
+    t.complete_at("recompute_layer", 0, 100.0, recompute_us, Vec::new());
     analyze(&t.events(), &AnalyzeOptions { label: label.to_string(), ..Default::default() })
         .expect("synthetic profile analyzes")
 }
 
-fn write_profile_doc(path: &Path, label: &str, comm_us: f64) {
+fn write_profile_doc(path: &Path, label: &str, comm_us: f64, recompute_us: f64) {
     let doc = ProfileDocument::new(BTreeMap::from([(
         label.to_string(),
-        synthetic_profile(label, comm_us),
+        synthetic_profile(label, comm_us, recompute_us),
     )]));
     std::fs::write(path, doc.to_json()).expect("write profile doc");
 }
@@ -36,15 +38,22 @@ fn kernels_doc(best_ms: f64) -> String {
     )
 }
 
-/// One e2e document. The overlap invariant (overlapped exposes less than
-/// exposed) holds in both, so only the step-time ratio can trip the gate.
+/// One e2e document. The overlap invariants (overlapped exposes less comm
+/// than exposed; overlapped_recompute exposes less recompute than the
+/// inline replay) hold in both, so only the step-time ratio can trip the
+/// gate.
 fn e2e_doc(exposed_step_ms: f64) -> String {
     format!(
         r#"{{"results": [
             {{"policy": "exposed", "chunks": 1, "threads": 4,
-              "step_ms": {exposed_step_ms}, "comm_ms": 50.0, "exposed_comm_ms": 50.0}},
+              "step_ms": {exposed_step_ms}, "comm_ms": 50.0, "exposed_comm_ms": 50.0,
+              "recompute_ms": 30.0, "exposed_recompute_ms": 30.0}},
             {{"policy": "overlapped", "chunks": 2, "threads": 4,
-              "step_ms": 90.0, "comm_ms": 55.0, "exposed_comm_ms": 40.0}}
+              "step_ms": 90.0, "comm_ms": 55.0, "exposed_comm_ms": 40.0,
+              "recompute_ms": 30.0, "exposed_recompute_ms": 30.0}},
+            {{"policy": "overlapped_recompute", "chunks": 2, "threads": 4,
+              "step_ms": 85.0, "comm_ms": 55.0, "exposed_comm_ms": 40.0,
+              "recompute_ms": 30.0, "exposed_recompute_ms": 5.0}}
         ]}}"#
     )
 }
@@ -78,17 +87,22 @@ impl Drop for Fixture {
     }
 }
 
-fn run_gate(fx: &Fixture, fresh_step_ms: f64) -> (std::process::Output, String) {
+/// `(base, fresh)` (comm_us, recompute_us) pairs for the profile fixtures:
+/// which category the fresh profile regresses decides what the diff names.
+fn run_gate(
+    fx: &Fixture,
+    fresh_step_ms: f64,
+    base_profile: (f64, f64),
+    fresh_profile: (f64, f64),
+) -> (std::process::Output, String) {
     let kernels = fx.write("kernels.json", &kernels_doc(1.0));
     let kernels_base = fx.write("kernels_base.json", &kernels_doc(1.0));
     let e2e = fx.write("e2e.json", &e2e_doc(fresh_step_ms));
     let e2e_base = fx.write("e2e_base.json", &e2e_doc(100.0));
     let profile = fx.path("profile.json");
     let profile_base = fx.path("profile_base.json");
-    write_profile_doc(&profile_base, "exposed", 10.0);
-    // The fresh profile's all-reduce is much longer: the diff must pin the
-    // regression on exposed_comm.
-    write_profile_doc(&profile, "exposed", 35.0);
+    write_profile_doc(&profile_base, "exposed", base_profile.0, base_profile.1);
+    write_profile_doc(&profile, "exposed", fresh_profile.0, fresh_profile.1);
     let summary = fx.path("summary.md");
     let output = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
         .args([
@@ -115,8 +129,10 @@ fn run_gate(fx: &Fixture, fresh_step_ms: f64) -> (std::process::Output, String) 
 #[test]
 fn forced_regression_fails_with_an_attribution_narrative() {
     let fx = Fixture::new("regress");
-    // ×2.0 step slowdown on the exposed config: past the ×1.5 gate.
-    let (output, summary) = run_gate(&fx, 200.0);
+    // ×2.0 step slowdown on the exposed config: past the ×1.5 gate. The
+    // fresh profile's all-reduce is much longer: the diff must pin the
+    // regression on exposed_comm.
+    let (output, summary) = run_gate(&fx, 200.0, (10.0, 5.0), (35.0, 5.0));
     let stdout = String::from_utf8_lossy(&output.stdout);
     let stderr = String::from_utf8_lossy(&output.stderr);
 
@@ -135,9 +151,29 @@ fn forced_regression_fails_with_an_attribution_narrative() {
 }
 
 #[test]
+fn forced_recompute_regression_names_exposed_recompute() {
+    let fx = Fixture::new("recompute");
+    // Same ×2.0 step slowdown, but this time the fresh profile's inline
+    // replay is what grew: the narrative must name exposed_recompute.
+    let (output, summary) = run_gate(&fx, 200.0, (10.0, 5.0), (10.0, 40.0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    assert_eq!(output.status.code(), Some(1), "gate must fail\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("largest regression: exposed_recompute"),
+        "diff must name the regressed recompute category:\n{stdout}"
+    );
+    assert!(
+        summary.contains("largest regression: exposed_recompute"),
+        "GITHUB_STEP_SUMMARY must carry the recompute narrative too:\n{summary}"
+    );
+}
+
+#[test]
 fn healthy_run_passes_without_a_diff() {
     let fx = Fixture::new("healthy");
-    let (output, summary) = run_gate(&fx, 100.0);
+    let (output, summary) = run_gate(&fx, 100.0, (10.0, 5.0), (10.0, 5.0));
     let stdout = String::from_utf8_lossy(&output.stdout);
 
     assert_eq!(output.status.code(), Some(0), "gate must pass\n{stdout}");

@@ -1,15 +1,20 @@
 //! The overlap tentpole's bit-identity contract, end to end: a TP+SP
 //! transformer layer run with `OverlapPolicy::Overlapped` (chunked gathers
-//! pipelined into the band driver) produces outputs, input gradients, and
-//! weight gradients **bit-identical** to the exposed policy — on the serial
-//! backend, and on the threaded backend at any thread count.
+//! pipelined into the band driver) or `OverlapPolicy::OverlappedRecompute`
+//! (the same chunked wire schedule plus a recompute-prefetch thread hiding
+//! the checkpoint replay under backward GEMMs) produces outputs, input
+//! gradients, and weight gradients **bit-identical** to the exposed policy
+//! — on the serial backend, and on the threaded backend at any thread
+//! count.
 //!
 //! This holds because every band is a fixed `TILE_M`-row work unit with an
 //! ascending-`k` reduction, chunking only re-partitions *which* bands start
-//! when, and the chunked collectives reduce in the same ascending-rank
-//! order as their whole-tensor forms. The test drives ragged `(seq, batch,
-//! hidden)` shapes so chunk boundaries fall mid-band, chunk counts exceed
-//! shard rows (empty chunks), and dropout masks are exercised.
+//! when, the chunked collectives reduce in the same ascending-rank order as
+//! their whole-tensor forms, and the prefetched replay runs the exact same
+//! work units as the inline one — just on a helper thread. The test drives
+//! ragged `(seq, batch, hidden)` shapes so chunk boundaries fall mid-band,
+//! chunk counts exceed shard rows (empty chunks), and dropout masks are
+//! exercised.
 //!
 //! Kept as the only test in this binary: it flips the process-wide default
 //! backend, which would race with any sibling test.
@@ -18,7 +23,9 @@ use mt_collectives::World;
 use mt_kernels::{set_default_backend, Backend};
 use mt_memory::Recompute;
 use mt_model::weights::LayerWeights;
-use mt_model::{ActivationLedger, ExecMode, OverlapPolicy, TransformerConfig, TransformerLayer};
+use mt_model::{
+    ActivationLedger, ExecMode, ExecPolicy, OverlapPolicy, TransformerConfig, TransformerLayer,
+};
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
 use proptest::prelude::*;
@@ -44,14 +51,15 @@ fn run_step(
             0,
             Recompute::Selective,
             CounterRng::new(5),
-        )
-        .with_overlap_policy(overlap);
+        );
         let mode = ExecMode::TensorSequenceParallel(&comm);
+        let policy =
+            ExecPolicy::builder().backend(mode).overlap(overlap).build().expect("valid policy");
         let x_local = x.chunk_axis0(T).unwrap()[comm.rank()].clone();
         let dy_local = dy.chunk_axis0(T).unwrap()[comm.rank()].clone();
         let mut ledger = ActivationLedger::new();
-        let (y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
-        let (dx, grads) = layer.backward(&dy_local, state, &mode);
+        let (y, state) = layer.forward(&x_local, 0, policy, &mut ledger);
+        let (dx, grads) = layer.backward(&dy_local, state, policy);
         let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
         (bits(&y), bits(&dx), grads)
     })
@@ -77,34 +85,47 @@ proptest! {
             dropout_p: 0.1,
             causal: true,
         };
-        let overlapped = OverlapPolicy::Overlapped { chunks };
         let reference = run_step(cfg, OverlapPolicy::Exposed, Backend::Serial);
         let threaded_exposed =
             run_step(cfg, OverlapPolicy::Exposed, Backend::Threaded { threads });
-        let threaded_overlapped =
-            run_step(cfg, overlapped, Backend::Threaded { threads });
-        let serial_overlapped = run_step(cfg, overlapped, Backend::Serial);
-        for (label, other) in [
-            ("threaded exposed", &threaded_exposed),
-            ("threaded overlapped", &threaded_overlapped),
-            ("serial overlapped", &serial_overlapped),
+        for rank in 0..T {
+            prop_assert_eq!(
+                &reference[rank].0, &threaded_exposed[rank].0,
+                "rank {} output bits differ: threaded exposed (threads={})", rank, threads
+            );
+            prop_assert_eq!(
+                &reference[rank].1, &threaded_exposed[rank].1,
+                "rank {} input-grad bits differ: threaded exposed (threads={})", rank, threads
+            );
+            prop_assert_eq!(
+                &reference[rank].2, &threaded_exposed[rank].2,
+                "rank {} weight grads differ: threaded exposed (threads={})", rank, threads
+            );
+        }
+        for overlap in [
+            OverlapPolicy::Overlapped { chunks },
+            OverlapPolicy::OverlappedRecompute { chunks },
         ] {
-            for rank in 0..T {
-                prop_assert_eq!(
-                    &reference[rank].0, &other[rank].0,
-                    "rank {} output bits differ: {} (chunks={}, threads={})",
-                    rank, label, chunks, threads
-                );
-                prop_assert_eq!(
-                    &reference[rank].1, &other[rank].1,
-                    "rank {} input-grad bits differ: {} (chunks={}, threads={})",
-                    rank, label, chunks, threads
-                );
-                prop_assert_eq!(
-                    &reference[rank].2, &other[rank].2,
-                    "rank {} weight grads differ: {} (chunks={}, threads={})",
-                    rank, label, chunks, threads
-                );
+            let threaded = run_step(cfg, overlap, Backend::Threaded { threads });
+            let serial = run_step(cfg, overlap, Backend::Serial);
+            for (label, other) in [("threaded", &threaded), ("serial", &serial)] {
+                for rank in 0..T {
+                    prop_assert_eq!(
+                        &reference[rank].0, &other[rank].0,
+                        "rank {} output bits differ: {} {} (chunks={}, threads={})",
+                        rank, label, overlap.label(), chunks, threads
+                    );
+                    prop_assert_eq!(
+                        &reference[rank].1, &other[rank].1,
+                        "rank {} input-grad bits differ: {} {} (chunks={}, threads={})",
+                        rank, label, overlap.label(), chunks, threads
+                    );
+                    prop_assert_eq!(
+                        &reference[rank].2, &other[rank].2,
+                        "rank {} weight grads differ: {} {} (chunks={}, threads={})",
+                        rank, label, overlap.label(), chunks, threads
+                    );
+                }
             }
         }
     }

@@ -12,10 +12,12 @@
 //! are still placed on the activation ledger.
 
 use crate::config::TransformerConfig;
-use crate::layer::{ExecMode, TransformerLayer};
+use crate::layer::{ExecMode, LayerState, TransformerLayer};
 use crate::ledger::{ActivationLedger, Category};
+use crate::policy::ExecPolicy;
 use crate::streams::{element_offset, stream_id, DropoutSite};
 use crate::weights::{EmbeddingWeights, LayerGrads, LayerWeights};
+use mt_kernels::overlap::recompute_prefetch;
 use mt_memory::Recompute;
 use mt_tensor::ops;
 use mt_tensor::rng::{CounterRng, SplitMix64};
@@ -221,18 +223,29 @@ impl Gpt {
     /// order (`row = seq_index · b + batch_index`); every rank passes the
     /// full arrays. Saved activations land on `ledger`.
     ///
+    /// `policy` accepts anything convertible into an [`ExecPolicy`]; a bare
+    /// [`ExecMode`] inherits each layer's stored recompute/overlap
+    /// defaults. Under [`crate::OverlapPolicy::OverlappedRecompute`] in
+    /// serial mode, a fully-checkpointed layer `k`'s replay is prefetched
+    /// on a helper thread while layer `k+1`'s backward runs (the Chen et
+    /// al. cross-layer hiding) — parallel modes replay inline, because the
+    /// replay issues collectives there and a second thread would race the
+    /// rank's SPMD rendezvous order.
+    ///
     /// # Panics
     ///
     /// Panics if `tokens`/`targets` lengths differ from `s·b` or the mode's
     /// group size does not divide the configuration.
-    pub fn loss_and_grads(
+    pub fn loss_and_grads<'m>(
         &self,
         tokens: &[usize],
         targets: &[usize],
         micro: u64,
-        mode: &ExecMode<'_>,
+        policy: impl Into<ExecPolicy<'m>>,
         ledger: &mut ActivationLedger,
     ) -> (f32, GptGrads) {
+        let policy = policy.into();
+        let mode = &policy.mode();
         let cfg = &self.cfg;
         assert_eq!(tokens.len(), cfg.tokens(), "tokens length must be s*b");
         assert_eq!(targets.len(), cfg.tokens(), "targets length must be s*b");
@@ -264,7 +277,7 @@ impl Gpt {
         // --- forward: layers ---
         let mut states = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            let (y, st) = layer.forward(&act, micro, mode, ledger);
+            let (y, st) = layer.forward(&act, micro, policy, ledger);
             states.push(st);
             act = y;
         }
@@ -301,8 +314,43 @@ impl Gpt {
         // --- backward: layers ---
         let mut layer_grads: Vec<Option<LayerGrads>> =
             (0..self.layers.len()).map(|_| None).collect();
-        for (i, (layer, st)) in self.layers.iter().zip(states).enumerate().rev() {
-            let (dx, lg) = layer.backward(&d_act, st, mode);
+        let mut states: Vec<Option<LayerState>> = states.into_iter().map(Some).collect();
+        for i in (0..self.layers.len()).rev() {
+            let layer = &self.layers[i];
+            let st = states[i].take().expect("state consumed exactly once");
+            // Hide layer i-1's full-recompute replay under layer i's
+            // backward GEMMs (Chen et al.): legal only in serial mode — the
+            // replay is collective-free there — and only when the layer
+            // below is a checkpoint whose resolved overlap opts in. The
+            // replay is the same pure function the inline path runs, so
+            // gradients stay bit-identical.
+            let prefetch_below = i > 0
+                && matches!(mode, ExecMode::Serial)
+                && policy
+                    .overlap()
+                    .unwrap_or(self.layers[i - 1].overlap_policy())
+                    .recompute_overlapped();
+            let below = if prefetch_below { states[i - 1].take() } else { None };
+            let (dx, lg) = match below {
+                Some(LayerState::Checkpoint { x, micro: below_micro }) => {
+                    let prev = &self.layers[i - 1];
+                    let (replayed, out, report) = recompute_prefetch(
+                        || prev.recompute_stored(&x, below_micro),
+                        || layer.backward(&d_act, st, policy),
+                    );
+                    crate::overlap::add_recompute_time(report.recompute_us, report.exposed_us);
+                    states[i - 1] = Some(LayerState::Stored(replayed));
+                    out
+                }
+                other => {
+                    // Not a checkpoint below (or nothing taken): put the
+                    // state back and run this backward alone.
+                    if let Some(s) = other {
+                        states[i - 1] = Some(s);
+                    }
+                    layer.backward(&d_act, st, policy)
+                }
+            };
             layer_grads[i] = Some(lg);
             d_act = dx;
         }
@@ -375,7 +423,7 @@ impl Gpt {
         let mut act = ops::dropout(&x, &mask, cfg.dropout_p);
         let mut scratch = ActivationLedger::new();
         for layer in &self.layers {
-            let (y, _) = layer.forward(&act, micro, &ExecMode::Serial, &mut scratch);
+            let (y, _) = layer.forward(&act, micro, ExecMode::Serial, &mut scratch);
             act = y;
         }
         let (y_ln, _) = ops::layer_norm(&act, &self.final_ln_gamma, &self.final_ln_beta);
@@ -535,7 +583,7 @@ mod tests {
         let gpt = Gpt::init(c, Recompute::None, 11);
         let (tokens, targets) = data(&c, 1);
         let mut ledger = ActivationLedger::new();
-        let (loss, _) = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+        let (loss, _) = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger);
         let uniform = (c.vocab as f32).ln();
         assert!((loss - uniform).abs() < 0.5, "loss {loss} vs ln(v) {uniform}");
     }
@@ -551,7 +599,7 @@ mod tests {
         for step in 0..60 {
             let mut ledger = ActivationLedger::new();
             let (loss, grads) =
-                gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+                gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger);
             if step == 0 {
                 first = loss;
             }
@@ -569,7 +617,7 @@ mod tests {
         for policy in [Recompute::None, Recompute::Selective, Recompute::Full] {
             let gpt = Gpt::init(TransformerConfig { dropout_p: 0.1, ..c }, policy, 13);
             let mut ledger = ActivationLedger::new();
-            outs.push(gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger));
+            outs.push(gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger));
         }
         for (loss, grads) in &outs[1..] {
             assert_eq!(*loss, outs[0].0);
@@ -589,9 +637,9 @@ mod tests {
         let mut l_uniform = ActivationLedger::new();
         let mut l_mixed = ActivationLedger::new();
         let (loss_u, grads_u) =
-            uniform.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut l_uniform);
+            uniform.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut l_uniform);
         let (loss_m, grads_m) =
-            mixed.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut l_mixed);
+            mixed.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut l_mixed);
         assert_eq!(loss_u, loss_m);
         assert_eq!(grads_u, grads_m);
         // Layer 0 stores 2sbh; layer 1 stores the full Equation 1 amount.
@@ -607,7 +655,7 @@ mod tests {
         let gpt = Gpt::init(c, Recompute::None, 14);
         let (tokens, targets) = data(&c, 4);
         let mut ledger = ActivationLedger::new();
-        let _ = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+        let _ = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger);
         let sbh = c.sbh();
         let sbv = (c.seq * c.micro_batch * c.vocab) as u64;
         assert_eq!(ledger.bytes(Category::EmbeddingDropoutMask), sbh);
@@ -626,7 +674,7 @@ mod tests {
         let logits = gpt.logits(&tokens, 0);
         let ce = mt_tensor::ops::cross_entropy(&logits, &targets);
         let mut ledger = ActivationLedger::new();
-        let (loss, _) = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+        let (loss, _) = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger);
         assert!((ce.loss - loss).abs() < 1e-6);
     }
 
@@ -667,8 +715,8 @@ mod tests {
         let (tokens, targets) = data(&c, 7);
         let mut l1 = ActivationLedger::new();
         let mut l2 = ActivationLedger::new();
-        let a = gpt.loss_and_grads(&tokens, &targets, 3, &ExecMode::Serial, &mut l1);
-        let b = restored.loss_and_grads(&tokens, &targets, 3, &ExecMode::Serial, &mut l2);
+        let a = gpt.loss_and_grads(&tokens, &targets, 3, ExecMode::Serial, &mut l1);
+        let b = restored.loss_and_grads(&tokens, &targets, 3, ExecMode::Serial, &mut l2);
         assert_eq!(a, b);
         assert_eq!(l1, l2);
     }
@@ -684,14 +732,48 @@ mod tests {
     }
 
     #[test]
+    fn cross_layer_recompute_prefetch_is_bit_identical() {
+        // Full recomputation with the prefetch policy: layer k's replay runs
+        // on a helper thread under layer k+1's backward. Loss, gradients,
+        // and the activation ledger must all be unchanged; the trace shows
+        // L-1 prefetched replays plus one inline replay (the topmost
+        // backward layer has nothing to hide under).
+        let c = TransformerConfig { dropout_p: 0.1, ..cfg() };
+        let (tokens, targets) = data(&c, 30);
+        let gpt = Gpt::init(c, Recompute::Full, 33);
+        let mut l_inline = ActivationLedger::new();
+        let inline = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut l_inline);
+        let policy = ExecPolicy::builder()
+            .overlap(crate::OverlapPolicy::overlapped_recompute(2).expect("chunks >= 1"))
+            .build()
+            .expect("valid policy");
+        let tracer = mt_trace::Tracer::enabled();
+        let mut l_prefetch = ActivationLedger::new();
+        let prefetched = {
+            let _installed = mt_trace::install(tracer.clone());
+            let _ = crate::overlap::take_step_timing();
+            gpt.loss_and_grads(&tokens, &targets, 0, policy, &mut l_prefetch)
+        };
+        let timing = crate::overlap::take_step_timing();
+        assert_eq!(inline.0, prefetched.0, "loss differs under recompute prefetch");
+        assert_eq!(inline.1, prefetched.1, "gradients differ under recompute prefetch");
+        assert_eq!(l_inline, l_prefetch, "ledger differs under recompute prefetch");
+        assert!(timing.recompute_us >= timing.exposed_recompute_us);
+        let events = tracer.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("recompute_overlapped"), c.layers - 1);
+        assert_eq!(count("recompute_layer"), 1, "only the topmost replay stays inline");
+    }
+
+    #[test]
     fn different_microbatches_draw_different_dropout() {
         let c = TransformerConfig { dropout_p: 0.2, ..cfg() };
         let gpt = Gpt::init(c, Recompute::None, 15);
         let (tokens, targets) = data(&c, 5);
         let mut l1 = ActivationLedger::new();
         let mut l2 = ActivationLedger::new();
-        let (loss_a, _) = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut l1);
-        let (loss_b, _) = gpt.loss_and_grads(&tokens, &targets, 1, &ExecMode::Serial, &mut l2);
+        let (loss_a, _) = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut l1);
+        let (loss_b, _) = gpt.loss_and_grads(&tokens, &targets, 1, ExecMode::Serial, &mut l2);
         assert_ne!(loss_a, loss_b, "microbatch id must vary the dropout masks");
     }
 }

@@ -54,6 +54,7 @@ mod ledger;
 pub mod optim;
 mod overlap;
 pub mod pipeline_exec;
+mod policy;
 pub mod recovery;
 pub mod streams;
 pub mod trainer;
@@ -64,4 +65,7 @@ pub mod zero;
 pub use config::TransformerConfig;
 pub use layer::{ExecMode, LayerState, StoredState, TransformerLayer};
 pub use ledger::{ActivationLedger, Category};
-pub use overlap::{take_comm_timing, CommTiming, OverlapPolicy};
+#[allow(deprecated)]
+pub use overlap::take_comm_timing;
+pub use overlap::{take_step_timing, CommTiming, OverlapPolicy, StepTiming, ZeroChunks};
+pub use policy::{ExecPolicy, ExecPolicyBuilder, PolicyError};

@@ -357,7 +357,7 @@ pub fn try_run_1f1b_iteration(
             };
             let mut layer_states = Vec::with_capacity(model.layers.len());
             for layer in &model.layers {
-                let (y, st) = layer.forward(&x, micro_id, &mode, &mut ledger);
+                let (y, st) = layer.forward(&x, micro_id, mode, &mut ledger);
                 layer_states.push(st);
                 x = y;
             }
@@ -436,7 +436,7 @@ pub fn try_run_1f1b_iteration(
                         model.stage
                     )
                 });
-                let (dx, lg) = model.layers[idx].backward(&d, lstate, &mode);
+                let (dx, lg) = model.layers[idx].backward(&d, lstate, mode);
                 grads.layers[idx].accumulate(&lg);
                 d = dx;
             }
@@ -671,7 +671,7 @@ pub fn try_run_interleaved_iteration(
             let mut layer_states = Vec::with_capacity(model.layers.len());
             let mut scratch = ActivationLedger::new();
             for layer in &model.layers {
-                let (y, st) = layer.forward(&x, micro_id, &mode, &mut scratch);
+                let (y, st) = layer.forward(&x, micro_id, mode, &mut scratch);
                 layer_states.push(st);
                 x = y;
             }
@@ -741,7 +741,7 @@ pub fn try_run_interleaved_iteration(
                         "virtual stage {vs}, microbatch {mb}: missing saved state for layer {idx}"
                     )
                 });
-                let (dx, lg) = chunks[v].layers[idx].backward(&d, lstate, &mode);
+                let (dx, lg) = chunks[v].layers[idx].backward(&d, lstate, mode);
                 grads[v].layers[idx].accumulate(&lg);
                 d = dx;
             }

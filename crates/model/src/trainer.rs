@@ -4,12 +4,12 @@
 //! so examples and downstream users don't re-implement the loop.
 
 use crate::gpt::{Gpt, GptCheckpoint};
-use crate::layer::ExecMode;
 use crate::ledger::ActivationLedger;
 use crate::optim::{clip_grad_norm, AdamState, AdamW};
+use crate::overlap::{take_step_timing, StepTiming};
+use crate::policy::ExecPolicy;
 use mt_fault::binfmt;
 use serde::{Deserialize, Serialize};
-use std::borrow::Borrow;
 use std::fmt;
 
 /// Linear warmup to `base_lr`, then cosine decay to `min_lr` over
@@ -295,11 +295,12 @@ impl Trainer {
     }
 
     /// Runs one training step (forward, backward, clip, update) on one
-    /// microbatch under `mode`.
+    /// microbatch under `policy`.
     ///
-    /// `mode` is accepted by value **or** by reference (`ExecMode` is
-    /// `Copy`): `trainer.step(&t, &y, ExecMode::Serial)` and
-    /// `trainer.step(&t, &y, &mode)` both compile.
+    /// `policy` is anything convertible into an [`ExecPolicy`]: a bare
+    /// [`ExecMode`](crate::ExecMode) by value or by reference (inheriting
+    /// each layer's stored recompute/overlap defaults), or an explicit
+    /// policy, also by value or by reference.
     ///
     /// # Panics
     ///
@@ -309,28 +310,36 @@ impl Trainer {
         &mut self,
         tokens: &[usize],
         targets: &[usize],
-        mode: impl Borrow<ExecMode<'m>>,
+        policy: impl Into<ExecPolicy<'m>>,
     ) -> StepStats {
-        self.step_with_ledger(tokens, targets, mode).0
+        self.step_with_ledger(tokens, targets, policy).0
     }
 
     /// [`Trainer::step`], also returning the activation ledger the forward
-    /// pass filled — the measured counterpart to the analytical memory model.
-    /// Accepts `mode` by value or by reference, like [`Trainer::step`].
+    /// pass filled — the measured counterpart to the analytical memory
+    /// model — and the step's [`StepTiming`] ledger (collective and
+    /// recomputation time, total and exposed).
+    ///
+    /// The timing accumulators are drained at entry *and* harvested at
+    /// exit, so a step's ledger cannot absorb a previous step's leftovers
+    /// when rank threads are reused — the leak the deprecated thread-local
+    /// [`take_comm_timing`](crate::overlap::take_comm_timing) harvest
+    /// allowed.
     pub fn step_with_ledger<'m>(
         &mut self,
         tokens: &[usize],
         targets: &[usize],
-        mode: impl Borrow<ExecMode<'m>>,
-    ) -> (StepStats, ActivationLedger) {
-        let mode = mode.borrow();
+        policy: impl Into<ExecPolicy<'m>>,
+    ) -> (StepStats, ActivationLedger, StepTiming) {
+        let policy = policy.into();
+        let _stale = take_step_timing();
         let tracer = mt_trace::current();
         let step_no = self.step;
         let _step_span =
             tracer.span_args("step", move || vec![("step", mt_trace::ArgValue::U64(step_no))]);
         let mut ledger = ActivationLedger::new();
         let (loss, mut grads) =
-            self.gpt.loss_and_grads(tokens, targets, self.step, mode, &mut ledger);
+            self.gpt.loss_and_grads(tokens, targets, self.step, policy, &mut ledger);
         let opt_span = tracer.span("optimizer");
         let grad_norm = match self.cfg.clip_norm {
             Some(max) => clip_grad_norm(grads.tensors_mut(), max),
@@ -342,7 +351,7 @@ impl Trainer {
         drop(opt_span);
         let stats = StepStats { step: self.step, loss, grad_norm, lr };
         self.step += 1;
-        (stats, ledger)
+        (stats, ledger, take_step_timing())
     }
 }
 
@@ -350,6 +359,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::config::TransformerConfig;
+    use crate::layer::ExecMode;
     use mt_memory::Recompute;
     use mt_tensor::rng::SplitMix64;
 
@@ -434,6 +444,39 @@ mod tests {
         let (tokens, targets) = data(&c);
         let by_val = a.step(&tokens, &targets, ExecMode::Serial);
         let by_ref = b.step(&tokens, &targets, &ExecMode::Serial);
+        assert_eq!(by_val.loss, by_ref.loss);
+    }
+
+    #[test]
+    fn step_with_ledger_drains_stale_timing() {
+        use crate::layer::ExecMode;
+        let c = cfg();
+        let mut t = Trainer::new(Gpt::init(c, Recompute::Full, 81), TrainerConfig::default());
+        let (tokens, targets) = data(&c);
+        // Poison the thread-local with a previous "step's" leftovers; the
+        // entry drain must keep them out of this step's ledger.
+        crate::overlap::add_comm_time(1_000_000, 1_000_000);
+        crate::overlap::add_recompute_time(1_000_000, 500_000);
+        let (_, _, timing) = t.step_with_ledger(&tokens, &targets, ExecMode::Serial);
+        assert_eq!(timing.comm_us, 0, "serial steps book no collectives");
+        assert_eq!(timing.exposed_us, 0);
+        assert!(timing.recompute_us < 1_000_000, "stale recompute time leaked in");
+        assert!(timing.recompute_us >= timing.exposed_recompute_us);
+        // The harvest also reset the accumulators for whoever runs next.
+        assert_eq!(crate::overlap::take_step_timing(), crate::overlap::StepTiming::default());
+    }
+
+    #[test]
+    fn step_accepts_policies_by_value_and_by_reference() {
+        use crate::layer::ExecMode;
+        use crate::policy::ExecPolicy;
+        let c = cfg();
+        let mut a = Trainer::new(Gpt::init(c, Recompute::Selective, 6), TrainerConfig::default());
+        let mut b = a.clone();
+        let policy = ExecPolicy::builder().backend(ExecMode::Serial).build().expect("valid");
+        let (tokens, targets) = data(&c);
+        let by_val = a.step(&tokens, &targets, policy);
+        let by_ref = b.step(&tokens, &targets, policy);
         assert_eq!(by_val.loss, by_ref.loss);
     }
 

@@ -49,7 +49,7 @@ fn serial_sum(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> GptGrads {
     for (m, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
         let (_, grads) =
-            gpt.loss_and_grads(tokens, targets, m as u64, &ExecMode::Serial, &mut ledger);
+            gpt.loss_and_grads(tokens, targets, m as u64, ExecMode::Serial, &mut ledger);
         match &mut total {
             None => total = Some(grads),
             Some(t) => t.accumulate(&grads),
@@ -88,7 +88,7 @@ fn pure_data_parallel_matches_serial_sum() {
             tokens,
             targets,
             comm.rank() as u64, // microbatch id = global index
-            &ExecMode::Serial,
+            ExecMode::Serial,
             &mut ledger,
         );
         all_reduce_gpt_grads(&comm, &mut grads);
@@ -113,7 +113,7 @@ fn data_parallel_composes_with_tensor_parallelism() {
             tokens,
             targets,
             g.dp_rank as u64,
-            &ExecMode::TensorParallel(&g.replica.tp),
+            ExecMode::TensorParallel(&g.replica.tp),
             &mut ledger,
         );
         all_reduce_gpt_grads(&g.dp, &mut grads);
@@ -183,7 +183,7 @@ fn zero1_training_matches_replicated_adam_on_a_gpt() {
         let grads = serial_sum(&ref_gpt, &data);
         let mut ledger = ActivationLedger::new();
         let (loss, _) =
-            ref_gpt.loss_and_grads(&data[0].0, &data[0].1, 0, &ExecMode::Serial, &mut ledger);
+            ref_gpt.loss_and_grads(&data[0].0, &data[0].1, 0, ExecMode::Serial, &mut ledger);
         ref_losses.push(loss);
         ref_adam.update(ref_gpt.param_tensors_mut(), &grads.tensors());
     }
@@ -201,13 +201,13 @@ fn zero1_training_matches_replicated_adam_on_a_gpt() {
                 tokens,
                 targets,
                 comm.rank() as u64,
-                &ExecMode::Serial,
+                ExecMode::Serial,
                 &mut ledger,
             );
             // Track the same diagnostic loss as the reference (microbatch 0).
             let mut l2 = ActivationLedger::new();
             let (probe, _) =
-                gpt.loss_and_grads(&data[0].0, &data[0].1, 0, &ExecMode::Serial, &mut l2);
+                gpt.loss_and_grads(&data[0].0, &data[0].1, 0, ExecMode::Serial, &mut l2);
             losses.push(probe);
             // ZeRO's internal all-reduce sums the per-replica gradients.
             zero.step(&comm, gpt.param_tensors_mut(), &grads.tensors());
@@ -237,7 +237,7 @@ fn replicas_agree_after_the_all_reduce() {
         let (tokens, targets) = &data[comm.rank()];
         let mut ledger = ActivationLedger::new();
         let (_, mut grads) =
-            gpt.loss_and_grads(tokens, targets, comm.rank() as u64, &ExecMode::Serial, &mut ledger);
+            gpt.loss_and_grads(tokens, targets, comm.rank() as u64, ExecMode::Serial, &mut ledger);
         all_reduce_gpt_grads(&comm, &mut grads);
         grads
     });

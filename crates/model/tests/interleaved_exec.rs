@@ -44,7 +44,7 @@ fn serial_reference(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)]) -> (f32, GptGr
     let mut loss = 0.0_f64;
     for (mb, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
-        let (l, g) = gpt.loss_and_grads(tokens, targets, mb as u64, &ExecMode::Serial, &mut ledger);
+        let (l, g) = gpt.loss_and_grads(tokens, targets, mb as u64, ExecMode::Serial, &mut ledger);
         loss += l as f64;
         match &mut total {
             None => total = Some(g),

@@ -56,8 +56,8 @@ fn run_parallel(
             (x.clone(), dy.clone())
         };
         let mut ledger = ActivationLedger::new();
-        let (y, st) = layer.forward(&x_local, 0, &mode, &mut ledger);
-        let (dx, grads) = layer.backward(&dy_local, st, &mode);
+        let (y, st) = layer.forward(&x_local, 0, mode, &mut ledger);
+        let (dx, grads) = layer.backward(&dy_local, st, mode);
         RankResult { y, dx, grads, ledger, stats: comm.stats() }
     })
 }
@@ -71,8 +71,8 @@ fn run_serial(
 ) -> (Tensor, Tensor, LayerWeights, ActivationLedger) {
     let layer = TransformerLayer::new(c, full.clone(), 0, policy, CounterRng::new(404));
     let mut ledger = ActivationLedger::new();
-    let (y, st) = layer.forward(x, 0, &ExecMode::Serial, &mut ledger);
-    let (dx, grads) = layer.backward(dy, st, &ExecMode::Serial);
+    let (y, st) = layer.forward(x, 0, ExecMode::Serial, &mut ledger);
+    let (dx, grads) = layer.backward(dy, st, ExecMode::Serial);
     (y, dx, grads, ledger)
 }
 
@@ -250,7 +250,7 @@ fn forward_wire_bytes_identical_between_tp_and_tpsp() {
             let x_local =
                 if sp { x.chunk_axis0(t).unwrap()[comm.rank()].clone() } else { x.clone() };
             let mut ledger = ActivationLedger::new();
-            let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
+            let _ = layer.forward(&x_local, 0, mode, &mut ledger);
             comm.stats()
         });
         stats[0].total_wire_bytes()

@@ -50,7 +50,7 @@ fn serial_iteration(gpt: &Gpt, data: &[(Vec<usize>, Vec<usize>)], step: u64) -> 
         let mut ledger = ActivationLedger::new();
         let micro_id = step * n as u64 + m as u64;
         let (loss, grads) =
-            gpt.loss_and_grads(tokens, targets, micro_id, &ExecMode::Serial, &mut ledger);
+            gpt.loss_and_grads(tokens, targets, micro_id, ExecMode::Serial, &mut ledger);
         loss_sum += loss as f64;
         match &mut total {
             None => total = Some(grads),

@@ -23,8 +23,17 @@ pub enum Category {
     /// Collective time issued under the dependency-aware overlap driver
     /// (hidden or hideable behind row-band compute).
     OverlappedComm,
-    /// Activation recomputation (the paper's trade currency).
-    Recompute,
+    /// Activation recomputation serialized into the backward pass (the
+    /// paper's trade currency): inline replays and their child kernels,
+    /// plus the join wait on a prefetched replay the backward failed to
+    /// hide.
+    ExposedRecompute,
+    /// Rank-thread time inside the recompute-prefetch driver's window that
+    /// is not the covering backward work itself: issue/join bookkeeping for
+    /// a replay running hidden on a helper thread. (The hidden replay costs
+    /// no rank wall time, exactly like an off-stream GPU kernel; the
+    /// ledger's `recompute_us` carries its true duration.)
+    OverlappedRecompute,
     /// Optimizer / parameter update.
     Optimizer,
     /// Time covered by no span: pipeline bubble or rank idle.
@@ -35,11 +44,12 @@ pub enum Category {
 }
 
 /// Every category, in report order.
-pub const CATEGORIES: [Category; 7] = [
+pub const CATEGORIES: [Category; 8] = [
     Category::Gemm,
     Category::ExposedComm,
     Category::OverlappedComm,
-    Category::Recompute,
+    Category::ExposedRecompute,
+    Category::OverlappedRecompute,
     Category::Optimizer,
     Category::Bubble,
     Category::Other,
@@ -52,7 +62,8 @@ impl Category {
             Category::Gemm => "gemm",
             Category::ExposedComm => "exposed_comm",
             Category::OverlappedComm => "overlapped_comm",
-            Category::Recompute => "recompute",
+            Category::ExposedRecompute => "exposed_recompute",
+            Category::OverlappedRecompute => "overlapped_recompute",
             Category::Optimizer => "optimizer",
             Category::Bubble => "bubble",
             Category::Other => "other",
@@ -69,8 +80,10 @@ pub struct CategoryNs {
     pub exposed_comm: u64,
     /// Overlapped communication.
     pub overlapped_comm: u64,
-    /// Recompute.
-    pub recompute: u64,
+    /// Exposed (inline or join-wait) recomputation.
+    pub exposed_recompute: u64,
+    /// Recompute-prefetch driver bookkeeping (hidden replay).
+    pub overlapped_recompute: u64,
     /// Optimizer.
     pub optimizer: u64,
     /// Bubble / idle.
@@ -91,7 +104,8 @@ impl CategoryNs {
             Category::Gemm => self.gemm,
             Category::ExposedComm => self.exposed_comm,
             Category::OverlappedComm => self.overlapped_comm,
-            Category::Recompute => self.recompute,
+            Category::ExposedRecompute => self.exposed_recompute,
+            Category::OverlappedRecompute => self.overlapped_recompute,
             Category::Optimizer => self.optimizer,
             Category::Bubble => self.bubble,
             Category::Other => self.other,
@@ -103,7 +117,8 @@ impl CategoryNs {
             Category::Gemm => &mut self.gemm,
             Category::ExposedComm => &mut self.exposed_comm,
             Category::OverlappedComm => &mut self.overlapped_comm,
-            Category::Recompute => &mut self.recompute,
+            Category::ExposedRecompute => &mut self.exposed_recompute,
+            Category::OverlappedRecompute => &mut self.overlapped_recompute,
             Category::Optimizer => &mut self.optimizer,
             Category::Bubble => &mut self.bubble,
             Category::Other => &mut self.other,
@@ -111,7 +126,7 @@ impl CategoryNs {
     }
 
     /// `(label, ns)` for every category, in report order.
-    pub fn entries(&self) -> [(&'static str, u64); 7] {
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
         CATEGORIES.map(|c| (c.label(), self.get(c)))
     }
 
@@ -172,12 +187,23 @@ fn resolve(name: &str, ctx: Ctx) -> Category {
         // fetches it issues are separate child collective spans.
         return Category::Gemm;
     }
+    if name == "recompute_overlapped" {
+        // The recompute-prefetch driver's self time: issue/join
+        // bookkeeping around a replay hidden on a helper thread. Its
+        // children are the *covering backward work*, not the replay, so
+        // they resolve by their own names (no in_recompute inheritance).
+        return Category::OverlappedRecompute;
+    }
+    if name == "recompute_wait" {
+        // Join wait the covering work failed to hide: exposed replay time.
+        return Category::ExposedRecompute;
+    }
     if name.starts_with("kernel_") || name == "fwd_chunk" || name == "bwd_chunk" {
         // Kernels executed for recomputation (or inside the optimizer)
         // count as that phase: the paper's accounting asks "what did this
         // time buy", not "which unit executed".
         if ctx.in_recompute {
-            return Category::Recompute;
+            return Category::ExposedRecompute;
         }
         if ctx.in_optimizer {
             return Category::Optimizer;
@@ -185,13 +211,13 @@ fn resolve(name: &str, ctx: Ctx) -> Category {
         return Category::Gemm;
     }
     if name.starts_with("recompute") {
-        return Category::Recompute;
+        return Category::ExposedRecompute;
     }
     if name == "optimizer" {
         return Category::Optimizer;
     }
     if ctx.in_recompute {
-        return Category::Recompute;
+        return Category::ExposedRecompute;
     }
     if ctx.in_optimizer {
         return Category::Optimizer;
@@ -267,7 +293,8 @@ fn emit(
     let own = resolve(&span.name, ctx);
     let child_ctx = Ctx {
         in_overlap: ctx.in_overlap || span.name == "gemm_overlapped",
-        in_recompute: ctx.in_recompute || span.name.starts_with("recompute"),
+        in_recompute: ctx.in_recompute
+            || (span.name.starts_with("recompute") && span.name != "recompute_overlapped"),
         in_optimizer: ctx.in_optimizer || span.name == "optimizer",
     };
     let mut cursor = cursor.max(span.start_ns);
@@ -323,11 +350,44 @@ mod tests {
         let totals = segs.totals();
         assert_eq!(totals.gemm, 20_000);
         assert_eq!(totals.exposed_comm, 20_000, "collective + wrapper self time");
-        assert_eq!(totals.recompute, 20_000, "kernel inside recompute inherits");
+        assert_eq!(totals.exposed_recompute, 20_000, "kernel inside recompute inherits");
         assert_eq!(totals.optimizer, 10_000);
         assert_eq!(totals.other, 30_000);
         assert_eq!(totals.bubble, 0);
         assert_eq!(totals.overlapped_comm, 0);
+        assert_eq!(totals.total(), tl.wall_ns(), "categories tile the window exactly");
+    }
+
+    /// The recompute-prefetch driver: its children are covering backward
+    /// work (categorized by their own names), its self time is driver
+    /// bookkeeping, and the join wait is exposed recompute.
+    #[test]
+    fn recompute_prefetch_driver_splits_exposed_from_overlapped() {
+        let t = Tracer::enabled();
+        // Track 0, window [0, 100us]:
+        //   step [0, 100]
+        //     recompute_overlapped [10, 60]
+        //       kernel_gemm        [12, 40] -> gemm (covering backward) 28us
+        //       all_reduce         [40, 48] -> exposed_comm             8us
+        //       recompute_wait     [50, 58] -> exposed_recompute        8us
+        //       (self: [10,12]+[48,50]+[58,60] = 6us -> overlapped_recompute)
+        //     recompute_attention  [70, 90]
+        //       kernel_gemm        [72, 88] -> exposed_recompute (inherits)
+        // self of step: [0,10]+[60,70]+[90,100] = 30us -> other
+        t.complete_at("kernel_gemm", 0, 12.0, 28.0, Vec::new());
+        t.complete_at("all_reduce", 0, 40.0, 8.0, Vec::new());
+        t.complete_at("recompute_wait", 0, 50.0, 8.0, Vec::new());
+        t.complete_at("recompute_overlapped", 0, 10.0, 50.0, Vec::new());
+        t.complete_at("kernel_gemm", 0, 72.0, 16.0, Vec::new());
+        t.complete_at("recompute_attention", 0, 70.0, 20.0, Vec::new());
+        t.complete_at("step", 0, 0.0, 100.0, Vec::new());
+        let tl = Timeline::build(&t.events()).unwrap();
+        let totals = segment_track(&tl.tracks[&0], tl.window).totals();
+        assert_eq!(totals.gemm, 28_000, "covering backward under the driver stays gemm");
+        assert_eq!(totals.exposed_comm, 8_000, "collectives under the driver stay comm");
+        assert_eq!(totals.exposed_recompute, 8_000 + 16_000 + 4_000, "wait + inline replay");
+        assert_eq!(totals.overlapped_recompute, 6_000, "driver self time only");
+        assert_eq!(totals.other, 30_000);
         assert_eq!(totals.total(), tl.wall_ns(), "categories tile the window exactly");
     }
 

@@ -6,19 +6,21 @@
 //! profile-report --diff <base> <fresh>   # per-category delta narrative
 //! ```
 //!
-//! The default (`--smoke`) mode runs two traced 2-rank workloads over a
+//! The default (`--smoke`) mode runs three traced 2-rank workloads over a
 //! simulated α–β link — a full trainer step (forward, backward with
-//! selective recompute, optimizer) with exposed collectives, and one
-//! transformer layer under the chunked overlap driver — profiles both, and
-//! hard-asserts the exact invariants before writing anything:
+//! selective recompute, optimizer) with exposed collectives, one
+//! transformer layer under the chunked comm-overlap driver, and one under
+//! the recompute-prefetch driver — profiles all three, and hard-asserts
+//! the exact invariants before writing anything:
 //!
 //! * per rank, category nanoseconds sum to the step wall time;
-//! * the trace's wrapped-comm close-args equal the rank's `CommTiming`
-//!   ledger integer for integer;
+//! * the trace's wrapped-comm and wrapped-recompute close-args equal the
+//!   rank's `StepTiming` ledger integer for integer;
 //! * the cross-rank critical path telescopes to the step wall exactly;
-//! * the trainer profile shows nonzero recompute and optimizer time, and
-//!   the overlapped profile nonzero overlapped comm — the categories the
-//!   paper's accounting turns on.
+//! * the trainer profile shows nonzero exposed recompute and optimizer
+//!   time, the overlapped profile nonzero overlapped comm, and the
+//!   recompute-prefetch profile nonzero overlapped recompute — the
+//!   categories the paper's accounting turns on.
 //!
 //! Outputs `DIR/PROFILE_step.json` (schema in [`ProfileDocument`]) and
 //! `DIR/PROFILE_step.txt` (the ASCII rendering, also printed to stdout).
@@ -34,13 +36,13 @@ use mt_model::gpt::Gpt;
 use mt_model::trainer::{Trainer, TrainerConfig};
 use mt_model::weights::LayerWeights;
 use mt_model::{
-    take_comm_timing, ActivationLedger, CommTiming, ExecMode, OverlapPolicy, TransformerConfig,
-    TransformerLayer,
+    take_step_timing, ActivationLedger, ExecMode, ExecPolicy, OverlapPolicy, StepTiming,
+    TransformerConfig, TransformerLayer,
 };
 use mt_perf::GpuSpec;
 use mt_profile::{
-    analyze, diff_documents, load_profiles, render_ascii, verify, AnalyzeOptions, ProfileDocument,
-    ProfileReport,
+    analyze, diff_documents, load_profiles, render_ascii, verify, AnalyzeOptions, ExpectedTiming,
+    ProfileDocument, ProfileReport,
 };
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
@@ -74,8 +76,22 @@ fn data(cfg: &TransformerConfig) -> (Vec<usize>, Vec<usize>) {
     (tokens, targets)
 }
 
-fn ledger_map(per_rank: &[CommTiming]) -> BTreeMap<u32, (u64, u64)> {
-    per_rank.iter().enumerate().map(|(rank, t)| (rank as u32, (t.comm_us, t.exposed_us))).collect()
+fn ledger_map(per_rank: &[StepTiming]) -> BTreeMap<u32, ExpectedTiming> {
+    per_rank
+        .iter()
+        .enumerate()
+        .map(|(rank, t)| {
+            (
+                rank as u32,
+                ExpectedTiming {
+                    comm_us: t.comm_us,
+                    exposed_us: t.exposed_us,
+                    recompute_us: t.recompute_us,
+                    exposed_recompute_us: t.exposed_recompute_us,
+                },
+            )
+        })
+        .collect()
 }
 
 /// One traced trainer step (forward + selective-recompute backward +
@@ -93,11 +109,10 @@ fn profile_trainer_step(label: &str, link: CommCostModel) -> ProfileReport {
         let mut trainer =
             Trainer::new(template.shard(T, comm.rank(), policy), TrainerConfig::default());
         let mode = ExecMode::TensorSequenceParallel(&comm);
-        let _ = take_comm_timing(); // reset this rank thread's ledger
-        let _ = trainer.step_with_ledger(&tokens, &targets, mode);
-        Ok(take_comm_timing())
+        let (_, _, timing) = trainer.step_with_ledger(&tokens, &targets, mode);
+        Ok(timing)
     });
-    let timings: Vec<CommTiming> =
+    let timings: Vec<StepTiming> =
         per_rank.into_iter().map(|r| r.expect("trainer step failed")).collect();
     let opts = AnalyzeOptions {
         label: label.to_string(),
@@ -128,18 +143,21 @@ fn profile_layer_step(label: &str, overlap: OverlapPolicy, link: CommCostModel) 
             0,
             Recompute::Selective,
             CounterRng::new(5),
-        )
-        .with_overlap_policy(overlap);
-        let mode = ExecMode::TensorSequenceParallel(&comm);
+        );
+        let policy = ExecPolicy::builder()
+            .backend(ExecMode::TensorSequenceParallel(&comm))
+            .overlap(overlap)
+            .build()
+            .expect("valid overlap policy");
         let x_local = x.chunk_axis0(T).unwrap()[comm.rank()].clone();
         let dy_local = dy.chunk_axis0(T).unwrap()[comm.rank()].clone();
-        let _ = take_comm_timing();
+        let _ = take_step_timing(); // reset this rank thread's ledger
         let mut ledger = ActivationLedger::new();
-        let (_y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
-        let _ = layer.backward(&dy_local, state, &mode);
-        Ok(take_comm_timing())
+        let (_y, state) = layer.forward(&x_local, 0, policy, &mut ledger);
+        let _ = layer.backward(&dy_local, state, policy);
+        Ok(take_step_timing())
     });
-    let timings: Vec<CommTiming> =
+    let timings: Vec<StepTiming> =
         per_rank.into_iter().map(|r| r.expect("layer step failed")).collect();
     let opts = AnalyzeOptions {
         label: label.to_string(),
@@ -166,24 +184,42 @@ fn smoke(out_dir: &str) {
     let trainer = profile_trainer_step("trainer_step_exposed", link);
     let overlapped =
         profile_layer_step("layer_overlapped_c2", OverlapPolicy::Overlapped { chunks: 2 }, link);
+    let prefetched = profile_layer_step(
+        "layer_overlapped_recompute_c2",
+        OverlapPolicy::overlapped_recompute(2).expect("nonzero chunks"),
+        link,
+    );
 
     // `analyze` already enforced attribution==wall, ledger equality, and
     // critical-path telescoping; assert the workloads actually exercised
     // the categories the smoke exists to cover.
     let cats = trainer.max_categories();
-    assert!(cats.recompute > 0, "trainer profile must show recompute time: {cats:?}");
+    assert!(cats.exposed_recompute > 0, "trainer profile must show exposed recompute: {cats:?}");
     assert!(cats.optimizer > 0, "trainer profile must show optimizer time: {cats:?}");
     assert!(cats.exposed_comm > 0, "trainer profile must show exposed comm: {cats:?}");
+    assert!(
+        trainer.max_wrapped_recompute_us() > 0,
+        "selective recompute must mirror a nonzero recompute ledger"
+    );
     let ocats = overlapped.max_categories();
     assert!(ocats.overlapped_comm > 0, "overlap profile must show overlapped comm: {ocats:?}");
     assert!(
         overlapped.max_wrapped_comm_us() > 0,
         "overlap profile must mirror a nonzero comm ledger"
     );
+    let pcats = prefetched.max_categories();
+    assert!(
+        pcats.overlapped_recompute > 0,
+        "recompute-prefetch profile must show driver time: {pcats:?}"
+    );
+    assert!(
+        prefetched.max_wrapped_recompute_us() > 0,
+        "recompute-prefetch profile must mirror a nonzero recompute ledger"
+    );
 
     let mut text = String::new();
     let mut profiles = BTreeMap::new();
-    for report in [trainer, overlapped] {
+    for report in [trainer, overlapped, prefetched] {
         text.push_str(&render_ascii(&report));
         text.push('\n');
         profiles.insert(report.label.clone(), report);

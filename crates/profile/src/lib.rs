@@ -14,18 +14,20 @@
 //!    validated against each span's `CallTag`-derived signature
 //!    ([`collective_rounds`]).
 //! 3. **Attributes every nanosecond** of each rank's window to a closed
-//!    category set — {gemm, exposed_comm, overlapped_comm, recompute,
-//!    optimizer, bubble, other} — with the invariant that categories sum
-//!    to wall time **exactly** ([`segment_track`], [`CategoryNs`]).
+//!    category set — {gemm, exposed_comm, overlapped_comm,
+//!    exposed_recompute, overlapped_recompute, optimizer, bubble, other}
+//!    — with the invariant that categories sum to wall time **exactly**
+//!    ([`segment_track`], [`CategoryNs`]).
 //! 4. **Extracts the cross-rank critical path** ([`critical_path`]):
 //!    walk backward from the latest span end, hopping to the last arriver
 //!    of each gating rendezvous; segments telescope, so the path length
 //!    equals the step wall time exactly.
 //! 5. **Cross-checks** the attribution against independent ledgers: the
-//!    wrapped-comm close-args must equal `mt-model`'s `CommTiming`
-//!    integers bit for bit, and (via `e2e_step_bench --profile`) the
-//!    `exposed_ms` in `reports/BENCH_e2e.json`; a divergence report
-//!    compares measured phase times against the `mt-perf` α–β /
+//!    wrapped-comm and wrapped-recompute close-args must equal
+//!    `mt-model`'s `StepTiming` integers bit for bit, and (via
+//!    `e2e_step_bench --profile`) the `exposed_ms` /
+//!    `exposed_recompute_ms` in `reports/BENCH_e2e.json`; a divergence
+//!    report compares measured phase times against the `mt-perf` α–β /
 //!    GEMM-efficiency model.
 //!
 //! [`analyze`] bundles all of it into a serializable [`ProfileReport`];
@@ -50,7 +52,7 @@ pub use diff::{
     ProfileDocument,
 };
 pub use report::{
-    analyze, render_ascii, verify, AnalyzeOptions, CritSummary, Divergence, ProfileReport,
-    RankProfile, TreeLine, SCHEMA_VERSION,
+    analyze, render_ascii, verify, AnalyzeOptions, CritSummary, Divergence, ExpectedTiming,
+    ProfileReport, RankProfile, TreeLine, SCHEMA_VERSION,
 };
 pub use timeline::{Span, Timeline, Track};

@@ -13,7 +13,26 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Report format version (`reports/PROFILE_*.json`).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `CategoryNs` splits `recompute` into `exposed_recompute` /
+/// `overlapped_recompute`, and ranks carry the recompute ledger mirror.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// One rank's expected `StepTiming` ledger, in µs — what the trace's
+/// close-time span args must reproduce **exactly**. A struct rather than
+/// a tuple so call sites name the four integers they pin; mirrors
+/// `mt_model::StepTiming` without depending on the model crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedTiming {
+    /// Total ledger-wrapped collective time.
+    pub comm_us: u64,
+    /// Exposed (unhidden) collective time.
+    pub exposed_us: u64,
+    /// Total activation recompute time (inline + prefetched).
+    pub recompute_us: u64,
+    /// Recompute time the backward pass failed to hide.
+    pub exposed_recompute_us: u64,
+}
 
 /// Inputs to [`analyze`] beyond the trace itself.
 #[derive(Debug, Clone, Default)]
@@ -28,9 +47,9 @@ pub struct AnalyzeOptions {
     /// Hidden size for [`GpuSpec::achieved_gemm_flops`] (ignored without
     /// `gpu`).
     pub hidden: u64,
-    /// Per-rank `CommTiming` ledger the trace must reproduce **exactly**:
-    /// rank → `(comm_us, exposed_us)`. Analysis fails on any mismatch.
-    pub expected_ledger: BTreeMap<u32, (u64, u64)>,
+    /// Per-rank `StepTiming` ledger the trace must reproduce **exactly**.
+    /// Analysis fails on any mismatch.
+    pub expected_ledger: BTreeMap<u32, ExpectedTiming>,
 }
 
 /// One rank's attribution.
@@ -48,6 +67,13 @@ pub struct RankProfile {
     pub wrapped_comm_us: u64,
     /// Σ `exposed_us` close-args — mirror of `CommTiming::exposed_us`.
     pub wrapped_exposed_us: u64,
+    /// Σ `recompute_us` close-args over ledger-wrapped recompute spans
+    /// (`recompute_attention`, `recompute_layer`, `recompute_overlapped`)
+    /// — the trace's mirror of the rank's `StepTiming::recompute_us`.
+    pub wrapped_recompute_us: u64,
+    /// Σ `exposed_us` close-args over the same recompute spans — mirror
+    /// of `StepTiming::exposed_recompute_us`.
+    pub wrapped_exposed_recompute_us: u64,
     /// Number of spans recorded on this rank.
     pub spans: u64,
 }
@@ -129,6 +155,16 @@ impl ProfileReport {
         self.ranks.values().map(|r| r.wrapped_comm_us).max().unwrap_or(0)
     }
 
+    /// Max over ranks of the ledger-mirrored total recompute, µs.
+    pub fn max_wrapped_recompute_us(&self) -> u64 {
+        self.ranks.values().map(|r| r.wrapped_recompute_us).max().unwrap_or(0)
+    }
+
+    /// Max over ranks of the ledger-mirrored exposed recompute, µs.
+    pub fn max_wrapped_exposed_recompute_us(&self) -> u64 {
+        self.ranks.values().map(|r| r.wrapped_exposed_recompute_us).max().unwrap_or(0)
+    }
+
     /// Per-category max over ranks, ns (the conservative cross-rank
     /// aggregation used by diffs).
     pub fn max_categories(&self) -> CategoryNs {
@@ -162,10 +198,19 @@ pub fn analyze(events: &[TraceEvent], opts: &AnalyzeOptions) -> Result<ProfileRe
         }
         let mut wrapped_comm_us = 0u64;
         let mut wrapped_exposed_us = 0u64;
+        let mut wrapped_recompute_us = 0u64;
+        let mut wrapped_exposed_recompute_us = 0u64;
         for span in &track.spans {
             if span.name == "comm_exposed" || span.name == "gemm_overlapped" {
                 wrapped_comm_us += span.arg_u64("comm_us").unwrap_or(0);
                 wrapped_exposed_us += span.arg_u64("exposed_us").unwrap_or(0);
+            }
+            if span.name == "recompute_attention"
+                || span.name == "recompute_layer"
+                || span.name == "recompute_overlapped"
+            {
+                wrapped_recompute_us += span.arg_u64("recompute_us").unwrap_or(0);
+                wrapped_exposed_recompute_us += span.arg_u64("exposed_us").unwrap_or(0);
             }
         }
         ranks.insert(
@@ -176,22 +221,29 @@ pub fn analyze(events: &[TraceEvent], opts: &AnalyzeOptions) -> Result<ProfileRe
                 categories,
                 wrapped_comm_us,
                 wrapped_exposed_us,
+                wrapped_recompute_us,
+                wrapped_exposed_recompute_us,
                 spans: track.spans.len() as u64,
             },
         );
     }
 
-    // Exact ledger cross-check: the trace's wrapped-comm integers must
-    // reproduce the CommTiming ledger bit for bit.
-    for (rank, &(comm_us, exposed_us)) in &opts.expected_ledger {
+    // Exact ledger cross-check: the trace's wrapped-comm and wrapped-
+    // recompute integers must reproduce the StepTiming ledger bit for bit.
+    for (rank, expected) in &opts.expected_ledger {
         let Some(profile) = ranks.get(&rank.to_string()) else {
             return Err(format!("ledger check: rank {rank} missing from trace"));
         };
-        if profile.wrapped_comm_us != comm_us || profile.wrapped_exposed_us != exposed_us {
+        let got = ExpectedTiming {
+            comm_us: profile.wrapped_comm_us,
+            exposed_us: profile.wrapped_exposed_us,
+            recompute_us: profile.wrapped_recompute_us,
+            exposed_recompute_us: profile.wrapped_exposed_recompute_us,
+        };
+        if got != *expected {
             return Err(format!(
-                "ledger check failed on rank {rank}: trace wraps comm {} µs / exposed {} µs, \
-                 CommTiming ledger says {comm_us} µs / {exposed_us} µs",
-                profile.wrapped_comm_us, profile.wrapped_exposed_us
+                "ledger check failed on rank {rank}: trace wraps {got:?}, StepTiming ledger \
+                 says {expected:?}"
             ));
         }
     }
@@ -454,8 +506,12 @@ pub fn render_ascii(report: &ProfileReport) -> String {
         }
         writeln!(
             out,
-            "    ledger mirror: comm {} µs, exposed {} µs",
-            rank.wrapped_comm_us, rank.wrapped_exposed_us
+            "    ledger mirror: comm {} µs, exposed {} µs, recompute {} µs, exposed \
+             recompute {} µs",
+            rank.wrapped_comm_us,
+            rank.wrapped_exposed_us,
+            rank.wrapped_recompute_us,
+            rank.wrapped_exposed_recompute_us
         )
         .unwrap();
     }

@@ -1,17 +1,17 @@
 //! End-to-end exactness contract of `mt-profile` on a real traced TP+SP
-//! step: category nanoseconds sum to the wall time, the wrapped-comm span
-//! args reproduce the `CommTiming` ledger integer for integer, the
-//! cross-rank critical path telescopes to the step wall, and the report
-//! survives a JSON round trip with `verify` still passing.
+//! step: category nanoseconds sum to the wall time, the wrapped-comm and
+//! wrapped-recompute span args reproduce the `StepTiming` ledger integer
+//! for integer, the cross-rank critical path telescopes to the step wall,
+//! and the report survives a JSON round trip with `verify` still passing.
 
 use mt_collectives::World;
 use mt_memory::Recompute;
 use mt_model::weights::LayerWeights;
 use mt_model::{
-    take_comm_timing, ActivationLedger, CommTiming, ExecMode, OverlapPolicy, TransformerConfig,
-    TransformerLayer,
+    take_step_timing, ActivationLedger, ExecMode, ExecPolicy, OverlapPolicy, StepTiming,
+    TransformerConfig, TransformerLayer,
 };
-use mt_profile::{analyze, verify, AnalyzeOptions, ProfileDocument, ProfileReport};
+use mt_profile::{analyze, verify, AnalyzeOptions, ExpectedTiming, ProfileDocument, ProfileReport};
 use mt_tensor::rng::{CounterRng, SplitMix64};
 use mt_tensor::Tensor;
 use mt_trace::Tracer;
@@ -33,8 +33,8 @@ fn config() -> TransformerConfig {
 }
 
 /// Runs one traced layer forward+backward and returns the events plus each
-/// rank's `CommTiming` ledger.
-fn traced_step(overlap: OverlapPolicy) -> (Vec<mt_trace::TraceEvent>, Vec<CommTiming>) {
+/// rank's `StepTiming` ledger.
+fn traced_step(overlap: OverlapPolicy) -> (Vec<mt_trace::TraceEvent>, Vec<StepTiming>) {
     let cfg = config();
     let tracer = Tracer::enabled();
     let mut rng = SplitMix64::new(17);
@@ -50,28 +50,45 @@ fn traced_step(overlap: OverlapPolicy) -> (Vec<mt_trace::TraceEvent>, Vec<CommTi
             0,
             Recompute::Selective,
             CounterRng::new(5),
-        )
-        .with_overlap_policy(overlap);
-        let mode = ExecMode::TensorSequenceParallel(&comm);
+        );
+        let policy = ExecPolicy::builder()
+            .backend(ExecMode::TensorSequenceParallel(&comm))
+            .overlap(overlap)
+            .build()
+            .expect("valid overlap policy");
         let x_local = x.chunk_axis0(T).unwrap()[comm.rank()].clone();
         let dy_local = dy.chunk_axis0(T).unwrap()[comm.rank()].clone();
-        let _ = take_comm_timing();
+        let _ = take_step_timing();
         let mut ledger = ActivationLedger::new();
-        let (_y, state) = layer.forward(&x_local, 0, &mode, &mut ledger);
-        let _ = layer.backward(&dy_local, state, &mode);
-        Ok(take_comm_timing())
+        let (_y, state) = layer.forward(&x_local, 0, policy, &mut ledger);
+        let _ = layer.backward(&dy_local, state, policy);
+        Ok(take_step_timing())
     });
     let timings = per_rank.into_iter().map(|r| r.expect("step failed")).collect();
     (tracer.events(), timings)
 }
 
-fn ledger_map(timings: &[CommTiming]) -> BTreeMap<u32, (u64, u64)> {
-    timings.iter().enumerate().map(|(rank, t)| (rank as u32, (t.comm_us, t.exposed_us))).collect()
+fn ledger_map(timings: &[StepTiming]) -> BTreeMap<u32, ExpectedTiming> {
+    timings
+        .iter()
+        .enumerate()
+        .map(|(rank, t)| {
+            (
+                rank as u32,
+                ExpectedTiming {
+                    comm_us: t.comm_us,
+                    exposed_us: t.exposed_us,
+                    recompute_us: t.recompute_us,
+                    exposed_recompute_us: t.exposed_recompute_us,
+                },
+            )
+        })
+        .collect()
 }
 
 fn analyze_with_ledger(
     events: &[mt_trace::TraceEvent],
-    timings: &[CommTiming],
+    timings: &[StepTiming],
     label: &str,
 ) -> ProfileReport {
     let opts = AnalyzeOptions {
@@ -93,9 +110,12 @@ fn exposed_step_attribution_is_exact_and_matches_the_ledger() {
         assert_eq!(profile.categories.total(), report.step_wall_ns);
         assert_eq!(profile.wrapped_comm_us, timings[rank].comm_us);
         assert_eq!(profile.wrapped_exposed_us, timings[rank].exposed_us);
+        assert_eq!(profile.wrapped_recompute_us, timings[rank].recompute_us);
+        assert_eq!(profile.wrapped_exposed_recompute_us, timings[rank].exposed_recompute_us);
         assert!(profile.categories.exposed_comm > 0, "TP+SP step must expose comm");
-        assert!(profile.categories.recompute > 0, "selective recompute must show up");
+        assert!(profile.categories.exposed_recompute > 0, "selective recompute must show up");
         assert_eq!(profile.categories.overlapped_comm, 0, "no overlap driver ran");
+        assert_eq!(profile.categories.overlapped_recompute, 0, "no prefetch driver ran");
     }
     assert_eq!(report.critical_path.total_ns, report.step_wall_ns, "path telescopes");
     assert_eq!(
@@ -118,10 +138,35 @@ fn overlapped_step_shows_overlapped_comm_and_still_balances() {
 }
 
 #[test]
+fn overlapped_recompute_step_splits_the_recompute_ledger_and_balances() {
+    let (events, timings) =
+        traced_step(OverlapPolicy::overlapped_recompute(2).expect("nonzero chunks"));
+    let report = analyze_with_ledger(&events, &timings, "overlapped_recompute_c2");
+    for (rank, profile) in report.ranks.values().enumerate() {
+        assert_eq!(profile.categories.total(), report.step_wall_ns);
+        assert_eq!(profile.wrapped_recompute_us, timings[rank].recompute_us);
+        assert_eq!(profile.wrapped_exposed_recompute_us, timings[rank].exposed_recompute_us);
+        assert!(
+            profile.wrapped_recompute_us >= profile.wrapped_exposed_recompute_us,
+            "exposed recompute cannot exceed total recompute"
+        );
+        assert!(
+            profile.categories.overlapped_recompute > 0,
+            "the prefetch driver must show up: {:?}",
+            profile.categories
+        );
+        // No inline replay ran, so any exposed-recompute ns can come only
+        // from the join-wait span (which may legitimately be nonzero when
+        // the replay outlasts the covering backward half).
+    }
+    assert_eq!(report.critical_path.total_ns, report.step_wall_ns);
+}
+
+#[test]
 fn a_doctored_ledger_fails_analysis() {
     let (events, timings) = traced_step(OverlapPolicy::Exposed);
     let mut ledger = ledger_map(&timings);
-    ledger.get_mut(&0).unwrap().1 += 1; // one microsecond of drift
+    ledger.get_mut(&0).unwrap().exposed_us += 1; // one microsecond of drift
     let opts = AnalyzeOptions {
         label: "doctored".to_string(),
         expected_ledger: ledger,

@@ -63,7 +63,7 @@ fn main() {
             let (toks, tgts) = dataset.microbatch(&indices);
             let mode = ExecMode::TensorSequenceParallel(&comm);
             let mut ledger = ActivationLedger::new();
-            let (loss, grads) = gpt.loss_and_grads(&toks, &tgts, step as u64, &mode, &mut ledger);
+            let (loss, grads) = gpt.loss_and_grads(&toks, &tgts, step as u64, mode, &mut ledger);
             opt.update(gpt.param_tensors_mut(), &grads.tensors());
             if comm.rank() == 0 && (step % 30 == 0 || step == STEPS - 1) {
                 println!("step {step:>4}: loss {loss:.4}");

@@ -61,7 +61,7 @@ fn main() {
                 tokens,
                 targets,
                 (g.dp_rank * STEPS + step) as u64,
-                &ExecMode::TensorParallel(&g.replica.tp),
+                ExecMode::TensorParallel(&g.replica.tp),
                 &mut ledger,
             );
             all_reduce_gpt_grads(&g.dp, &mut grads);
@@ -92,7 +92,7 @@ fn main() {
                 tokens,
                 targets,
                 (comm.rank() * STEPS + step) as u64,
-                &ExecMode::Serial,
+                ExecMode::Serial,
                 &mut ledger,
             );
             zero.step(&comm, gpt.param_tensors_mut(), &grads.tensors());

@@ -51,7 +51,7 @@ fn main() {
     for (m, (tokens, targets)) in data.iter().enumerate() {
         let mut ledger = ActivationLedger::new();
         let (loss, _) =
-            gpt.loss_and_grads(tokens, targets, m as u64, &ExecMode::Serial, &mut ledger);
+            gpt.loss_and_grads(tokens, targets, m as u64, ExecMode::Serial, &mut ledger);
         serial_loss += loss / N_MICRO as f32;
     }
     println!("serial reference mean loss: {serial_loss:.5}\n");

@@ -55,7 +55,7 @@ fn train_serial(policy: Recompute) -> Vec<f32> {
     for step in 0..STEPS {
         let mut ledger = ActivationLedger::new();
         let (loss, grads) =
-            gpt.loss_and_grads(&tokens, &targets, step as u64, &ExecMode::Serial, &mut ledger);
+            gpt.loss_and_grads(&tokens, &targets, step as u64, ExecMode::Serial, &mut ledger);
         adam.update(gpt.param_tensors_mut(), &grads.tensors());
         losses.push(loss);
     }
@@ -81,7 +81,7 @@ fn train_parallel(t: usize, sp: bool, policy: Recompute) -> (Vec<f32>, u64, u64)
             };
             let mut ledger = ActivationLedger::new();
             let (loss, grads) =
-                gpt.loss_and_grads(&tokens, &targets, step as u64, &mode, &mut ledger);
+                gpt.loss_and_grads(&tokens, &targets, step as u64, mode, &mut ledger);
             adam.update(gpt.param_tensors_mut(), &grads.tensors());
             losses.push(loss);
             ledger_bytes = ledger.paper_bytes();

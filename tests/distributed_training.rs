@@ -44,7 +44,7 @@ fn train_serial(policy: Recompute) -> Vec<f32> {
         .map(|step| {
             let mut ledger = ActivationLedger::new();
             let (loss, grads) =
-                gpt.loss_and_grads(&tokens, &targets, step as u64, &ExecMode::Serial, &mut ledger);
+                gpt.loss_and_grads(&tokens, &targets, step as u64, ExecMode::Serial, &mut ledger);
             adam.update(gpt.param_tensors_mut(), &grads.tensors());
             loss
         })
@@ -67,7 +67,7 @@ fn train_parallel(t: usize, sp: bool, policy: Recompute) -> Vec<Vec<f32>> {
                 };
                 let mut ledger = ActivationLedger::new();
                 let (loss, grads) =
-                    gpt.loss_and_grads(&tokens, &targets, step as u64, &mode, &mut ledger);
+                    gpt.loss_and_grads(&tokens, &targets, step as u64, mode, &mut ledger);
                 adam.update(gpt.param_tensors_mut(), &grads.tensors());
                 loss
             })

@@ -159,7 +159,7 @@ fn ledger_is_populated_through_the_trainer_path() {
     let gpt = Gpt::init(cfg, Recompute::Selective, 321);
     let (tokens, targets) = ds.microbatch(&[0, 1]);
     let mut ledger = ActivationLedger::new();
-    let _ = gpt.loss_and_grads(&tokens, &targets, 0, &ExecMode::Serial, &mut ledger);
+    let _ = gpt.loss_and_grads(&tokens, &targets, 0, ExecMode::Serial, &mut ledger);
     let per_layer = 34 * cfg.sbh();
     assert!(ledger.paper_bytes() >= per_layer * cfg.layers as u64);
 }

@@ -24,7 +24,7 @@ fn measure_ledger(
     if t == 1 {
         let layer = TransformerLayer::new(cfg, full, 0, policy, CounterRng::new(3));
         let mut ledger = ActivationLedger::new();
-        let _ = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
+        let _ = layer.forward(&x, 0, ExecMode::Serial, &mut ledger);
         ledger
     } else {
         World::run(t, |comm| {
@@ -43,7 +43,7 @@ fn measure_ledger(
             let x_local =
                 if sp { x.chunk_axis0(t).unwrap()[comm.rank()].clone() } else { x.clone() };
             let mut ledger = ActivationLedger::new();
-            let _ = layer.forward(&x_local, 0, &mode, &mut ledger);
+            let _ = layer.forward(&x_local, 0, mode, &mut ledger);
             ledger
         })
         .remove(0)
@@ -195,15 +195,15 @@ fn recompute_cost_ordering_on_real_execution() {
         let layer = TransformerLayer::new(cfg, w.clone(), 0, policy, CounterRng::new(5));
         // Warm up, then measure only the backward (where recompute happens).
         let mut ledger = ActivationLedger::new();
-        let (_, st) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
-        let _ = layer.backward(&dy, st, &ExecMode::Serial);
+        let (_, st) = layer.forward(&x, 0, ExecMode::Serial, &mut ledger);
+        let _ = layer.backward(&dy, st, ExecMode::Serial);
         let reps = 12;
         let mut total = 0.0;
         for _ in 0..reps {
             let mut ledger = ActivationLedger::new();
-            let (_, st) = layer.forward(&x, 0, &ExecMode::Serial, &mut ledger);
+            let (_, st) = layer.forward(&x, 0, ExecMode::Serial, &mut ledger);
             let start = std::time::Instant::now();
-            let _ = layer.backward(&dy, st, &ExecMode::Serial);
+            let _ = layer.backward(&dy, st, ExecMode::Serial);
             total += start.elapsed().as_secs_f64();
         }
         total / reps as f64
