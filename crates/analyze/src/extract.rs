@@ -53,11 +53,19 @@ impl StaticMode {
 struct Emitter {
     ops: Vec<ScheduleOp>,
     next_id: u64,
+    /// World-formation epoch stamped into every emitted tag, mirroring
+    /// `World::set_epoch`. 0 for a fresh world; an elastic re-formation
+    /// extracts its post-reform program at the bumped epoch.
+    epoch: u64,
 }
 
 impl Emitter {
     fn new() -> Self {
-        Emitter { ops: Vec::new(), next_id: 0 }
+        Self::at_epoch(0)
+    }
+
+    fn at_epoch(epoch: u64) -> Self {
+        Emitter { ops: Vec::new(), next_id: 0, epoch }
     }
 
     fn alloc(&mut self, category: Category, elems: u64) -> AllocId {
@@ -88,7 +96,8 @@ impl Emitter {
         chunk: Option<(usize, usize)>,
         payload_elems: u64,
     ) {
-        let tag = CallTag { op, shape: shape.to_vec(), root, chunk };
+        let epoch = self.epoch;
+        let tag = CallTag { op, shape: shape.to_vec(), root, chunk, epoch };
         self.ops.push(ScheduleOp::Collective { group, kind, tag, payload_elems });
     }
 
@@ -359,10 +368,27 @@ pub fn layer_program(
     policy: Recompute,
     overlap: OverlapPolicy,
 ) -> Program {
+    layer_program_at_epoch(cfg, t, sequence_parallel, policy, overlap, 0)
+}
+
+/// [`layer_program`] extracted at a non-zero world-formation epoch — the
+/// schedule an elastic re-formation runs after survivors re-form at a new
+/// TP degree with `World::set_epoch(epoch)` installed. Structurally the
+/// program is byte-for-byte a fresh `t`-wide program; only the `epoch`
+/// coordinate of every tag differs, which is exactly what the reform proof
+/// in `tests/elastic_reform.rs` pins down.
+pub fn layer_program_at_epoch(
+    cfg: &TransformerConfig,
+    t: usize,
+    sequence_parallel: bool,
+    policy: Recompute,
+    overlap: OverlapPolicy,
+    epoch: u64,
+) -> Program {
     let ctx = single_layer_ctx(cfg, t, sequence_parallel, policy, overlap);
     let ranks = (0..t)
         .map(|rank| {
-            let mut e = Emitter::new();
+            let mut e = Emitter::at_epoch(epoch);
             let ids = ctx.forward(&mut e);
             ctx.backward(&mut e);
             e.free_all(&ids);

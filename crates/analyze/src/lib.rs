@@ -44,7 +44,8 @@ pub mod matching;
 pub mod wire;
 
 pub use extract::{
-    interleaved_program, layer_forward_program, layer_program, pipeline_1f1b_program, StaticMode,
+    interleaved_program, layer_forward_program, layer_program, layer_program_at_epoch,
+    pipeline_1f1b_program, StaticMode,
 };
 pub use ir::{AllocId, GroupId, Program, RankProgram, ScheduleOp};
 pub use lint::{lint_source, lint_workspace, Allowlist, LintFinding};

@@ -1,7 +1,7 @@
 //! `mt-lint`: workspace source-hygiene rules.
 //!
 //! A deliberately small, line-oriented scanner — no parsing, no macros —
-//! enforcing three invariants the analyses in this crate depend on:
+//! enforcing four invariants the analyses in this crate depend on:
 //!
 //! * **`hand-rolled-call-tag`** — `CallTag` values may only be built by the
 //!   single constructor on the runtime communicator (`World::call_tag`).
@@ -14,6 +14,12 @@
 //! * **`hot-path-unwrap`** — the collective and pipeline hot paths may not
 //!   use bare `.unwrap()`; a panic there must state its invariant via
 //!   `.expect("…")`, and each such expect is reviewed into the allowlist.
+//! * **`epoch-bearing-call-tag`** — recovery paths (the retry and elastic
+//!   drivers) must install a world-formation epoch on every `World` they
+//!   build, so the collectives of a re-formed world carry epoch-bearing
+//!   tags and cross-epoch stragglers fence out as `SpmdMismatch` instead
+//!   of deadlocking. A `World::new` in a recovery path must be followed by
+//!   a `set_epoch` call within the next few lines.
 //!
 //! Findings are suppressed only by an [`Allowlist`] entry carrying a
 //! written justification; unused entries are reported so the allowlist
@@ -190,6 +196,16 @@ fn hot_path_scope(path: &str) -> bool {
         || path.ends_with("crates/model/src/pipeline_exec.rs")
 }
 
+/// Files that re-form worlds after failures: the same-degree retry driver
+/// and everything in the elastic crate.
+fn recovery_path_scope(path: &str) -> bool {
+    path.starts_with("crates/elastic/src/") || path.ends_with("crates/model/src/recovery.rs")
+}
+
+/// How many lines after a `World::new` the mandatory `set_epoch` may
+/// trail (world construction is a short builder-style sequence).
+const EPOCH_LOOKAHEAD: usize = 4;
+
 fn rules() -> Vec<Rule> {
     vec![
         Rule {
@@ -222,12 +238,15 @@ fn rules() -> Vec<Rule> {
 pub fn lint_source(path: &str, content: &str, allow: &Allowlist) -> Vec<LintFinding> {
     let rules = rules();
     let active: Vec<&Rule> = rules.iter().filter(|r| (r.in_scope)(path)).collect();
-    if active.is_empty() {
+    let epoch_rule = recovery_path_scope(path);
+    if active.is_empty() && !epoch_rule {
         return Vec::new();
     }
     let cfg_test = String::from("#[cfg") + "(test)]";
+    let world_new = String::from("World") + "::new(";
+    let lines: Vec<&str> = content.lines().collect();
     let mut findings = Vec::new();
-    for (i, line) in content.lines().enumerate() {
+    for (i, line) in lines.iter().enumerate() {
         let trimmed = line.trim();
         if trimmed.starts_with(&cfg_test) {
             break; // test modules sit at the end of files in this workspace
@@ -245,6 +264,23 @@ pub fn lint_source(path: &str, content: &str, allow: &Allowlist) -> Vec<LintFind
                     line: i + 1,
                     text: trimmed.to_string(),
                     message: rule.message,
+                });
+            }
+        }
+        // Epoch rule: a recovery-path world must declare its formation
+        // epoch right after construction.
+        if epoch_rule && trimmed.contains(world_new.as_str()) {
+            let epoch_set =
+                lines[i + 1..].iter().take(EPOCH_LOOKAHEAD).any(|l| l.contains("set_epoch"));
+            if !epoch_set && !allow.permits("epoch-bearing-call-tag", path, trimmed) {
+                findings.push(LintFinding {
+                    rule: "epoch-bearing-call-tag",
+                    path: path.to_string(),
+                    line: i + 1,
+                    text: trimmed.to_string(),
+                    message: "recovery-path worlds must install a formation epoch \
+                              (call set_epoch right after World::new) so re-formed \
+                              collectives carry epoch-bearing tags",
                 });
             }
         }
@@ -347,6 +383,33 @@ mod tests {
         assert_eq!(found[0].rule, "hot-path-unwrap");
         // Same line outside a hot path is fine.
         assert!(lint_source("crates/model/src/layer.rs", src, &Allowlist::empty()).is_empty());
+    }
+
+    #[test]
+    fn recovery_world_without_epoch_is_flagged() {
+        let bare = "fn retry() {\n    let mut world = World::new(tp);\n    world.set_timeout(t);\n    world.run(|c| step(c));\n}\n";
+        let found = lint_source("crates/elastic/src/driver.rs", bare, &Allowlist::empty());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "epoch-bearing-call-tag");
+        assert_eq!(found[0].line, 2);
+        // recovery.rs is also in scope; unrelated model files are not.
+        assert_eq!(lint_source("crates/model/src/recovery.rs", bare, &Allowlist::empty()).len(), 1);
+        assert!(lint_source("crates/model/src/trainer.rs", bare, &Allowlist::empty()).is_empty());
+    }
+
+    #[test]
+    fn recovery_world_with_epoch_passes() {
+        let good = "fn reform() {\n    let mut world = World::new(t_new);\n    world.set_epoch(epoch);\n    world.run(|c| step(c));\n}\n";
+        assert!(lint_source("crates/elastic/src/driver.rs", good, &Allowlist::empty()).is_empty());
+        // set_epoch trailing past the lookahead window does not count.
+        let late = format!(
+            "fn f() {{\n    let mut world = World::new(t);\n{}    world.set_epoch(e);\n}}\n",
+            "    other();\n".repeat(EPOCH_LOOKAHEAD)
+        );
+        assert_eq!(
+            lint_source("crates/elastic/src/driver.rs", &late, &Allowlist::empty()).len(),
+            1
+        );
     }
 
     #[test]

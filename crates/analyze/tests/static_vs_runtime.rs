@@ -345,7 +345,7 @@ proptest! {
                         ops: vec![ScheduleOp::Collective {
                             group: GroupId::Tp { stage: 0 },
                             kind: CollectiveKind::AllReduce,
-                            tag: CallTag { op: "all_reduce", shape, root: None, chunk: None },
+                            tag: CallTag { op: "all_reduce", shape, root: None, chunk: None, epoch: 0 },
                             payload_elems: elems,
                         }],
                     }

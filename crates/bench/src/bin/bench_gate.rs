@@ -6,9 +6,12 @@
 //!            --kernels-baseline reports/baselines/BENCH_kernels.baseline.json \
 //!            --e2e reports/BENCH_e2e.json \
 //!            --e2e-baseline reports/baselines/BENCH_e2e.baseline.json \
+//!            [--recovery reports/BENCH_recovery.json] \
+//!            [--recovery-baseline reports/baselines/BENCH_recovery.baseline.json] \
 //!            [--profile reports/PROFILE_e2e.json] \
 //!            [--profile-baseline reports/baselines/PROFILE_e2e.baseline.json] \
-//!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5]
+//!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5] \
+//!            [--max-mttr-slowdown 3.0]
 //! ```
 //!
 //! When the gate fails and both profile documents (from
@@ -29,6 +32,14 @@
 //! `overlapped_recompute` config strictly less exposed recompute time than
 //! the `exposed` config's inline replay.
 //!
+//! Recovery entries (from `recovery_bench`) are keyed by `scenario` and
+//! fail when `mttr_ms` regresses past `--max-mttr-slowdown` (default ×3.0
+//! — millisecond-scale recovery timings include thread spawn and are the
+//! noisiest of the suite), when the reform count or final degree drift
+//! from the baseline (the scenario changed shape, so the timing is not
+//! comparable), or when `bit_identical` is false — an MTTR number for a
+//! recovery that corrupts training gates nothing.
+//!
 //! A key present in the baseline but missing from the fresh run (or vice
 //! versa) is a failure: silently dropping a benchmark is how regressions
 //! hide. A per-entry delta table is printed to stdout and appended to
@@ -44,11 +55,14 @@ struct GateArgs {
     kernels_baseline: String,
     e2e: String,
     e2e_baseline: String,
+    recovery: String,
+    recovery_baseline: String,
     profile: String,
     profile_baseline: String,
     max_slowdown: f64,
     min_gflops_ratio: f64,
     max_step_slowdown: f64,
+    max_mttr_slowdown: f64,
 }
 
 fn parse_args() -> GateArgs {
@@ -57,11 +71,14 @@ fn parse_args() -> GateArgs {
         kernels_baseline: "reports/baselines/BENCH_kernels.baseline.json".to_string(),
         e2e: "reports/BENCH_e2e.json".to_string(),
         e2e_baseline: "reports/baselines/BENCH_e2e.baseline.json".to_string(),
+        recovery: "reports/BENCH_recovery.json".to_string(),
+        recovery_baseline: "reports/baselines/BENCH_recovery.baseline.json".to_string(),
         profile: "reports/PROFILE_e2e.json".to_string(),
         profile_baseline: "reports/baselines/PROFILE_e2e.baseline.json".to_string(),
         max_slowdown: 1.25,
         min_gflops_ratio: 0.80,
         max_step_slowdown: 1.5,
+        max_mttr_slowdown: 3.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,11 +93,14 @@ fn parse_args() -> GateArgs {
             "--kernels-baseline" => args.kernels_baseline = value.clone(),
             "--e2e" => args.e2e = value.clone(),
             "--e2e-baseline" => args.e2e_baseline = value.clone(),
+            "--recovery" => args.recovery = value.clone(),
+            "--recovery-baseline" => args.recovery_baseline = value.clone(),
             "--profile" => args.profile = value.clone(),
             "--profile-baseline" => args.profile_baseline = value.clone(),
             "--max-slowdown" => args.max_slowdown = parse_f64(flag, value),
             "--min-gflops-ratio" => args.min_gflops_ratio = parse_f64(flag, value),
             "--max-step-slowdown" => args.max_step_slowdown = parse_f64(flag, value),
+            "--max-mttr-slowdown" => args.max_mttr_slowdown = parse_f64(flag, value),
             _ => {
                 eprintln!("unknown argument {flag}");
                 std::process::exit(2);
@@ -197,6 +217,49 @@ fn main() {
         }
         writeln!(table, "| e2e | {key} | {b_ms:.3} ms | {n_ms:.3} ms | ×{ratio:.2} | {verdict} |")
             .unwrap();
+    }
+
+    // --- elastic recovery MTTR ---
+    let fresh_recovery = index_results(&load(&args.recovery), &args.recovery, &["scenario"]);
+    let base_recovery =
+        index_results(&load(&args.recovery_baseline), &args.recovery_baseline, &["scenario"]);
+    compare_keys(&fresh_recovery, &base_recovery, "recovery", &mut failures);
+    for (key, b) in &base_recovery {
+        let Some(n) = fresh_recovery.get(key) else { continue };
+        let (b_ms, n_ms) = (f(b, "mttr_ms"), f(n, "mttr_ms"));
+        let ratio = n_ms / b_ms;
+        let mut verdict = "ok";
+        if ratio.is_nan() || ratio > args.max_mttr_slowdown {
+            verdict = "FAIL";
+            failures.push(format!(
+                "recovery {key}: mttr_ms {n_ms:.3} vs baseline {b_ms:.3} (×{ratio:.2} > ×{})",
+                args.max_mttr_slowdown
+            ));
+        }
+        // The scenario must keep its shape, or the timing compares apples
+        // to oranges.
+        for field in ["reforms", "final_degree"] {
+            if n[field] != b[field] {
+                verdict = "FAIL";
+                failures.push(format!(
+                    "recovery {key}: {field} changed {} -> {} (scenario shape drifted)",
+                    b[field], n[field]
+                ));
+            }
+        }
+        // Bit identity is the headline invariant: a fast recovery that
+        // perturbs training is not a win.
+        if n["bit_identical"] != Value::Bool(true) {
+            verdict = "FAIL";
+            failures.push(format!(
+                "recovery {key}: recovered run is not bit-identical to its planned-resize control"
+            ));
+        }
+        writeln!(
+            table,
+            "| recovery | {key} mttr | {b_ms:.3} ms | {n_ms:.3} ms | ×{ratio:.2} | {verdict} |"
+        )
+        .unwrap();
     }
 
     // Overlap invariant on the fresh run: chunked+overlapped must expose

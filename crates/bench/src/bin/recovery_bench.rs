@@ -1,0 +1,251 @@
+//! Elastic-recovery benchmark: measures mean-time-to-recovery for rank
+//! deaths under `train_elastic`, phase by phase, and writes
+//! `reports/BENCH_recovery.json` for `bench_gate`.
+//!
+//! ```text
+//! recovery_bench [--smoke] [--reps N]
+//! ```
+//!
+//! Each scenario trains a small GPT at t=4 with a scripted rank death,
+//! repeats the run `--reps` times, and reports the repetition with the
+//! smallest total MTTR (best-of-N, like the other benches — the floor is
+//! the machine's capability; the variance is scheduler noise). The four
+//! phases are the elastic driver's own breakdown:
+//!
+//! * `detect_ms` — failed attempt's launch until its errors surface
+//!   (includes the attempt's wasted compute),
+//! * `consensus_ms` — the epoch-consensus barrier on the survivor world,
+//! * `reshard_ms` — gathering t checkpoint shards and re-splitting to t′,
+//! * `replay_ms` — re-running the lost segment at the new degree.
+//!
+//! Every scenario also re-proves the headline invariant before timing:
+//! losses and final unsharded weights of the recovered run must be
+//! `to_bits`-identical to a fault-free run taking the same degree changes
+//! as planned resizes. The `bit_identical` flag lands in the JSON and
+//! `bench_gate` fails if it is ever false — an MTTR number for a recovery
+//! that corrupts training is not a benchmark, it is a bug report.
+
+use mt_elastic::{train_elastic, unsharded_bits, ElasticConfig, PlannedResize};
+use mt_fault::FaultPlan;
+use mt_memory::Recompute;
+use mt_model::gpt::Gpt;
+use mt_model::trainer::TrainerConfig;
+use mt_model::TransformerConfig;
+use mt_tensor::rng::SplitMix64;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SCHEMA_VERSION: u64 = 1;
+
+struct Scenario {
+    name: &'static str,
+    /// (rank, step) pairs that panic, in schedule order.
+    deaths: &'static [(usize, u64)],
+    total_steps: u64,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario { name: "death_t4_to_t2", deaths: &[(1, 4)], total_steps: 9 },
+    Scenario { name: "double_death_t4_to_t1", deaths: &[(2, 4), (0, 7)], total_steps: 9 },
+];
+
+struct Entry {
+    scenario: &'static str,
+    reps: usize,
+    reforms: usize,
+    final_degree: usize,
+    detect_ms: f64,
+    consensus_ms: f64,
+    reshard_ms: f64,
+    replay_ms: f64,
+    mttr_ms: f64,
+    bit_identical: bool,
+}
+
+fn bench_cfg() -> TransformerConfig {
+    TransformerConfig {
+        hidden: 16,
+        heads: 4,
+        seq: 8,
+        micro_batch: 2,
+        layers: 2,
+        vocab: 24,
+        dropout_p: 0.1,
+        causal: true,
+    }
+}
+
+fn batch(c: &TransformerConfig, step: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = SplitMix64::new(0xBE7C ^ step);
+    let n = c.tokens();
+    (
+        (0..n).map(|_| (rng.next_u64() as usize) % c.vocab).collect(),
+        (0..n).map(|_| (rng.next_u64() as usize) % c.vocab).collect(),
+    )
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let mut reps = if smoke { 2usize } else { 5 };
+    if let Some(i) = argv.iter().position(|a| a == "--reps") {
+        reps = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--reps requires a positive integer");
+            std::process::exit(2);
+        });
+    }
+    assert!(reps > 0, "--reps must be positive");
+
+    let c = bench_cfg();
+    let init = Gpt::init(c, Recompute::Selective, 2023);
+    let data = |step: u64| batch(&c, step);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for scenario in SCENARIOS {
+        let ec = ElasticConfig {
+            total_steps: scenario.total_steps,
+            checkpoint_every: 3,
+            max_failures: scenario.deaths.len() as u32 + 1,
+            collective_timeout: Duration::from_secs(10),
+            planned: Vec::new(),
+        };
+        let make_plan = || {
+            let mut b = FaultPlan::builder();
+            for &(rank, step) in scenario.deaths {
+                b = b.panic_at_step(rank, step);
+            }
+            b.build()
+        };
+
+        // Invariant first: the recovered run must be bit-identical to a
+        // fault-free run planning the same degree schedule.
+        let (models, report) = train_elastic(
+            &init,
+            4,
+            Recompute::Selective,
+            TrainerConfig::default(),
+            &ec,
+            Arc::new(make_plan()),
+            data,
+        )
+        .expect("scripted recovery succeeds");
+        let control_ec = ElasticConfig {
+            planned: report
+                .reforms
+                .iter()
+                .map(|r| PlannedResize { at_step: r.resume_step, degree: r.to_degree })
+                .collect(),
+            ..ec.clone()
+        };
+        let (control, control_report) = train_elastic(
+            &init,
+            4,
+            Recompute::Selective,
+            TrainerConfig::default(),
+            &control_ec,
+            Arc::new(FaultPlan::none()),
+            data,
+        )
+        .expect("planned-resize control succeeds");
+        let bit_identical = control_report.stats.len() == report.stats.len()
+            && control_report
+                .stats
+                .iter()
+                .zip(&report.stats)
+                .all(|(a, b)| a.loss.to_bits() == b.loss.to_bits())
+            && unsharded_bits(&control) == unsharded_bits(&models);
+
+        // Best-of-N timing: keep the repetition with the smallest total
+        // MTTR summed over its reforms.
+        let mut best = report;
+        for _ in 1..reps {
+            let (_, rep) = train_elastic(
+                &init,
+                4,
+                Recompute::Selective,
+                TrainerConfig::default(),
+                &ec,
+                Arc::new(make_plan()),
+                data,
+            )
+            .expect("scripted recovery succeeds");
+            let total = |r: &mt_elastic::ElasticReport| -> Duration {
+                r.reforms.iter().map(|f| f.mttr.total()).sum()
+            };
+            if total(&rep) < total(&best) {
+                best = rep;
+            }
+        }
+
+        let sum = |f: fn(&mt_elastic::MttrBreakdown) -> Duration| -> f64 {
+            ms(best.reforms.iter().map(|r| f(&r.mttr)).sum())
+        };
+        let entry = Entry {
+            scenario: scenario.name,
+            reps,
+            reforms: best.reforms.len(),
+            final_degree: best.final_degree,
+            detect_ms: sum(|m| m.detect),
+            consensus_ms: sum(|m| m.consensus),
+            reshard_ms: sum(|m| m.reshard),
+            replay_ms: sum(|m| m.replay),
+            mttr_ms: ms(best.reforms.iter().map(|r| r.mttr.total()).sum()),
+            bit_identical,
+        };
+        println!(
+            "{}: reforms={} final_t={} mttr={:.3} ms \
+             (detect {:.3} + consensus {:.3} + reshard {:.3} + replay {:.3}) bit_identical={}",
+            entry.scenario,
+            entry.reforms,
+            entry.final_degree,
+            entry.mttr_ms,
+            entry.detect_ms,
+            entry.consensus_ms,
+            entry.reshard_ms,
+            entry.replay_ms,
+            entry.bit_identical,
+        );
+        entries.push(entry);
+    }
+
+    let result_values: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "scenario": e.scenario,
+                "reps": e.reps,
+                "reforms": e.reforms,
+                "final_degree": e.final_degree,
+                "detect_ms": e.detect_ms,
+                "consensus_ms": e.consensus_ms,
+                "reshard_ms": e.reshard_ms,
+                "replay_ms": e.replay_ms,
+                "mttr_ms": e.mttr_ms,
+                "bit_identical": e.bit_identical,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "recovery_bench",
+        "smoke": smoke,
+        "t": 4,
+        "hidden": c.hidden,
+        "seq": c.seq,
+        "micro_batch": c.micro_batch,
+        "checkpoint_every": 3,
+        "available_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "results": result_values,
+    });
+    std::fs::create_dir_all("reports").expect("create reports/");
+    std::fs::write(
+        "reports/BENCH_recovery.json",
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write reports/BENCH_recovery.json");
+    println!("\nwrote reports/BENCH_recovery.json ({} entries)", entries.len());
+}

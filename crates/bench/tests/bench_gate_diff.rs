@@ -58,6 +58,15 @@ fn e2e_doc(exposed_step_ms: f64) -> String {
     )
 }
 
+/// One recovery document with a single healthy, bit-identical scenario.
+fn recovery_doc(mttr_ms: f64) -> String {
+    format!(
+        r#"{{"results": [{{"scenario": "death_t4_to_t2", "reps": 2, "reforms": 1,
+            "final_degree": 2, "detect_ms": 1.0, "consensus_ms": 0.1, "reshard_ms": 0.3,
+            "replay_ms": 1.5, "mttr_ms": {mttr_ms}, "bit_identical": true}}]}}"#
+    )
+}
+
 struct Fixture {
     dir: PathBuf,
 }
@@ -99,6 +108,8 @@ fn run_gate(
     let kernels_base = fx.write("kernels_base.json", &kernels_doc(1.0));
     let e2e = fx.write("e2e.json", &e2e_doc(fresh_step_ms));
     let e2e_base = fx.write("e2e_base.json", &e2e_doc(100.0));
+    let recovery = fx.write("recovery.json", &recovery_doc(2.9));
+    let recovery_base = fx.write("recovery_base.json", &recovery_doc(2.9));
     let profile = fx.path("profile.json");
     let profile_base = fx.path("profile_base.json");
     write_profile_doc(&profile_base, "exposed", base_profile.0, base_profile.1);
@@ -114,6 +125,10 @@ fn run_gate(
             e2e.to_str().unwrap(),
             "--e2e-baseline",
             e2e_base.to_str().unwrap(),
+            "--recovery",
+            recovery.to_str().unwrap(),
+            "--recovery-baseline",
+            recovery_base.to_str().unwrap(),
             "--profile",
             profile.to_str().unwrap(),
             "--profile-baseline",

@@ -26,6 +26,13 @@ pub struct CallTag {
     /// its own rendezvous, so a rank issuing chunk 2 while a peer issues
     /// chunk 3 of the same op is an SPMD mismatch, not a silent reorder.
     pub chunk: Option<(usize, usize)>,
+    /// World-formation epoch the call belongs to. A fresh world is epoch 0;
+    /// every elastic re-formation after a rank death bumps it. A straggler
+    /// rank still replaying the old epoch that wanders into a re-formed
+    /// world's round therefore surfaces as
+    /// [`CollectiveError::SpmdMismatch`] naming both epochs, instead of a
+    /// silent deadlock or a cross-epoch data mixup.
+    pub epoch: u64,
 }
 
 impl fmt::Display for CallTag {
@@ -36,6 +43,9 @@ impl fmt::Display for CallTag {
         }
         if let Some((j, c)) = self.chunk {
             write!(f, ", chunk={j}/{c}")?;
+        }
+        if self.epoch != 0 {
+            write!(f, ", epoch={}", self.epoch)?;
         }
         write!(f, ")")
     }
@@ -145,12 +155,14 @@ mod tests {
                 shape: vec![2, 3],
                 root: None,
                 chunk: None,
+                epoch: 0,
             }),
             found: Box::new(CallTag {
                 op: "broadcast",
                 shape: vec![2, 3],
                 root: Some(0),
                 chunk: None,
+                epoch: 0,
             }),
         };
         let msg = e.to_string();
@@ -162,7 +174,21 @@ mod tests {
 
     #[test]
     fn display_names_the_chunk_coordinate() {
-        let t = CallTag { op: "all_gather", shape: vec![4, 8], root: None, chunk: Some((1, 4)) };
+        let t = CallTag {
+            op: "all_gather",
+            shape: vec![4, 8],
+            root: None,
+            chunk: Some((1, 4)),
+            epoch: 0,
+        };
         assert_eq!(t.to_string(), "all_gather(shape=[4, 8], chunk=1/4)");
+    }
+
+    #[test]
+    fn display_names_the_epoch_after_a_reform() {
+        // Epoch 0 (a never-reformed world) stays out of the rendering so
+        // ordinary mismatch messages keep their familiar shape.
+        let t = CallTag { op: "barrier", shape: vec![], root: None, chunk: None, epoch: 2 };
+        assert_eq!(t.to_string(), "barrier(shape=[], epoch=2)");
     }
 }

@@ -185,6 +185,7 @@ pub struct World {
     timeout: Duration,
     fault_plan: Option<Arc<FaultPlan>>,
     link: Option<CommCostModel>,
+    epoch: u64,
 }
 
 impl std::fmt::Debug for World {
@@ -223,6 +224,7 @@ impl World {
             timeout: DEFAULT_COLLECTIVE_TIMEOUT,
             fault_plan: None,
             link: None,
+            epoch: 0,
         }
     }
 
@@ -265,6 +267,22 @@ impl World {
         self.link = Some(model);
     }
 
+    /// Sets the world-formation epoch stamped into every [`CallTag`] built
+    /// by communicators extracted afterwards. A fresh world is epoch 0;
+    /// elastic recovery re-forms survivors into a new world at `epoch + 1`,
+    /// so a straggler communicator from the previous formation that reaches
+    /// a re-formed round fails fast as
+    /// [`CollectiveError::SpmdMismatch`] naming both epochs rather than
+    /// corrupting the round or deadlocking it.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The world-formation epoch communicators are currently extracted at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Extracts the communicator for `rank`. Each rank may be taken once.
     ///
     /// # Panics
@@ -289,6 +307,7 @@ impl World {
             timeout: self.timeout,
             fault_plan: self.fault_plan.clone(),
             link: self.link,
+            epoch: self.epoch,
             seq: Cell::new(0),
         }
     }
@@ -437,6 +456,8 @@ pub struct Communicator {
     timeout: Duration,
     fault_plan: Option<Arc<FaultPlan>>,
     link: Option<CommCostModel>,
+    // World-formation epoch stamped into every CallTag this rank builds.
+    epoch: u64,
     // Index of the next collective/p2p call on this rank; fault plans
     // address injection points by (rank, seq).
     seq: Cell<u64>,
@@ -473,6 +494,12 @@ impl Communicator {
     /// The rendezvous deadline this communicator was extracted with.
     pub fn collective_timeout(&self) -> Duration {
         self.timeout
+    }
+
+    /// The world-formation epoch this communicator stamps into its tags
+    /// (see [`World::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Records the stats entry for one collective call and opens its span,
@@ -542,7 +569,7 @@ impl Communicator {
         root: Option<usize>,
         chunk: Option<(usize, usize)>,
     ) -> CallTag {
-        CallTag { op, shape: shape.to_vec(), root, chunk }
+        CallTag { op, shape: shape.to_vec(), root, chunk, epoch: self.epoch }
     }
 
     /// Consults the world's fault plan before a call. Returns `Err` for an
@@ -1299,6 +1326,34 @@ mod tests {
                 .any(|r| matches!(r, Err(CollectiveError::SpmdMismatch { expected, found, .. })
                     if expected.chunk != found.chunk)),
             "{out:?}"
+        );
+    }
+
+    #[test]
+    fn cross_epoch_rendezvous_is_an_spmd_error_not_a_deadlock() {
+        // A straggler communicator extracted before an elastic re-formation
+        // (epoch 0) wanders into a round of the re-formed world (epoch 1):
+        // the rendezvous must fail fast naming both epochs, not hang or mix
+        // data across formations.
+        let mut world = World::new(2);
+        world.set_collective_timeout(Duration::from_secs(2));
+        let straggler = world.communicator(0);
+        world.set_epoch(1);
+        let reformed = world.communicator(1);
+        let results = std::thread::scope(|scope| {
+            let handles = [
+                scope.spawn(move || straggler.try_all_reduce(&Tensor::full(&[2], 1.0))),
+                scope.spawn(move || reformed.try_all_reduce(&Tensor::full(&[2], 1.0))),
+            ];
+            handles.map(|h| h.join().expect("try_* does not panic"))
+        });
+        assert!(
+            results.iter().any(|r| matches!(
+                r,
+                Err(CollectiveError::SpmdMismatch { expected, found, .. })
+                    if expected.epoch != found.epoch
+            )),
+            "{results:?}"
         );
     }
 

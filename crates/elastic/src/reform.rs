@@ -1,0 +1,155 @@
+//! World re-formation after a rank death: survivor-degree selection and
+//! the deterministic epoch-consensus barrier.
+
+use mt_collectives::{CollectiveError, Communicator};
+use mt_model::TransformerConfig;
+use mt_tensor::Tensor;
+use std::fmt;
+
+/// The agreement every survivor must reach before the re-formed world may
+/// take a training step: which epoch the new formation is, and which
+/// committed step it resumes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Consensus {
+    /// World-formation epoch of the new world (`old epoch + 1`).
+    pub epoch: u64,
+    /// Global step of the checkpoint the survivors replay from.
+    pub resume_step: u64,
+}
+
+/// Why the epoch-consensus barrier failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsensusError {
+    /// The consensus round itself failed (timeout, dead rank, ...).
+    Collective(CollectiveError),
+    /// The group maximum disagreed with this rank's proposal — the
+    /// survivors do not share one view of the last committed checkpoint,
+    /// and resuming would replay from the wrong step on some ranks.
+    Diverged {
+        /// Rank that observed the divergence.
+        rank: usize,
+        /// This rank's proposal.
+        proposed: Consensus,
+        /// The group maximum.
+        agreed: Consensus,
+    },
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::Collective(e) => write!(f, "consensus round failed: {e}"),
+            ConsensusError::Diverged { rank, proposed, agreed } => write!(
+                f,
+                "rank {rank}: consensus diverged, proposed epoch {} @ step {} \
+                 but group agreed on epoch {} @ step {}",
+                proposed.epoch, proposed.resume_step, agreed.epoch, agreed.resume_step
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {}
+
+/// The deterministic epoch-consensus barrier: every survivor contributes
+/// its `(proposed_epoch, resume_step)` pair to an `all_reduce_max` round on
+/// the re-formed world and checks the maximum equals its own proposal.
+///
+/// Running it as the *first* collective of the new world does double duty:
+/// it proves the survivors agree on where training resumes, and — because
+/// the round's [`CallTag`](mt_collectives::CallTag) carries the bumped
+/// epoch — it fences out any straggler still replaying the previous
+/// formation, which surfaces as [`CollectiveError::SpmdMismatch`] naming
+/// both epochs instead of joining (or deadlocking) the round.
+///
+/// # Errors
+///
+/// [`ConsensusError::Collective`] for a failed round,
+/// [`ConsensusError::Diverged`] when the group maximum disagrees with this
+/// rank's proposal.
+pub fn epoch_consensus(
+    comm: &Communicator,
+    proposed_epoch: u64,
+    resume_step: u64,
+) -> Result<Consensus, ConsensusError> {
+    // f32 holds these counters exactly below 2^24 — vastly beyond any
+    // simulated run's epochs or steps.
+    let proposal = Tensor::from_vec(vec![2], vec![proposed_epoch as f32, resume_step as f32])
+        .expect("2-element proposal");
+    let agreed = comm.try_all_reduce_max(&proposal).map_err(ConsensusError::Collective)?;
+    let agreed = Consensus { epoch: agreed.data()[0] as u64, resume_step: agreed.data()[1] as u64 };
+    let proposed = Consensus { epoch: proposed_epoch, resume_step };
+    if agreed != proposed {
+        // The max picked up a larger pair somewhere: fail loudly with both
+        // views rather than resuming from the wrong checkpoint.
+        return Err(ConsensusError::Diverged { rank: comm.rank(), proposed, agreed });
+    }
+    Ok(agreed)
+}
+
+/// Picks the degree the survivors re-form at: the largest `t′ ≤ survivors`
+/// the model configuration divides by (heads and sequence length, the same
+/// divisibility `Gpt::shard` demands). Returns `None` when no positive
+/// degree fits — i.e. nobody survived.
+pub fn survivor_degree(cfg: &TransformerConfig, survivors: usize) -> Option<usize> {
+    (1..=survivors).rev().find(|&t| cfg.heads.is_multiple_of(t) && cfg.seq.is_multiple_of(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_collectives::World;
+
+    fn cfg() -> TransformerConfig {
+        TransformerConfig {
+            hidden: 16,
+            heads: 4,
+            seq: 8,
+            micro_batch: 2,
+            layers: 2,
+            vocab: 24,
+            dropout_p: 0.0,
+            causal: true,
+        }
+    }
+
+    #[test]
+    fn survivor_degree_picks_the_largest_dividing_width() {
+        let c = cfg();
+        assert_eq!(survivor_degree(&c, 4), Some(4));
+        assert_eq!(survivor_degree(&c, 3), Some(2), "3 does not divide 4 heads");
+        assert_eq!(survivor_degree(&c, 2), Some(2));
+        assert_eq!(survivor_degree(&c, 1), Some(1));
+        assert_eq!(survivor_degree(&c, 0), None);
+    }
+
+    #[test]
+    fn unanimous_consensus_agrees_on_the_proposal() {
+        let mut world = World::new(2);
+        world.set_epoch(3);
+        let out = world.run_fallible(|c| Ok(epoch_consensus(&c, 3, 12)));
+        for r in out {
+            let consensus = r.expect("round succeeds").expect("agrees");
+            assert_eq!(consensus, Consensus { epoch: 3, resume_step: 12 });
+        }
+    }
+
+    #[test]
+    fn divergent_proposals_are_rejected() {
+        let mut world = World::new(2);
+        world.set_epoch(1);
+        let out = world.run_fallible(|c| {
+            // Rank 1 believes a later checkpoint committed.
+            let step = if c.rank() == 0 { 8 } else { 12 };
+            Ok(epoch_consensus(&c, 1, step))
+        });
+        // Rank 0's proposal is below the max: it must observe divergence.
+        match &out[0] {
+            Ok(Err(ConsensusError::Diverged { rank: 0, proposed, agreed })) => {
+                assert_eq!(proposed.resume_step, 8);
+                assert_eq!(agreed.resume_step, 12);
+            }
+            other => panic!("expected divergence on rank 0, got {other:?}"),
+        }
+    }
+}

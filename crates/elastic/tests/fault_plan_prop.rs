@@ -1,0 +1,121 @@
+//! Property tests pinning the [`FaultPlan::random`] contract the chaos
+//! soak leans on: same seed means the same plan, every coordinate is
+//! distinct and in bounds, faults consume exactly once, and a consumed
+//! Panic/Transient coordinate reports `Recovered` on its first replay and
+//! is silent afterwards. If any of these drift, soak runs stop being
+//! reproducible or recovery stops converging.
+
+use mt_fault::{FaultAction, FaultKind, FaultPlan, FaultSite};
+use proptest::prelude::*;
+
+proptest! {
+    /// Same seed, same plan — byte for byte; a different seed diverges
+    /// somewhere in the schedule space (not guaranteed per-seed-pair, so
+    /// only the equality half is universally asserted).
+    #[test]
+    fn random_plans_are_seed_deterministic(
+        seed in 0u64..u64::MAX,
+        ranks in 1usize..8,
+        max_seq in 1u64..64,
+        count in 0usize..12,
+    ) {
+        let count = count.min((ranks as u64 * max_seq) as usize);
+        let a = FaultPlan::random(seed, ranks, max_seq, count);
+        let b = FaultPlan::random(seed, ranks, max_seq, count);
+        prop_assert_eq!(a.specs(), b.specs());
+    }
+
+    /// A random plan schedules exactly `count` faults, at distinct
+    /// collective coordinates, all inside the requested space.
+    #[test]
+    fn random_plans_stay_in_bounds_with_distinct_sites(
+        seed in 0u64..u64::MAX,
+        ranks in 1usize..8,
+        max_seq in 1u64..64,
+        count in 0usize..12,
+    ) {
+        let count = count.min((ranks as u64 * max_seq) as usize);
+        let plan = FaultPlan::random(seed, ranks, max_seq, count);
+        prop_assert_eq!(plan.specs().len(), count);
+        for (i, spec) in plan.specs().iter().enumerate() {
+            prop_assert!(
+                matches!(spec.site, FaultSite::Collective { .. }),
+                "random plans target collectives only"
+            );
+            let FaultSite::Collective { rank, seq } = spec.site else { unreachable!() };
+            prop_assert!(rank < ranks);
+            prop_assert!(seq < max_seq);
+            for other in &plan.specs()[i + 1..] {
+                prop_assert_ne!(spec.site, other.site);
+            }
+        }
+    }
+
+    /// Consume-once: the first poll of each scheduled coordinate fires the
+    /// fault's action; the second poll never repeats it. Panic/Transient
+    /// report `Recovered` exactly once on replay, Delay goes silent, and
+    /// every later visit returns `None` — which is what lets a replayed
+    /// segment run the coordinate clean.
+    #[test]
+    fn faults_consume_once_and_report_recovery_on_replay(
+        seed in 0u64..u64::MAX,
+        ranks in 1usize..8,
+        max_seq in 1u64..64,
+        count in 1usize..12,
+    ) {
+        let count = count.min((ranks as u64 * max_seq) as usize);
+        let plan = FaultPlan::random(seed, ranks, max_seq, count);
+        for spec in plan.specs() {
+            let FaultSite::Collective { rank, seq } = spec.site else { unreachable!() };
+            let first = plan.poll_collective(rank, seq);
+            let expected = match spec.kind {
+                FaultKind::Panic => FaultAction::Panic,
+                FaultKind::Delay { micros } => FaultAction::Delay { micros },
+                FaultKind::Transient => FaultAction::Fail,
+            };
+            prop_assert_eq!(first, Some(expected));
+            let replay = plan.poll_collective(rank, seq);
+            match spec.kind {
+                FaultKind::Panic | FaultKind::Transient => {
+                    prop_assert_eq!(replay, Some(FaultAction::Recovered));
+                }
+                FaultKind::Delay { .. } => prop_assert_eq!(replay, None),
+            }
+            prop_assert_eq!(plan.poll_collective(rank, seq), None);
+            prop_assert_eq!(plan.poll_collective(rank, seq), None);
+        }
+        prop_assert_eq!(plan.fired_count(), count);
+    }
+
+    /// Coordinates the plan never scheduled are silent no matter how often
+    /// they are polled — firing one fault must not leak actions anywhere
+    /// else in the coordinate space.
+    #[test]
+    fn unscheduled_coordinates_stay_silent(
+        seed in 0u64..u64::MAX,
+        ranks in 1usize..8,
+        max_seq in 1u64..64,
+        count in 1usize..12,
+    ) {
+        let count = count.min((ranks as u64 * max_seq) as usize);
+        let plan = FaultPlan::random(seed, ranks, max_seq, count);
+        // Fire everything scheduled first, then sweep the whole space.
+        for spec in plan.specs() {
+            let FaultSite::Collective { rank, seq } = spec.site else { unreachable!() };
+            let _ = plan.poll_collective(rank, seq);
+            let _ = plan.poll_collective(rank, seq);
+        }
+        for rank in 0..ranks {
+            for seq in 0..max_seq {
+                let scheduled = plan
+                    .specs()
+                    .iter()
+                    .any(|s| s.site == FaultSite::Collective { rank, seq });
+                if !scheduled {
+                    prop_assert_eq!(plan.poll_collective(rank, seq), None);
+                }
+                prop_assert_eq!(plan.poll_step(rank, seq), None);
+            }
+        }
+    }
+}

@@ -79,6 +79,38 @@ impl GptGrads {
         out
     }
 
+    /// Splits the mutable gradient tensors by tensor-parallel locality:
+    /// `(replicated, sharded)`. Replicated gradients (embedding, LayerNorm
+    /// scales/shifts, row-parallel biases) hold identical values on every
+    /// rank; sharded gradients (QKV/MLP weights, column-parallel biases)
+    /// each hold one rank's shard. The split is what lets
+    /// [`clip_grad_norm_tp`](crate::optim::clip_grad_norm_tp) count every
+    /// parameter exactly once in the global norm.
+    pub fn tensors_mut_by_locality(&mut self) -> (Vec<&mut Tensor>, Vec<&mut Tensor>) {
+        let mut replicated: Vec<&mut Tensor> = vec![
+            &mut self.table,
+            &mut self.positions,
+            &mut self.final_ln_gamma,
+            &mut self.final_ln_beta,
+        ];
+        let mut sharded: Vec<&mut Tensor> = Vec::new();
+        for l in &mut self.layers {
+            replicated.push(&mut l.ln1_gamma);
+            replicated.push(&mut l.ln1_beta);
+            sharded.push(&mut l.w_qkv);
+            sharded.push(&mut l.b_qkv);
+            sharded.push(&mut l.w_o);
+            replicated.push(&mut l.b_o);
+            replicated.push(&mut l.ln2_gamma);
+            replicated.push(&mut l.ln2_beta);
+            sharded.push(&mut l.w1);
+            sharded.push(&mut l.b1);
+            sharded.push(&mut l.w2);
+            replicated.push(&mut l.b2);
+        }
+        (replicated, sharded)
+    }
+
     /// Accumulates another gradient set (microbatch accumulation).
     ///
     /// # Panics

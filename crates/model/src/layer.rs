@@ -79,7 +79,9 @@ impl<'a> ExecMode<'a> {
         matches!(self, ExecMode::TensorSequenceParallel(_))
     }
 
-    fn comm(&self) -> Option<&'a Communicator> {
+    /// The tensor-parallel communicator, when one is active (`None` for
+    /// serial execution).
+    pub fn comm(&self) -> Option<&'a Communicator> {
         match self {
             ExecMode::Serial => None,
             ExecMode::TensorParallel(c) | ExecMode::TensorSequenceParallel(c) => Some(c),
@@ -172,22 +174,6 @@ impl TransformerLayer {
         if let Some(overlap) = policy.overlap() {
             self.overlap = overlap;
         }
-        self
-    }
-
-    /// Selects exposed vs. overlapped `g`/`ḡ` regions for TP+SP execution.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `chunks: 0` is requested — build an [`ExecPolicy`] instead
-    /// to get the zero-chunk case as an `Err` at construction.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a validated `ExecPolicy` and apply it with `with_exec_policy`"
-    )]
-    pub fn with_overlap_policy(mut self, overlap: OverlapPolicy) -> Self {
-        assert!(overlap.chunks() > 0, "overlap policy needs at least one chunk");
-        self.overlap = overlap;
         self
     }
 

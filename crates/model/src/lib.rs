@@ -65,7 +65,5 @@ pub mod zero;
 pub use config::TransformerConfig;
 pub use layer::{ExecMode, LayerState, StoredState, TransformerLayer};
 pub use ledger::{ActivationLedger, Category};
-#[allow(deprecated)]
-pub use overlap::take_comm_timing;
 pub use overlap::{take_step_timing, CommTiming, OverlapPolicy, StepTiming, ZeroChunks};
 pub use policy::{ExecPolicy, ExecPolicyBuilder, PolicyError};

@@ -179,6 +179,48 @@ pub fn clip_grad_norm(mut grads: Vec<&mut Tensor>, max_norm: f32) -> f32 {
     norm
 }
 
+/// [`clip_grad_norm`] for a tensor-parallel rank: the norm is the *global*
+/// gradient norm with every parameter counted exactly once — replicated
+/// gradients (identical on all ranks) contribute locally, sharded
+/// gradients contribute their shard's squared sum through an `all_reduce`.
+/// Because the reduced value is identical on every rank, so is the clip
+/// scale, which keeps replicated parameters bit-identical across the group
+/// — the invariant degree-changing checkpoint re-sharding depends on.
+/// Clipping each rank by its *local* norm instead would scale replicated
+/// gradients differently per rank and silently desynchronize them.
+///
+/// Split the gradients with
+/// [`GptGrads::tensors_mut_by_locality`](crate::gpt::GptGrads::tensors_mut_by_locality).
+///
+/// # Panics
+///
+/// Raises the underlying [`CollectiveError`](mt_collectives::CollectiveError)
+/// as a panic payload if the reduction fails (as every infallible
+/// collective does).
+pub fn clip_grad_norm_tp<'a>(
+    mut replicated: Vec<&'a mut Tensor>,
+    mut sharded: Vec<&'a mut Tensor>,
+    max_norm: f32,
+    comm: &mt_collectives::Communicator,
+) -> f32 {
+    let sq_sum = |ts: &[&mut Tensor]| -> f64 {
+        ts.iter().flat_map(|g| g.data()).map(|&v| (v as f64) * (v as f64)).sum()
+    };
+    let local = Tensor::from_vec(vec![1], vec![sq_sum(&sharded) as f32])
+        .expect("1-element squared-norm tensor");
+    let shard_sq = comm.all_reduce(&local).data()[0] as f64;
+    let norm = (sq_sum(&replicated) + shard_sq).sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in replicated.iter_mut().chain(sharded.iter_mut()) {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
 /// Plain SGD, mostly for tests.
 #[derive(Debug, Clone, Copy)]
 pub struct Sgd {

@@ -129,10 +129,9 @@ impl OverlapPolicy {
     }
 }
 
-/// Collective time accumulated on this thread since the last harvest, in
-/// microseconds of the shared process clock. Superseded by [`StepTiming`],
-/// which adds the recomputation pair; kept for the deprecated
-/// [`take_comm_timing`] spelling.
+/// The collective half of a [`StepTiming`] ledger, in microseconds of the
+/// shared process clock. Obtained by projection via [`StepTiming::comm`];
+/// kept as its own type for callers that only care about communication.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommTiming {
     /// Total time spent inside blocking collectives (including the portion
@@ -152,7 +151,7 @@ pub struct CommTiming {
 /// [`Trainer::step_with_ledger`](crate::trainer::Trainer::step_with_ledger),
 /// which drains the rank thread's accumulators at step
 /// entry and exit — so timings cannot leak across steps on reused rank
-/// threads the way the old [`take_comm_timing`] harvest could. Layer-level
+/// threads the way an unbracketed thread-local harvest could. Layer-level
 /// harnesses that bypass the trainer bracket their work with
 /// [`take_step_timing`] instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -251,16 +250,6 @@ pub fn take_step_timing() -> StepTiming {
     }
 }
 
-/// Returns and resets this thread's accumulated collective timing.
-#[deprecated(
-    since = "0.1.0",
-    note = "harvest the full ledger with `take_step_timing`, or read the \
-            `StepTiming` returned by `Trainer::step_with_ledger`"
-)]
-pub fn take_comm_timing() -> CommTiming {
-    take_step_timing().comm()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,14 +271,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_comm_spelling_drains_the_whole_ledger() {
+    fn comm_view_projects_the_collective_half() {
         add_comm_time(9, 3);
         add_recompute_time(4, 4);
-        let t = take_comm_timing();
-        assert_eq!(t, CommTiming { comm_us: 9, exposed_us: 3 });
-        // The recompute half was drained too — nothing leaks to the next step.
-        assert_eq!(take_step_timing(), StepTiming::default());
+        let t = take_step_timing();
+        assert_eq!(t.comm(), CommTiming { comm_us: 9, exposed_us: 3 });
     }
 
     #[test]

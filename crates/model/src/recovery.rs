@@ -136,6 +136,9 @@ where
     while done < rc.total_steps {
         let seg_end = (done + rc.checkpoint_every).min(rc.total_steps);
         let mut world = World::new(tp);
+        // Same-degree retry never re-forms the world, so every attempt is
+        // formation epoch 0 — stated explicitly for the epoch lint.
+        world.set_epoch(0);
         world.set_collective_timeout(rc.collective_timeout);
         world.set_fault_plan(Arc::clone(&plan));
         let ckpts_ref = &ckpts;
@@ -198,8 +201,11 @@ where
 }
 
 /// Applies the fault plan's step-granularity decision for `(rank, step)`:
-/// panic, stall, fail the attempt, or note a recovery.
-fn gate_step(plan: &FaultPlan, rank: usize, step: u64) -> Result<(), CollectiveError> {
+/// panic, stall, fail the attempt, or note a recovery. Public so other
+/// recovery drivers (mt-elastic) gate their steps through the identical
+/// decision procedure and emit the same `fault_injected` /
+/// `fault_recovered` trace instants.
+pub fn gate_step(plan: &FaultPlan, rank: usize, step: u64) -> Result<(), CollectiveError> {
     let emit = |name: &'static str, kind: &'static str| {
         mt_trace::current().instant_args(name, || {
             vec![

@@ -5,7 +5,7 @@
 
 use crate::gpt::{Gpt, GptCheckpoint};
 use crate::ledger::ActivationLedger;
-use crate::optim::{clip_grad_norm, AdamState, AdamW};
+use crate::optim::{clip_grad_norm, clip_grad_norm_tp, AdamState, AdamW};
 use crate::overlap::{take_step_timing, StepTiming};
 use crate::policy::ExecPolicy;
 use mt_fault::binfmt;
@@ -322,9 +322,8 @@ impl Trainer {
     ///
     /// The timing accumulators are drained at entry *and* harvested at
     /// exit, so a step's ledger cannot absorb a previous step's leftovers
-    /// when rank threads are reused — the leak the deprecated thread-local
-    /// [`take_comm_timing`](crate::overlap::take_comm_timing) harvest
-    /// allowed.
+    /// when rank threads are reused — the leak an unbracketed thread-local
+    /// harvest would allow.
     pub fn step_with_ledger<'m>(
         &mut self,
         tokens: &[usize],
@@ -338,12 +337,20 @@ impl Trainer {
         let _step_span =
             tracer.span_args("step", move || vec![("step", mt_trace::ArgValue::U64(step_no))]);
         let mut ledger = ActivationLedger::new();
+        let comm = policy.mode().comm();
         let (loss, mut grads) =
             self.gpt.loss_and_grads(tokens, targets, self.step, policy, &mut ledger);
         let opt_span = tracer.span("optimizer");
-        let grad_norm = match self.cfg.clip_norm {
-            Some(max) => clip_grad_norm(grads.tensors_mut(), max),
-            None => 0.0,
+        // Under tensor parallelism the clip must use the *global* norm:
+        // a per-rank local norm would scale replicated gradients by
+        // rank-dependent factors and desynchronize replicated parameters.
+        let grad_norm = match (self.cfg.clip_norm, comm) {
+            (Some(max), None) => clip_grad_norm(grads.tensors_mut(), max),
+            (Some(max), Some(c)) => {
+                let (replicated, sharded) = grads.tensors_mut_by_locality();
+                clip_grad_norm_tp(replicated, sharded, max, c)
+            }
+            (None, _) => 0.0,
         };
         let lr = self.cfg.schedule.lr_at(self.step);
         self.opt.set_lr(lr);

@@ -16,7 +16,7 @@
 //! verified against it in the tests — while each rank holds only ~`1/dp` of
 //! the optimizer state, which is the whole point.
 
-use crate::optim::Adam;
+use crate::optim::{Adam, AdamState};
 use mt_collectives::Communicator;
 use mt_tensor::Tensor;
 
@@ -42,8 +42,24 @@ impl ZeroAdam {
     ///
     /// Panics if `dp_size == 0`, `rank >= dp_size`, or the list is empty.
     pub fn new(lr: f32, param_elements: &[usize], dp_size: usize, rank: usize) -> Self {
-        assert!(dp_size > 0, "dp_size must be positive");
         assert!(rank < dp_size, "rank out of range");
+        let owners = Self::assign_owners(param_elements, dp_size);
+        let owned_elements =
+            owners.iter().zip(param_elements).filter(|(&o, _)| o == rank).map(|(_, &e)| e).sum();
+        ZeroAdam { owners, rank, adam: Adam::new(lr), owned_elements }
+    }
+
+    /// The deterministic owner assignment [`ZeroAdam::new`] uses: each
+    /// tensor (largest first) goes to the least loaded rank. Exposed so a
+    /// degree-changing re-shard can recompute both the old and the new
+    /// assignment from the parameter list alone — no rank has to be alive
+    /// to answer "who owned tensor `i`?".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dp_size == 0` or the list is empty.
+    pub fn assign_owners(param_elements: &[usize], dp_size: usize) -> Vec<usize> {
+        assert!(dp_size > 0, "dp_size must be positive");
         assert!(!param_elements.is_empty(), "no parameters");
         // Greedy balance: assign each tensor (largest first) to the least
         // loaded rank; deterministic across replicas.
@@ -56,8 +72,22 @@ impl ZeroAdam {
             owners[i] = target;
             load[target] += param_elements[i];
         }
-        let owned_elements = load[rank];
-        ZeroAdam { owners, rank, adam: Adam::new(lr), owned_elements }
+        owners
+    }
+
+    /// Snapshot of this rank's optimizer-state shard: the inner Adam state
+    /// over the owned tensors only, in ascending parameter-index order.
+    /// This is the per-rank blob a checkpoint stores and an elastic
+    /// re-shard gathers.
+    pub fn state(&self) -> AdamState {
+        self.adam.state()
+    }
+
+    /// Restores a shard snapshot taken by [`ZeroAdam::state`] on a
+    /// `ZeroAdam` constructed with the same parameter list, DP degree, and
+    /// rank (so the owned subset matches).
+    pub fn load_state(&mut self, state: AdamState) {
+        self.adam.load_state(state);
     }
 
     /// Elements of optimizer state held on this rank. Replicated Adam would

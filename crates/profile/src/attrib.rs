@@ -216,6 +216,13 @@ fn resolve(name: &str, ctx: Ctx) -> Category {
     if name == "optimizer" {
         return Category::Optimizer;
     }
+    if matches!(name, "epoch_reform" | "reshard" | "replay_segment") {
+        // Elastic-recovery phases (mt-elastic): MTTR wall time bought
+        // neither math nor bytes, so it lands in `other` — the 8-category
+        // sum still tiles the wall exactly, and a recovery-heavy window is
+        // visibly recovery-heavy instead of masquerading as compute.
+        return Category::Other;
+    }
     if ctx.in_recompute {
         return Category::ExposedRecompute;
     }
