@@ -20,6 +20,13 @@
 //!   tags and cross-epoch stragglers fence out as `SpmdMismatch` instead
 //!   of deadlocking. A `World::new` in a recovery path must be followed by
 //!   a `set_epoch` call within the next few lines.
+//! * **`raw-sync-primitive`** — everything outside `crates/sync` must
+//!   synchronize through the `mt-sync` facade. A direct `parking_lot` /
+//!   `crossbeam` / `std::sync` blocking primitive (mutex, condvar, rwlock,
+//!   once-cell, channel, barrier) is invisible to the `mt_check` model
+//!   checker, so an interleaving bug behind it can never be explored.
+//!   Lock-free `std::sync::atomic` types and `Arc` are exempt — the
+//!   checker does not schedule them and they carry no blocking edges.
 //!
 //! Findings are suppressed only by an [`Allowlist`] entry carrying a
 //! written justification; unused entries are reported so the allowlist
@@ -202,6 +209,19 @@ fn recovery_path_scope(path: &str) -> bool {
     path.starts_with("crates/elastic/src/") || path.ends_with("crates/model/src/recovery.rs")
 }
 
+/// The facade's own sources (the real-mode backend re-exports and the
+/// checked instrumentation) are the only place raw primitives may appear.
+fn sync_facade_scope(path: &str) -> bool {
+    !path.starts_with("crates/sync/")
+}
+
+/// Blocking `std::sync` names the `raw-sync-primitive` rule refuses outside
+/// the facade. Atomics and `Arc` are deliberately absent.
+const BLOCKING_STD_SYNC: [&str; 6] = ["Mutex", "Condvar", "RwLock", "OnceLock", "mpsc", "Barrier"];
+
+const RAW_SYNC_MESSAGE: &str = "synchronize through the mt-sync facade so checked builds \
+                                instrument every operation (atomics and Arc are exempt)";
+
 /// How many lines after a `World::new` the mandatory `set_epoch` may
 /// trail (world construction is a short builder-style sequence).
 const EPOCH_LOOKAHEAD: usize = 4;
@@ -229,6 +249,12 @@ fn rules() -> Vec<Rule> {
             patterns: vec![String::from(".unwrap") + "()", String::from(".expect") + "("],
             in_scope: hot_path_scope,
         },
+        Rule {
+            name: "raw-sync-primitive",
+            message: RAW_SYNC_MESSAGE,
+            patterns: vec![String::from("parking_") + "lot", String::from("cross") + "beam"],
+            in_scope: sync_facade_scope,
+        },
     ]
 }
 
@@ -244,6 +270,11 @@ pub fn lint_source(path: &str, content: &str, allow: &Allowlist) -> Vec<LintFind
     }
     let cfg_test = String::from("#[cfg") + "(test)]";
     let world_new = String::from("World") + "::new(";
+    // The `raw-sync-primitive` std::sync arm needs a conjunction (module
+    // path AND a blocking name on the same line) the substring engine can't
+    // express, so it is matched here like the epoch rule.
+    let std_sync = String::from("std::") + "sync::";
+    let raw_sync = sync_facade_scope(path);
     let lines: Vec<&str> = content.lines().collect();
     let mut findings = Vec::new();
     for (i, line) in lines.iter().enumerate() {
@@ -266,6 +297,19 @@ pub fn lint_source(path: &str, content: &str, allow: &Allowlist) -> Vec<LintFind
                     message: rule.message,
                 });
             }
+        }
+        if raw_sync
+            && trimmed.contains(std_sync.as_str())
+            && BLOCKING_STD_SYNC.iter().any(|name| trimmed.contains(name))
+            && !allow.permits("raw-sync-primitive", path, trimmed)
+        {
+            findings.push(LintFinding {
+                rule: "raw-sync-primitive",
+                path: path.to_string(),
+                line: i + 1,
+                text: trimmed.to_string(),
+                message: RAW_SYNC_MESSAGE,
+            });
         }
         // Epoch rule: a recovery-path world must declare its formation
         // epoch right after construction.
@@ -410,6 +454,43 @@ mod tests {
             lint_source("crates/elastic/src/driver.rs", &late, &Allowlist::empty()).len(),
             1
         );
+    }
+
+    #[test]
+    fn raw_sync_primitive_is_flagged_outside_the_facade() {
+        for src in [
+            "use parking_lot::{Condvar, Mutex};\n",
+            "use crossbeam::channel::unbounded;\n",
+            "use std::sync::{Arc, Mutex};\n",
+            "use std::sync::mpsc;\n",
+            "static CELL: std::sync::OnceLock<u32> = std::sync::OnceLock::new();\n",
+        ] {
+            let found = lint_source("crates/collectives/src/group.rs", src, &Allowlist::empty());
+            assert_eq!(found.len(), 1, "expected exactly one finding for {src:?}: {found:?}");
+            assert_eq!(found[0].rule, "raw-sync-primitive");
+        }
+    }
+
+    #[test]
+    fn raw_sync_primitive_exempts_the_facade_atomics_and_arc() {
+        let raw = "use parking_lot::Mutex;\nuse std::sync::Condvar;\n";
+        assert!(lint_source("crates/sync/src/real.rs", raw, &Allowlist::empty()).is_empty());
+        assert!(
+            lint_source("crates/sync/src/checked/prims.rs", raw, &Allowlist::empty()).is_empty()
+        );
+        let fine = "use std::sync::Arc;\nuse std::sync::atomic::{AtomicUsize, Ordering};\n";
+        assert!(lint_source("crates/kernels/src/backend.rs", fine, &Allowlist::empty()).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_primitive_respects_the_allowlist() {
+        let src = "use std::sync::OnceLock;\n";
+        let allow = Allowlist::parse(
+            "raw-sync-primitive | tracer.rs | OnceLock | sanctioned monotonic origin\n",
+        )
+        .unwrap();
+        assert!(lint_source("crates/trace/src/tracer.rs", src, &allow).is_empty());
+        assert!(allow.unused().is_empty());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //!            --e2e-baseline reports/baselines/BENCH_e2e.baseline.json \
 //!            [--recovery reports/BENCH_recovery.json] \
 //!            [--recovery-baseline reports/baselines/BENCH_recovery.baseline.json] \
+//!            [--sync reports/BENCH_sync.json] \
+//!            [--sync-baseline reports/baselines/BENCH_sync.baseline.json] \
 //!            [--profile reports/PROFILE_e2e.json] \
 //!            [--profile-baseline reports/baselines/PROFILE_e2e.baseline.json] \
 //!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5] \
-//!            [--max-mttr-slowdown 3.0]
+//!            [--max-mttr-slowdown 3.0] [--max-sync-slowdown 1.5]
 //! ```
 //!
 //! When the gate fails and both profile documents (from
@@ -40,6 +42,14 @@
 //! comparable), or when `bit_identical` is false — an MTTR number for a
 //! recovery that corrupts training gates nothing.
 //!
+//! Sync entries (from `sync_overhead_bench`) are keyed by
+//! `scenario`/`ranks`/`rounds` and fail when `best_ms` regresses past
+//! `--max-sync-slowdown` (default ×1.5). The checked-in baseline was
+//! generated from the pre-`mt-sync` rendezvous (raw `parking_lot` /
+//! `crossbeam`), so this section *is* the facade's zero-overhead claim:
+//! real builds routing every lock, wait, and channel op through `mt-sync`
+//! must stay within noise of the raw primitives.
+//!
 //! A key present in the baseline but missing from the fresh run (or vice
 //! versa) is a failure: silently dropping a benchmark is how regressions
 //! hide. A per-entry delta table is printed to stdout and appended to
@@ -57,12 +67,15 @@ struct GateArgs {
     e2e_baseline: String,
     recovery: String,
     recovery_baseline: String,
+    sync: String,
+    sync_baseline: String,
     profile: String,
     profile_baseline: String,
     max_slowdown: f64,
     min_gflops_ratio: f64,
     max_step_slowdown: f64,
     max_mttr_slowdown: f64,
+    max_sync_slowdown: f64,
 }
 
 fn parse_args() -> GateArgs {
@@ -73,12 +86,15 @@ fn parse_args() -> GateArgs {
         e2e_baseline: "reports/baselines/BENCH_e2e.baseline.json".to_string(),
         recovery: "reports/BENCH_recovery.json".to_string(),
         recovery_baseline: "reports/baselines/BENCH_recovery.baseline.json".to_string(),
+        sync: "reports/BENCH_sync.json".to_string(),
+        sync_baseline: "reports/baselines/BENCH_sync.baseline.json".to_string(),
         profile: "reports/PROFILE_e2e.json".to_string(),
         profile_baseline: "reports/baselines/PROFILE_e2e.baseline.json".to_string(),
         max_slowdown: 1.25,
         min_gflops_ratio: 0.80,
         max_step_slowdown: 1.5,
         max_mttr_slowdown: 3.0,
+        max_sync_slowdown: 1.5,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -95,12 +111,15 @@ fn parse_args() -> GateArgs {
             "--e2e-baseline" => args.e2e_baseline = value.clone(),
             "--recovery" => args.recovery = value.clone(),
             "--recovery-baseline" => args.recovery_baseline = value.clone(),
+            "--sync" => args.sync = value.clone(),
+            "--sync-baseline" => args.sync_baseline = value.clone(),
             "--profile" => args.profile = value.clone(),
             "--profile-baseline" => args.profile_baseline = value.clone(),
             "--max-slowdown" => args.max_slowdown = parse_f64(flag, value),
             "--min-gflops-ratio" => args.min_gflops_ratio = parse_f64(flag, value),
             "--max-step-slowdown" => args.max_step_slowdown = parse_f64(flag, value),
             "--max-mttr-slowdown" => args.max_mttr_slowdown = parse_f64(flag, value),
+            "--max-sync-slowdown" => args.max_sync_slowdown = parse_f64(flag, value),
             _ => {
                 eprintln!("unknown argument {flag}");
                 std::process::exit(2);
@@ -260,6 +279,33 @@ fn main() {
             "| recovery | {key} mttr | {b_ms:.3} ms | {n_ms:.3} ms | ×{ratio:.2} | {verdict} |"
         )
         .unwrap();
+    }
+
+    // --- mt-sync facade overhead ---
+    // The baseline predates the facade (raw parking_lot/crossbeam
+    // rendezvous), so this ratio is the facade's real-build cost.
+    let fresh_sync = index_results(&load(&args.sync), &args.sync, &["scenario", "ranks", "rounds"]);
+    let base_sync = index_results(
+        &load(&args.sync_baseline),
+        &args.sync_baseline,
+        &["scenario", "ranks", "rounds"],
+    );
+    compare_keys(&fresh_sync, &base_sync, "sync", &mut failures);
+    for (key, b) in &base_sync {
+        let Some(n) = fresh_sync.get(key) else { continue };
+        let (b_ms, n_ms) = (f(b, "best_ms"), f(n, "best_ms"));
+        let ratio = n_ms / b_ms;
+        let mut verdict = "ok";
+        if ratio.is_nan() || ratio > args.max_sync_slowdown {
+            verdict = "FAIL";
+            failures.push(format!(
+                "sync {key}: best_ms {n_ms:.3} vs pre-facade baseline {b_ms:.3} \
+                 (×{ratio:.2} > ×{} — the mt-sync facade is no longer free)",
+                args.max_sync_slowdown
+            ));
+        }
+        writeln!(table, "| sync | {key} | {b_ms:.3} ms | {n_ms:.3} ms | ×{ratio:.2} | {verdict} |")
+            .unwrap();
     }
 
     // Overlap invariant on the fresh run: chunked+overlapped must expose

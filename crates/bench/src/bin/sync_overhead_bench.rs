@@ -1,0 +1,181 @@
+//! Synchronization-overhead microbench for the collectives rendezvous,
+//! written to `reports/BENCH_sync.json`.
+//!
+//! ```text
+//! sync_overhead_bench [--smoke]
+//! ```
+//!
+//! Every scenario hammers the Mutex/Condvar rendezvous in
+//! `mt-collectives` with a *tiny* payload, so the measured time is
+//! dominated by synchronization (lock, deposit, notify, wake), not by
+//! reduction arithmetic or memcpy. The checked-in baseline under
+//! `reports/baselines/BENCH_sync.baseline.json` was generated from the
+//! pre-`mt-sync` code (raw `parking_lot`/`crossbeam`), so `bench_gate
+//! --sync` comparing a fresh run against it is a direct measurement of
+//! what the `mt-sync` facade costs in real builds: the gate asserts the
+//! answer stays "nothing measurable".
+//!
+//! Scenarios (keyed by `scenario`/`ranks`/`rounds` in the gate):
+//!
+//! * `barrier_storm` — back-to-back barriers, the purest rendezvous
+//!   (zero payload, one lock + deposit + last-arriver notify per round).
+//! * `all_reduce_small` — the infallible hot path with a 16-element
+//!   tensor, via `World::run`.
+//! * `try_all_reduce_small` — the hardened path (deadline bookkeeping +
+//!   SPMD call tag) via `World::new` + `run_fallible`.
+//!
+//! Rounds are high enough that thread spawn/join is amortized noise;
+//! `best_ms` is best-of-`reps` for the whole spawn+rounds+join block and
+//! `per_op_us` is that best divided by the round count.
+
+use mt_collectives::World;
+use mt_tensor::Tensor;
+use std::time::Instant;
+
+const SCHEMA_VERSION: u64 = 1;
+const ELEMS: usize = 16;
+
+struct Entry {
+    scenario: &'static str,
+    ranks: usize,
+    rounds: usize,
+    reps: usize,
+    best_ms: f64,
+    per_op_us: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--smoke") {
+        eprintln!("unknown argument {bad}\nusage: sync_overhead_bench [--smoke]");
+        std::process::exit(2);
+    }
+
+    let (rounds, reps) = if smoke { (64, 5) } else { (512, 9) };
+    let mut results: Vec<Entry> = Vec::new();
+    println!(
+        "sync_overhead_bench: {} mode, {rounds} rounds, best of {reps}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    for ranks in [2usize, 4] {
+        {
+            let best_ms = best_of(reps, || {
+                World::run(ranks, |comm| {
+                    for _ in 0..rounds {
+                        comm.barrier();
+                    }
+                });
+            });
+            push(
+                &mut results,
+                Entry {
+                    scenario: "barrier_storm",
+                    ranks,
+                    rounds,
+                    reps,
+                    best_ms,
+                    per_op_us: best_ms * 1e3 / rounds as f64,
+                },
+            );
+        }
+        {
+            let best_ms = best_of(reps, || {
+                let out = World::run(ranks, |comm| {
+                    let x = Tensor::full(&[ELEMS], (comm.rank() + 1) as f32);
+                    let mut acc = 0.0f32;
+                    for _ in 0..rounds {
+                        acc += comm.all_reduce(&x).data()[0];
+                    }
+                    acc
+                });
+                assert!(out.iter().all(|&v| v > 0.0), "all_reduce produced zeros");
+            });
+            push(
+                &mut results,
+                Entry {
+                    scenario: "all_reduce_small",
+                    ranks,
+                    rounds,
+                    reps,
+                    best_ms,
+                    per_op_us: best_ms * 1e3 / rounds as f64,
+                },
+            );
+        }
+        {
+            let best_ms = best_of(reps, || {
+                let mut world = World::new(ranks);
+                let out = world.run_fallible(|comm| {
+                    let x = Tensor::full(&[ELEMS], (comm.rank() + 1) as f32);
+                    let mut acc = 0.0f32;
+                    for _ in 0..rounds {
+                        acc += comm.try_all_reduce(&x)?.data()[0];
+                    }
+                    Ok(acc)
+                });
+                assert!(out.iter().all(|r| r.is_ok()), "hardened all_reduce failed: {out:?}");
+            });
+            push(
+                &mut results,
+                Entry {
+                    scenario: "try_all_reduce_small",
+                    ranks,
+                    rounds,
+                    reps,
+                    best_ms,
+                    per_op_us: best_ms * 1e3 / rounds as f64,
+                },
+            );
+        }
+    }
+
+    let result_values: Vec<serde_json::Value> = results
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "scenario": e.scenario,
+                "ranks": e.ranks,
+                "rounds": e.rounds,
+                "reps": e.reps,
+                "best_ms": e.best_ms,
+                "per_op_us": e.per_op_us,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "sync_overhead_bench",
+        "smoke": smoke,
+        "elems": ELEMS,
+        "available_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "results": result_values,
+    });
+    std::fs::create_dir_all("reports").expect("create reports/");
+    std::fs::write(
+        "reports/BENCH_sync.json",
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write reports/BENCH_sync.json");
+    println!("\nwrote reports/BENCH_sync.json ({} entries)", results.len());
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn push(results: &mut Vec<Entry>, e: Entry) {
+    println!(
+        "  {:<21} ranks={:<2} rounds={:<4} {:>9.3} ms {:>8.2} us/op",
+        e.scenario, e.ranks, e.rounds, e.best_ms, e.per_op_us
+    );
+    results.push(e);
+}

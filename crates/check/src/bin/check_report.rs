@@ -1,0 +1,203 @@
+//! check-report: run the model-checking scenario grid and emit
+//! `reports/CHECK.json`.
+//!
+//! Requires the checked personality (`RUSTFLAGS="--cfg mt_check"`); a real
+//! build prints instructions and exits 2 so a mis-wired CI step fails
+//! loudly instead of green-washing.
+//!
+//! Modes:
+//!
+//! - (default) — exhaustive budgets plus a capped full-DFS pass per
+//!   scenario for the DPOR reduction ratio. Exit 0 iff every scenario is
+//!   clean **and** complete.
+//! - `--smoke` — CI budgets: every scenario, no full-DFS pass. Exit 0 iff
+//!   every scenario is clean.
+//! - `--mutate <name>` — arm one seeded bug and run its catching scenario.
+//!   **Exit 1 means the bug was caught** (the CI mutation loop asserts
+//!   exactly this); exit 0 means the checker missed it.
+//! - `--mutations` — list seeded bugs and their catching scenarios.
+//! - `--out <path>` — report path (default `reports/CHECK.json`).
+
+#[cfg(not(mt_check))]
+fn main() {
+    eprintln!(
+        "check-report: built without the model checker; rebuild with \
+         RUSTFLAGS=\"--cfg mt_check\" (see README \"Model checking\")"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(mt_check)]
+fn main() {
+    std::process::exit(checked::run());
+}
+
+#[cfg(mt_check)]
+mod checked {
+    use mt_check::{all_scenarios, find_mutation, find_scenario, mutations, Tune};
+    use mt_sync::ModelReport;
+    use serde_json::{json, Value};
+
+    pub fn run() -> i32 {
+        let mut args = std::env::args().skip(1);
+        let mut smoke = false;
+        let mut mutate: Option<String> = None;
+        let mut out_path = String::from("reports/CHECK.json");
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                "--mutate" => match args.next() {
+                    Some(name) => mutate = Some(name),
+                    None => return usage("--mutate requires a mutation name"),
+                },
+                "--mutations" => {
+                    for m in mutations() {
+                        println!("{}\t{}\t{}", m.name, m.scenario, m.about);
+                    }
+                    return 0;
+                }
+                "--out" => match args.next() {
+                    Some(p) => out_path = p,
+                    None => return usage("--out requires a path"),
+                },
+                other => return usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        match mutate {
+            Some(name) => run_mutation(&name, smoke),
+            None => run_grid(smoke, &out_path),
+        }
+    }
+
+    fn usage(err: &str) -> i32 {
+        eprintln!("check-report: {err}");
+        eprintln!("usage: check-report [--smoke] [--mutate <name>] [--mutations] [--out <path>]");
+        2
+    }
+
+    /// Runs one seeded bug through its catching scenario. Exit 1 = caught.
+    fn run_mutation(name: &str, smoke: bool) -> i32 {
+        let Some(m) = find_mutation(name) else {
+            return usage(&format!("unknown mutation {name:?} (see --mutations)"));
+        };
+        let scenario = find_scenario(m.scenario).expect("mutation points at a known scenario");
+        let mut tune = if smoke { Tune::smoke() } else { Tune::full() };
+        tune.full_dfs_cap = 0; // the ratio pass is meaningless under a seeded bug
+        tune.mutation = Some(m.name.to_string());
+        println!("mutation {}: {}", m.name, m.about);
+        let report = scenario.run(&tune);
+        println!(
+            "  scenario {}: {} executions, {} violation(s)",
+            report.name,
+            report.executions,
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("  caught: {v}");
+        }
+        if report.violations.is_empty() {
+            eprintln!("mutation {}: MISSED — the checker found nothing", m.name);
+            0
+        } else {
+            1
+        }
+    }
+
+    fn run_grid(smoke: bool, out_path: &str) -> i32 {
+        let tune = if smoke { Tune::smoke() } else { Tune::full() };
+        let mut entries = Vec::new();
+        let mut total_execs = 0u64;
+        let mut total_violations = 0usize;
+        let mut incomplete = 0usize;
+        for scenario in all_scenarios() {
+            let report = scenario.run(&tune);
+            total_execs += report.executions;
+            total_violations += report.violations.len();
+            incomplete += usize::from(!report.complete);
+            print_line(&report);
+            entries.push(entry(scenario.about, &report));
+        }
+        // The vendored json! takes plain expressions as values; nested
+        // object literals are hoisted.
+        let totals = json!({
+            "scenarios": all_scenarios().len(),
+            "executions": total_execs,
+            "violations": total_violations,
+            "incomplete": incomplete,
+        });
+        let doc = json!({
+            "schema_version": 1,
+            "mode": if smoke { "smoke" } else { "full" },
+            "scenarios": entries,
+            "totals": totals,
+        });
+        if let Some(dir) = std::path::Path::new(out_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("check-report: creating {}: {e}", dir.display());
+                return 2;
+            }
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("report serializes");
+        if let Err(e) = std::fs::write(out_path, text + "\n") {
+            eprintln!("check-report: writing {out_path}: {e}");
+            return 2;
+        }
+        println!(
+            "wrote {out_path}: {} scenario(s), {} execution(s), {} violation(s)",
+            all_scenarios().len(),
+            total_execs,
+            total_violations
+        );
+        // Smoke tolerates capped (incomplete) exploration; the full run is
+        // the exhaustiveness claim and must finish every scenario.
+        if total_violations > 0 || (!smoke && incomplete > 0) {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn print_line(r: &ModelReport) {
+        let ratio = match r.full_executions {
+            Some(full) if r.executions > 0 => {
+                format!(
+                    ", dpor {:.1}x{}",
+                    full as f64 / r.executions as f64,
+                    if r.full_complete { "" } else { " (lower bound)" }
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}: {} executions ({} transitions, depth {}){}{}{}",
+            r.name,
+            r.executions,
+            r.transitions,
+            r.max_depth,
+            if r.complete { "" } else { " [capped]" },
+            ratio,
+            if r.violations.is_empty() { "" } else { " VIOLATIONS" },
+        );
+        for v in &r.violations {
+            println!("  violation: {v}");
+        }
+    }
+
+    fn entry(about: &str, r: &ModelReport) -> Value {
+        json!({
+            "name": r.name,
+            "about": about,
+            "executions": r.executions,
+            "transitions": r.transitions,
+            "max_depth": r.max_depth,
+            "timer_fires": r.timer_fires,
+            "violations": r.violations,
+            "complete": r.complete,
+            "full_executions": r.full_executions,
+            "full_complete": r.full_complete,
+            "dpor_reduction": r.full_executions.map(|f| {
+                if r.executions > 0 { f as f64 / r.executions as f64 } else { 0.0 }
+            }),
+        })
+    }
+}

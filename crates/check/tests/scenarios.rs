@@ -1,0 +1,91 @@
+//! Harness around the scenario/mutation registries. Only meaningful under
+//! `RUSTFLAGS="--cfg mt_check"` (the CI model-check job); an ordinary
+//! `cargo test` sees an empty binary.
+//!
+//! The heavyweight exhaustive exploration lives in the `check-report`
+//! binary; these tests pin the registry invariants and prove, at smoke
+//! budgets, that the representative scenarios stay clean and every seeded
+//! bug is caught.
+
+#![cfg(mt_check)]
+
+use mt_check::{all_scenarios, find_mutation, find_scenario, mutations, Tune};
+
+#[test]
+fn registry_names_are_unique_and_mutations_resolve() {
+    let mut names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate scenario names");
+    for m in mutations() {
+        assert!(
+            find_scenario(m.scenario).is_some(),
+            "mutation {} points at unknown scenario {}",
+            m.name,
+            m.scenario
+        );
+        assert!(
+            mt_sync::mutation::ALL.contains(&m.name),
+            "mutation {} is not registered in mt_sync::mutation::ALL",
+            m.name
+        );
+    }
+    for name in mt_sync::mutation::ALL {
+        assert!(
+            find_mutation(name).is_some(),
+            "seeded bug {name} has no catching scenario (self-validation gap)"
+        );
+    }
+}
+
+#[test]
+fn rendezvous_t2_is_clean_and_exhausted() {
+    let report = find_scenario("rendezvous_t2").unwrap().run(&Tune::smoke());
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.executions >= 2, "symmetric ranks must branch: {}", report.executions);
+}
+
+#[test]
+fn timeout_scenario_terminates_through_the_timer() {
+    let report = find_scenario("timeout_abandoned_rendezvous").unwrap().run(&Tune::smoke());
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.timer_fires > 0, "the deadline is the only way out");
+}
+
+#[test]
+fn epoch_straggler_is_clean_and_exhausted() {
+    let report = find_scenario("epoch_straggler_fences").unwrap().run(&Tune::smoke());
+    assert!(report.ok(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn dpor_beats_full_dfs_on_the_rendezvous() {
+    let mut tune = Tune::smoke();
+    tune.full_dfs_cap = 50_000;
+    let report = find_scenario("rendezvous_t2").unwrap().run(&tune);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    let full = report.full_executions.expect("ratio pass ran");
+    assert!(
+        report.full_complete && full > report.executions,
+        "DPOR ({}) must prune the unreduced space ({full})",
+        report.executions
+    );
+}
+
+#[test]
+fn every_seeded_bug_is_caught() {
+    for m in mutations() {
+        let scenario = find_scenario(m.scenario).unwrap();
+        let mut tune = Tune::smoke();
+        tune.mutation = Some(m.name.to_string());
+        let report = scenario.run(&tune);
+        assert!(
+            !report.violations.is_empty(),
+            "seeded bug {} survived {} executions of {} undetected",
+            m.name,
+            report.executions,
+            m.scenario
+        );
+    }
+}

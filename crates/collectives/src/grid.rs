@@ -85,7 +85,7 @@ where
             });
         }
     }
-    std::thread::scope(|scope| {
+    mt_sync::thread::scope(|scope| {
         let handles: Vec<_> = comms.into_iter().map(|c| scope.spawn(|| f(c))).collect();
         handles.into_iter().map(|h| h.join().expect("grid rank panicked")).collect()
     })
@@ -149,7 +149,7 @@ where
             }
         }
     }
-    std::thread::scope(|scope| {
+    mt_sync::thread::scope(|scope| {
         let handles: Vec<_> = comms.into_iter().map(|c| scope.spawn(|| f(c))).collect();
         handles.into_iter().map(|h| h.join().expect("grid rank panicked")).collect()
     })

@@ -3,14 +3,15 @@
 use crate::cost::CommCostModel;
 use crate::error::{CallTag, CollectiveError};
 use crate::stats::{CollectiveKind, CommStats, FP16_BYTES};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mt_fault::{FaultAction, FaultPlan};
+use mt_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mt_sync::time::Instant;
+use mt_sync::{Condvar, Mutex};
 use mt_tensor::Tensor;
 use mt_trace::{ArgValue, SpanGuard, Tracer};
-use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default rendezvous deadline. Generous enough that healthy runs never
 /// trip it; finite so a lost rank turns into an error instead of a hang.
@@ -117,7 +118,7 @@ impl Exchange {
         }
         match &st.tag {
             None => st.tag = Some(tag.clone()),
-            Some(current) if *current != tag => {
+            Some(current) if !tag_matches(current, &tag) => {
                 let err = CollectiveError::SpmdMismatch {
                     rank,
                     expected: Box::new(current.clone()),
@@ -162,10 +163,32 @@ impl Exchange {
                     });
                 };
                 self.cond.wait_for(&mut st, remaining);
+                // Seeded bug `skip-recheck` (mt-check self-validation):
+                // trust the wakeup instead of looping back to re-check the
+                // predicate — the classic spurious-wakeup bug.
+                #[cfg(mt_check)]
+                if mt_sync::mutation::armed("skip-recheck") {
+                    break;
+                }
             }
         }
         Ok(st.results[rank].take().expect("result present after wakeup"))
     }
+}
+
+/// Whether a later depositor's tag matches the in-flight round's. This is
+/// plain [`CallTag`] equality — epoch included, which is what fences
+/// cross-formation stragglers — except under the seeded `skip-epoch-check`
+/// bug (mt-check self-validation), which ignores the epoch the way a
+/// hand-rolled comparison forgetting the field would.
+fn tag_matches(current: &CallTag, tag: &CallTag) -> bool {
+    #[cfg(mt_check)]
+    if mt_sync::mutation::armed("skip-epoch-check") {
+        let mut t = tag.clone();
+        t.epoch = current.epoch;
+        return *current == t;
+    }
+    *current == *tag
 }
 
 /// A group of `n` simulated ranks.
@@ -345,7 +368,7 @@ impl World {
         let mut world = World::new(size);
         world.set_tracer(tracer.clone());
         let comms: Vec<Communicator> = (0..size).map(|r| world.communicator(r)).collect();
-        std::thread::scope(|scope| {
+        mt_sync::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| {
@@ -385,7 +408,7 @@ impl World {
     {
         let exchange = Arc::clone(&self.exchange);
         let comms: Vec<Communicator> = (0..self.size).map(|r| self.communicator(r)).collect();
-        std::thread::scope(|scope| {
+        mt_sync::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| {
@@ -552,7 +575,7 @@ impl Communicator {
             let payload_bytes = payload_elems * FP16_BYTES;
             let secs = model.time(kind, payload_bytes, self.size as u64);
             if secs > 0.0 {
-                std::thread::sleep(Duration::from_secs_f64(secs));
+                mt_sync::thread::sleep(Duration::from_secs_f64(secs));
             }
         }
     }
@@ -600,7 +623,7 @@ impl Communicator {
             }
             Some(FaultAction::Delay { micros }) => {
                 emit("fault_injected", "delay");
-                std::thread::sleep(Duration::from_micros(micros));
+                mt_sync::thread::sleep(Duration::from_micros(micros));
             }
             Some(FaultAction::Fail) => {
                 emit("fault_injected", "transient");
@@ -1340,7 +1363,7 @@ mod tests {
         let straggler = world.communicator(0);
         world.set_epoch(1);
         let reformed = world.communicator(1);
-        let results = std::thread::scope(|scope| {
+        let results = mt_sync::thread::scope(|scope| {
             let handles = [
                 scope.spawn(move || straggler.try_all_reduce(&Tensor::full(&[2], 1.0))),
                 scope.spawn(move || reformed.try_all_reduce(&Tensor::full(&[2], 1.0))),

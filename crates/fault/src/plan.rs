@@ -1,7 +1,7 @@
 //! Deterministic fault schedules.
 
+use mt_sync::Mutex;
 use mt_tensor::rng::SplitMix64;
-use parking_lot::Mutex;
 
 /// What an injected fault does at its coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -26,9 +26,10 @@
 
 use crate::backend::Backend;
 use crate::gemm::{band_nn, band_nt, TILE_M};
+use mt_sync::{Condvar, Mutex, OnceCell};
 use mt_trace::ArgValue;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::Arc;
 
 /// One contiguous run of output rows delivered by a chunk. The chunk's
 /// payload is the concatenation of its slabs' `A` rows in declaration
@@ -203,8 +204,8 @@ pub fn gemm_gathered(
         .map(|j| (0..bands.len()).filter(|&i| bands[i].chunk == j).collect())
         .collect();
 
-    let payloads: Vec<OnceLock<Arc<Vec<f32>>>> =
-        (0..total_chunks).map(|_| OnceLock::new()).collect();
+    let payloads: Vec<OnceCell<Arc<Vec<f32>>>> =
+        (0..total_chunks).map(|_| OnceCell::new()).collect();
     let ctl = Mutex::new(Ctl {
         ready: VecDeque::new(),
         fetched: 0,
@@ -219,7 +220,7 @@ pub fn gemm_gathered(
     let run_band = |i: usize| {
         let spec = &bands[i];
         let payload = payloads[spec.chunk].get().expect("payload set before band queued").clone();
-        let slot = slots[i].lock().unwrap().take().expect("band taken once");
+        let slot = slots[i].lock().take().expect("band taken once");
         let a_slab = &payload[spec.a_off..];
         slot.fill(0.0);
         if transpose_b {
@@ -233,7 +234,7 @@ pub fn gemm_gathered(
     // or "go do something else" (the rank thread between fetches).
     let work_loop = |wait_for_more: bool| loop {
         let band = {
-            let mut st = ctl.lock().unwrap();
+            let mut st = ctl.lock();
             loop {
                 if let Some(i) = st.ready.pop_front() {
                     st.busy += 1;
@@ -243,25 +244,25 @@ pub fn gemm_gathered(
                 if st.fetched == total_chunks || !wait_for_more {
                     break None;
                 }
-                st = cond.wait(st).unwrap();
+                cond.wait(&mut st);
             }
         };
         let Some(i) = band else { return };
         run_band(i);
-        let mut st = ctl.lock().unwrap();
+        let mut st = ctl.lock();
         st.busy -= 1;
         st.update_exposure();
     };
 
     let workers = threads.saturating_sub(1).min(bands.len());
     let mut comm_us = 0u64;
-    std::thread::scope(|scope| {
+    mt_sync::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| work_loop(true));
         }
         for j in 0..total_chunks {
             {
-                let mut st = ctl.lock().unwrap();
+                let mut st = ctl.lock();
                 st.in_comm = true;
                 st.update_exposure();
             }
@@ -280,7 +281,7 @@ pub fn gemm_gathered(
             }
             payloads[j].set(Arc::new(payload)).expect("chunk fetched once");
             {
-                let mut st = ctl.lock().unwrap();
+                let mut st = ctl.lock();
                 st.in_comm = false;
                 st.fetched += 1;
                 st.ready.extend(chunk_bands[j].iter().copied());
@@ -297,7 +298,7 @@ pub fn gemm_gathered(
         work_loop(true);
     });
 
-    let st = ctl.into_inner().unwrap();
+    let st = ctl.into_inner();
     let report =
         OverlapReport { comm_us, exposed_us: st.exposed_us.min(comm_us), bands: bands.len() };
     // Close-time args mirror the exact integers the caller books into its
@@ -360,7 +361,7 @@ where
 {
     let tracer = mt_trace::current();
     let mut span = tracer.span("recompute_overlapped");
-    let (pr, mr, report) = std::thread::scope(|scope| {
+    let (pr, mr, report) = mt_sync::thread::scope(|scope| {
         let handle = scope.spawn(move || {
             let t0 = mt_trace::monotonic_us();
             let out = prefetch();

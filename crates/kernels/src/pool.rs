@@ -3,8 +3,8 @@
 //!
 //! This is the workspace's vendored stand-in for a thread-pool registry
 //! dependency (rayon et al.), in the same spirit as the `vendor/` crates:
-//! the subset of behavior the kernels need, built on
-//! [`std::thread::scope`] so borrowed data (input slices, disjoint
+//! the subset of behavior the kernels need, built on the `mt-sync` scoped
+//! spawn (std's in real builds) so borrowed data (input slices, disjoint
 //! `&mut` output chunks) flows into workers without `'static` bounds or
 //! `unsafe`.
 //!
@@ -43,7 +43,7 @@ where
         per_worker[i % threads].push((i, item));
     }
     let f = &f;
-    std::thread::scope(|scope| {
+    mt_sync::thread::scope(|scope| {
         let mut batches = per_worker.into_iter();
         let mine = batches.next().expect("threads >= 1");
         for batch in batches {

@@ -1,0 +1,22 @@
+//! Model-checking personality (`--cfg mt_check`): instrumented primitives
+//! plus the exploration scheduler and the [`model`] entry point.
+//!
+//! Layout:
+//!
+//! * [`runtime`](self) (private) — the per-execution cooperative scheduler:
+//!   virtual clock, enabledness model, vector-clock effects, abort drain.
+//! * `prims` — the facade types ([`Mutex`], [`Condvar`], [`channel`],
+//!   [`thread`], [`time`], …) that announce every operation to the runtime.
+//! * [`model`] — [`model::check`]: the explore-replay loop plus oracles.
+
+pub(crate) mod runtime;
+
+mod prims;
+
+pub mod model;
+
+pub use model::{ModelOpts, ModelReport};
+pub use prims::{
+    channel, thread, time, Condvar, Mutex, MutexGuard, OnceCell, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, WaitTimeoutResult,
+};

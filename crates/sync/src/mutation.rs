@@ -1,0 +1,42 @@
+//! Seeded-bug registry for checker self-validation (`mt_check` only).
+//!
+//! The mutation harness proves mt-check actually catches the bug classes it
+//! claims to: each named mutation re-introduces a classic concurrency bug
+//! into the real code under check, and the harness asserts the checker
+//! reports a violation. The hooks live where the bug would live:
+//!
+//! * `drop-notify` — [`crate::Condvar::notify_all`] becomes a no-op (the
+//!   lost-wakeup bug; caught by the quiescent-progress oracle).
+//! * `skip-recheck` — a rendezvous wait site skips its predicate re-check
+//!   loop (caught when a spurious wakeup is injected).
+//! * `skip-epoch-check` — rendezvous matching ignores the call epoch
+//!   (caught by the cross-epoch straggler scenario).
+//!
+//! Arming is process-global and scenarios run serially under the model
+//! guard, so a harness arms one mutation, runs the scenario grid, and
+//! disarms.
+
+use std::sync::{Mutex, PoisonError};
+
+static ARMED: Mutex<Option<&'static str>> = Mutex::new(None);
+
+/// Every mutation the self-validation harness can arm.
+pub const ALL: &[&str] = &["drop-notify", "skip-recheck", "skip-epoch-check"];
+
+/// Arms `name` (one mutation at a time; replaces any previous).
+/// Unknown names panic: a typo here would silently validate nothing.
+pub fn arm(name: &str) {
+    let known = ALL.iter().find(|&&m| m == name).copied();
+    let known = known.unwrap_or_else(|| panic!("unknown mutation {name:?} (known: {ALL:?})"));
+    *ARMED.lock().unwrap_or_else(PoisonError::into_inner) = Some(known);
+}
+
+/// Disarms whatever is armed.
+pub fn disarm() {
+    *ARMED.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Whether `name` is currently armed (checked at the mutation's hook site).
+pub fn armed(name: &str) -> bool {
+    *ARMED.lock().unwrap_or_else(PoisonError::into_inner) == Some(name)
+}

@@ -1,0 +1,106 @@
+//! Vector clocks for the happens-before relation maintained by the
+//! `mt_check` runtime.
+//!
+//! Each model-checked thread carries a [`VectorClock`]; every synchronization
+//! object (mutex, condvar, channel message, once-cell) carries the clock of
+//! the event that released/sent/set it. Acquiring joins the object's clock
+//! into the acquiring thread's, establishing the edge. An access is
+//! *happens-before ordered* after an event iff the event's clock is `≤` the
+//! accessor's clock — the race detector flags reads whose observed write is
+//! not so ordered.
+
+/// A vector clock: one logical-time slot per thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// This clock's component for `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s component — call when thread `tid` performs an event.
+    pub fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Component-wise maximum: afterwards everything ordered before `other`
+    /// is also ordered before `self`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(&other.slots) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `true` iff `self` happens-before-or-equals `other` (component-wise ≤).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.slots.iter().enumerate().all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_ordered_both_ways() {
+        let a = VectorClock::new();
+        let b = VectorClock::new();
+        assert!(a.le(&b) && b.le(&a));
+    }
+
+    #[test]
+    fn tick_and_join_establish_happens_before() {
+        // Thread 0 events, then a release/acquire edge into thread 1.
+        let mut t0 = VectorClock::new();
+        t0.tick(0);
+        t0.tick(0);
+        let released = t0.clone(); // object clock at release
+        let mut t1 = VectorClock::new();
+        t1.tick(1);
+        assert!(!released.le(&t1), "no edge yet: release not ordered before t1");
+        t1.join(&released); // acquire
+        assert!(released.le(&t1), "after acquire the release happens-before t1");
+        assert_eq!(t1.get(0), 2);
+        assert_eq!(t1.get(1), 1);
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(!a.le(&b), "concurrent events must not be HB-ordered");
+        assert!(!b.le(&a), "concurrent events must not be HB-ordered");
+    }
+
+    #[test]
+    fn race_detector_shape_unsynchronized_write_is_flagged() {
+        // The exact check the runtime performs on a once-cell read: the
+        // setter's clock must be ≤ the reader's. Without an acquire join
+        // the read is racy; with it, ordered.
+        let mut setter = VectorClock::new();
+        setter.tick(0);
+        let mut reader = VectorClock::new();
+        reader.tick(1);
+        assert!(!setter.le(&reader), "racy read must be detected");
+        let mut mutex_obj = VectorClock::new();
+        mutex_obj.join(&setter); // setter releases a mutex after the write
+        reader.join(&mutex_obj); // reader acquires it before the read
+        assert!(setter.le(&reader), "mutex edge orders the read");
+    }
+}
