@@ -1,7 +1,7 @@
 //! `mt-lint`: workspace source-hygiene rules.
 //!
 //! A deliberately small, line-oriented scanner — no parsing, no macros —
-//! enforcing four invariants the analyses in this crate depend on:
+//! enforcing the invariants the analyses in this crate depend on:
 //!
 //! * **`hand-rolled-call-tag`** — `CallTag` values may only be built by the
 //!   single constructor on the runtime communicator (`World::call_tag`).
@@ -27,6 +27,13 @@
 //!   checker, so an interleaving bug behind it can never be explored.
 //!   Lock-free `std::sync::atomic` types and `Arc` are exempt — the
 //!   checker does not schedule them and they carry no blocking edges.
+//! * **`unsafe-code`** — `unsafe` stays out of workspace sources except
+//!   where a reviewed allowlist entry records the safety argument. The one
+//!   sanctioned use today is the kernels' SIMD feature dispatch: calling a
+//!   `#[target_feature]` function after `is_x86_feature_detected!`
+//!   verified the CPU. Anything else (raw pointers, transmutes, unchecked
+//!   indexing) would silently void the determinism and memory-safety
+//!   arguments the rest of the workspace builds on.
 //!
 //! Findings are suppressed only by an [`Allowlist`] entry carrying a
 //! written justification; unused entries are reported so the allowlist
@@ -215,6 +222,12 @@ fn sync_facade_scope(path: &str) -> bool {
     !path.starts_with("crates/sync/")
 }
 
+/// `unsafe` is policed everywhere the walker reaches (root `src/` and
+/// every `crates/*/src`); exceptions live in the allowlist, not the scope.
+fn unsafe_scope(_path: &str) -> bool {
+    true
+}
+
 /// Blocking `std::sync` names the `raw-sync-primitive` rule refuses outside
 /// the facade. Atomics and `Arc` are deliberately absent.
 const BLOCKING_STD_SYNC: [&str; 6] = ["Mutex", "Condvar", "RwLock", "OnceLock", "mpsc", "Barrier"];
@@ -254,6 +267,17 @@ fn rules() -> Vec<Rule> {
             message: RAW_SYNC_MESSAGE,
             patterns: vec![String::from("parking_") + "lot", String::from("cross") + "beam"],
             in_scope: sync_facade_scope,
+        },
+        Rule {
+            name: "unsafe-code",
+            message: "state the safety argument in a reviewed allowlist entry \
+                      (sanctioned today: SIMD feature dispatch behind runtime \
+                      detection)",
+            // `unsafe` followed by a space or block-open covers fn/impl/
+            // trait declarations and expression blocks; `unsafe_code`
+            // attribute mentions do not match.
+            patterns: vec![String::from("unsa") + "fe {", String::from("unsa") + "fe "],
+            in_scope: unsafe_scope,
         },
     ]
 }
@@ -490,6 +514,26 @@ mod tests {
         )
         .unwrap();
         assert!(lint_source("crates/trace/src/tracer.rs", src, &allow).is_empty());
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn unsafe_code_is_flagged_everywhere_without_an_entry() {
+        let src = "fn f() {\n    let v = unsafe { dispatch() };\n}\n";
+        let found = lint_source("crates/model/src/layer.rs", src, &Allowlist::empty());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unsafe-code");
+        // Declarations are caught too, not just expression blocks.
+        let decl = "pub unsafe fn raw(ptr: *mut f32) {}\n";
+        let found = lint_source("crates/tensor/src/ops/mod.rs", decl, &Allowlist::empty());
+        assert_eq!(found.len(), 1, "{found:?}");
+        // The sanctioned SIMD dispatch passes via its allowlist entry.
+        let allow = Allowlist::parse(
+            "unsafe-code | gemm.rs | band_panel_avx2 | feature verified at runtime\n",
+        )
+        .unwrap();
+        let dispatch = "Simd::Avx2 => unsafe { band_panel_avx2(k, rows, n, j0, w, a, p, c) },\n";
+        assert!(lint_source("crates/kernels/src/gemm.rs", dispatch, &allow).is_empty());
         assert!(allow.unused().is_empty());
     }
 

@@ -13,7 +13,8 @@
 //!            [--profile reports/PROFILE_e2e.json] \
 //!            [--profile-baseline reports/baselines/PROFILE_e2e.baseline.json] \
 //!            [--max-slowdown 1.25] [--min-gflops-ratio 0.80] [--max-step-slowdown 1.5] \
-//!            [--max-mttr-slowdown 3.0] [--max-sync-slowdown 1.5]
+//!            [--max-mttr-slowdown 3.0] [--max-sync-slowdown 1.5] \
+//!            [--min-parallel-speedup 1.3]
 //! ```
 //!
 //! When the gate fails and both profile documents (from
@@ -25,7 +26,20 @@
 //! Kernel entries are keyed by `(kernel, kind, m, n, k, backend, threads)`
 //! and fail when `best_ms` regresses past `--max-slowdown` (default ×1.25)
 //! or `gflops` drops below `--min-gflops-ratio` (default ×0.80) of the
-//! baseline. E2e entries are keyed by `(policy, chunks, threads)` and fail
+//! baseline.
+//!
+//! The **parallel-speedup invariant** reads the *fresh* kernel report: for
+//! every GEMM kind, at that kind's largest benched `m·n·k`, the threaded
+//! backend's `best_ms` must beat serial by at least
+//! `--min-parallel-speedup` (default ×1.3). A failure names the offending
+//! shape on stdout and in `$GITHUB_STEP_SUMMARY`. The check is only
+//! meaningful where threads can actually run in parallel, so it is
+//! enforced when the fresh report's `available_parallelism` is ≥ 2 and
+//! explicitly skipped (with a note) on single-core runners — a speedup
+//! demand a single core cannot physically meet would gate nothing but the
+//! host type.
+//!
+//! E2e entries are keyed by `(policy, chunks, threads)` and fail
 //! when `step_ms` regresses past `--max-step-slowdown` (default ×1.5 —
 //! end-to-end steps on shared CI runners are noisier than microbenches).
 //! The gate also re-checks the overlap invariants on the *fresh* numbers:
@@ -76,6 +90,7 @@ struct GateArgs {
     max_step_slowdown: f64,
     max_mttr_slowdown: f64,
     max_sync_slowdown: f64,
+    min_parallel_speedup: f64,
 }
 
 fn parse_args() -> GateArgs {
@@ -95,6 +110,7 @@ fn parse_args() -> GateArgs {
         max_step_slowdown: 1.5,
         max_mttr_slowdown: 3.0,
         max_sync_slowdown: 1.5,
+        min_parallel_speedup: 1.3,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -120,6 +136,7 @@ fn parse_args() -> GateArgs {
             "--max-step-slowdown" => args.max_step_slowdown = parse_f64(flag, value),
             "--max-mttr-slowdown" => args.max_mttr_slowdown = parse_f64(flag, value),
             "--max-sync-slowdown" => args.max_sync_slowdown = parse_f64(flag, value),
+            "--min-parallel-speedup" => args.min_parallel_speedup = parse_f64(flag, value),
             _ => {
                 eprintln!("unknown argument {flag}");
                 std::process::exit(2);
@@ -174,8 +191,9 @@ fn main() {
     writeln!(table, "|---|---|---:|---:|---:|---|").unwrap();
 
     // --- kernel microbenches ---
+    let fresh_kernels_doc = load(&args.kernels);
     let fresh = index_results(
-        &load(&args.kernels),
+        &fresh_kernels_doc,
         &args.kernels,
         &["kernel", "kind", "m", "n", "k", "backend", "threads"],
     );
@@ -209,6 +227,82 @@ fn main() {
         writeln!(
             table,
             "| kernels | {key} | {b_ms:.3} ms | {n_ms:.3} ms | ×{ms_ratio:.2} | {verdict} |"
+        )
+        .unwrap();
+    }
+
+    // --- parallel-speedup invariant on the fresh kernel run ---
+    // Threading that loses to serial at the biggest benched shapes is a
+    // regression even if every per-entry ratio is within its band. Judged
+    // only where parallelism physically exists: a single-core runner
+    // cannot beat serial with threads, and the report says which kind of
+    // host produced it.
+    let avail = fresh_kernels_doc["available_parallelism"].as_u64().unwrap_or(1);
+    if avail >= 2 {
+        let gemm_entries: Vec<&Value> = fresh.values().filter(|r| r["kernel"] == "gemm").collect();
+        let dim = |r: &Value, d: &str| r[d].as_u64().unwrap_or(0);
+        let mut kinds: Vec<String> =
+            gemm_entries.iter().filter_map(|r| r["kind"].as_str().map(String::from)).collect();
+        kinds.sort();
+        kinds.dedup();
+        for kind in kinds {
+            let of_kind =
+                || gemm_entries.iter().filter(|r| r["kind"].as_str() == Some(kind.as_str()));
+            let Some(&largest) = of_kind().max_by_key(|r| dim(r, "m") * dim(r, "n") * dim(r, "k"))
+            else {
+                continue;
+            };
+            let (m, n, k) = (dim(largest, "m"), dim(largest, "n"), dim(largest, "k"));
+            let at_shape = |backend: &str| {
+                of_kind().find(|r| {
+                    dim(r, "m") == m
+                        && dim(r, "n") == n
+                        && dim(r, "k") == k
+                        && r["backend"].as_str() == Some(backend)
+                })
+            };
+            let (Some(serial), Some(threaded)) = (at_shape("serial"), at_shape("threaded")) else {
+                failures.push(format!(
+                    "kernels parallel-speedup: gemm {kind} {m}x{n}x{k} lacks a serial/threaded \
+                     entry pair in the fresh run"
+                ));
+                continue;
+            };
+            let (s_ms, t_ms) = (f(serial, "best_ms"), f(threaded, "best_ms"));
+            let speedup = s_ms / t_ms;
+            let verdict =
+                if speedup.is_nan() || speedup < args.min_parallel_speedup { "FAIL" } else { "ok" };
+            if verdict == "FAIL" {
+                // Named on stdout (and via the table in the step summary)
+                // so the offending shape is visible without digging through
+                // stderr logs.
+                println!(
+                    "parallel-speedup FAIL: gemm {kind} {m}x{n}x{k}: threaded best_ms {t_ms:.3} \
+                     vs serial {s_ms:.3} (×{speedup:.2} < ×{})",
+                    args.min_parallel_speedup
+                );
+                failures.push(format!(
+                    "kernels parallel-speedup: gemm {kind} {m}x{n}x{k} threaded ×{speedup:.2} \
+                     < required ×{} (serial {s_ms:.3} ms, threaded {t_ms:.3} ms)",
+                    args.min_parallel_speedup
+                ));
+            }
+            writeln!(
+                table,
+                "| kernels parallel | gemm {kind} {m}x{n}x{k} speedup | serial {s_ms:.3} ms | \
+                 threaded {t_ms:.3} ms | ×{speedup:.2} | {verdict} |"
+            )
+            .unwrap();
+        }
+    } else {
+        println!(
+            "parallel-speedup check skipped: fresh report ran with available_parallelism = \
+             {avail} (single-core host cannot beat serial with threads)"
+        );
+        writeln!(
+            table,
+            "| kernels parallel | all kinds | — | — | — | skipped (available_parallelism = \
+             {avail}) |"
         )
         .unwrap();
     }

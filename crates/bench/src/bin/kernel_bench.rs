@@ -15,12 +15,24 @@
 //!
 //! Speedups shown are honest wall-clock for *this* machine: on a single-core
 //! container the threaded backend ties or loses to serial (scoped-thread
-//! overhead), and the JSON says so rather than extrapolating.
+//! overhead), and the JSON says so rather than extrapolating. `bench_gate`
+//! conditions its parallel-speedup invariant on the recorded
+//! `available_parallelism` for exactly that reason.
+//!
+//! ## Schema v2
+//!
+//! v2 (the packed-microkernel rewrite) adds:
+//! * shapes big enough for threading to pay (512³ even in smoke mode) plus
+//!   a GPT-layer-shaped NT/TN pair (attention/MLP backward shapes);
+//! * a `packing_us` column on GEMM entries — the panel-packing time the
+//!   kernel spends before its banded compute (best across reps);
+//! * a top-level `simd` field naming the microkernel path the run used
+//!   (`"avx2"` / `"scalar"`, from runtime feature detection).
 
 use mt_kernels::{gemm, Backend};
 use std::time::Instant;
 
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
 
 struct Entry {
     kernel: &'static str,
@@ -33,6 +45,9 @@ struct Entry {
     reps: usize,
     best_ms: f64,
     gflops: f64,
+    /// GEMM panel-packing microseconds (best across reps); `None` for
+    /// kernels that don't pack.
+    packing_us: Option<u64>,
 }
 
 fn main() {
@@ -60,10 +75,26 @@ fn main() {
     }
 
     let reps = if smoke { 3 } else { 7 };
-    let gemm_shapes: &[(usize, usize, usize)] = if smoke {
-        &[(64, 64, 64), (96, 48, 80)]
+    // (m, n, k, kinds): `kinds` limits a shape to specific transpose pairs
+    // (ALL = the three benched kinds). 512³ stays in the smoke set on
+    // purpose — it is the shape the parallel-speedup gate reads, so even CI
+    // smoke runs produce a judgeable number. The (512, 384, 1536) /
+    // (1024, 1024, 4096) cases are GPT-layer-shaped NT/TN (activation- and
+    // weight-gradient GEMMs of a hidden-384/1024 layer), the strided
+    // layouts the packed microkernel exists to fix.
+    type Kinds = &'static [(bool, bool)];
+    const ALL: Kinds = &[(false, false), (false, true), (true, false)];
+    const GPT: Kinds = &[(false, true), (true, false)];
+    let gemm_cases: &[(usize, usize, usize, Kinds)] = if smoke {
+        &[(64, 64, 64, ALL), (96, 48, 80, ALL), (512, 512, 512, ALL), (512, 384, 1536, GPT)]
     } else {
-        &[(128, 128, 128), (256, 256, 256), (512, 512, 512)]
+        &[
+            (128, 128, 128, ALL),
+            (256, 256, 256, ALL),
+            (512, 512, 512, ALL),
+            (512, 384, 1536, GPT),
+            (1024, 1024, 4096, GPT),
+        ]
     };
     let (rows, cols) = if smoke { (256, 64) } else { (4096, 512) };
 
@@ -73,8 +104,8 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
 
-    for &(m, n, k) in gemm_shapes {
-        for (ta, tb) in [(false, false), (false, true), (true, false)] {
+    for &(m, n, k, kinds) in gemm_cases {
+        for &(ta, tb) in kinds {
             let a = fill(m * k, 1);
             let b = fill(k * n, 2);
             let mut serial_out = vec![0.0f32; m * n];
@@ -88,8 +119,10 @@ fn main() {
             );
             let flops = 2.0 * m as f64 * n as f64 * k as f64;
             for backend in [Backend::Serial, Backend::Threaded { threads }] {
+                let mut packing_us = u64::MAX;
                 let best_ms = best_of(reps, || {
-                    gemm::gemm(backend, ta, tb, m, n, k, &a, &b, &mut serial_out);
+                    let stats = gemm::gemm_stats(backend, ta, tb, m, n, k, &a, &b, &mut serial_out);
+                    packing_us = packing_us.min(stats.packing_us);
                 });
                 push(
                     &mut results,
@@ -104,6 +137,7 @@ fn main() {
                         reps,
                         best_ms,
                         gflops: flops / (best_ms / 1e3) / 1e9,
+                        packing_us: Some(packing_us),
                     },
                 );
             }
@@ -146,6 +180,7 @@ fn main() {
                     reps,
                     best_ms,
                     gflops: flops / (best_ms / 1e3) / 1e9,
+                    packing_us: None,
                 },
             );
         }
@@ -212,6 +247,7 @@ fn main() {
                     reps,
                     best_ms,
                     gflops: flops / (best_ms / 1e3) / 1e9,
+                    packing_us: None,
                 },
             );
         }
@@ -243,6 +279,7 @@ fn main() {
                     reps,
                     best_ms,
                     gflops: flops / (best_ms / 1e3) / 1e9,
+                    packing_us: None,
                 },
             );
         }
@@ -251,7 +288,7 @@ fn main() {
     let result_values: Vec<serde_json::Value> = results
         .iter()
         .map(|e| {
-            serde_json::json!({
+            let mut v = serde_json::json!({
                 "kernel": e.kernel,
                 "kind": e.kind,
                 "m": e.m,
@@ -262,13 +299,18 @@ fn main() {
                 "reps": e.reps,
                 "best_ms": e.best_ms,
                 "gflops": e.gflops,
-            })
+            });
+            if let (Some(p), serde_json::Value::Object(fields)) = (e.packing_us, &mut v) {
+                fields.push(("packing_us".to_string(), serde_json::json!(p)));
+            }
+            v
         })
         .collect();
     let doc = serde_json::json!({
         "schema_version": SCHEMA_VERSION,
         "generated_by": "kernel_bench",
         "smoke": smoke,
+        "simd": gemm::simd_feature(),
         "threaded_workers": threads,
         "available_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
         "results": result_values,

@@ -58,6 +58,14 @@ fn e2e_doc(exposed_step_ms: f64) -> String {
     )
 }
 
+/// One sync-overhead document with a single healthy scenario.
+fn sync_doc(best_ms: f64) -> String {
+    format!(
+        r#"{{"results": [{{"scenario": "all_reduce", "ranks": 4, "rounds": 64,
+            "reps": 3, "best_ms": {best_ms}}}]}}"#
+    )
+}
+
 /// One recovery document with a single healthy, bit-identical scenario.
 fn recovery_doc(mttr_ms: f64) -> String {
     format!(
@@ -110,6 +118,8 @@ fn run_gate(
     let e2e_base = fx.write("e2e_base.json", &e2e_doc(100.0));
     let recovery = fx.write("recovery.json", &recovery_doc(2.9));
     let recovery_base = fx.write("recovery_base.json", &recovery_doc(2.9));
+    let sync = fx.write("sync.json", &sync_doc(1.0));
+    let sync_base = fx.write("sync_base.json", &sync_doc(1.0));
     let profile = fx.path("profile.json");
     let profile_base = fx.path("profile_base.json");
     write_profile_doc(&profile_base, "exposed", base_profile.0, base_profile.1);
@@ -129,6 +139,10 @@ fn run_gate(
             recovery.to_str().unwrap(),
             "--recovery-baseline",
             recovery_base.to_str().unwrap(),
+            "--sync",
+            sync.to_str().unwrap(),
+            "--sync-baseline",
+            sync_base.to_str().unwrap(),
             "--profile",
             profile.to_str().unwrap(),
             "--profile-baseline",

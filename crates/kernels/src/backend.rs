@@ -6,6 +6,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// spawning an absurd number of scoped workers.
 const MAX_THREADS: usize = 256;
 
+/// FLOPs an extra scoped worker must bring along to repay its share of the
+/// fan-out cost (spawn + join of a `thread::scope`, one wakeup per worker).
+///
+/// Calibrated against the packed microkernel: a scoped spawn/join round
+/// trip costs on the order of 50–100 µs, and the microkernel retires
+/// roughly 10–30 GFLOP/s per core, so a worker must carry a few million
+/// FLOPs before the fan-out breaks even — below that, serial wins. 4 MFLOP
+/// per worker puts the serial→parallel crossover between 96³ (1.7 MFLOP,
+/// serial) and 128³ (4.2 MFLOP, two workers), matching the measured
+/// crossover of the benched shapes; 512³ saturates an 8-thread backend.
+const FLOPS_PER_WORKER: u64 = 4_000_000;
+
 /// How kernels execute.
 ///
 /// Both variants run the *same* tiled kernel code over the same fixed work
@@ -32,6 +44,22 @@ impl Backend {
             Backend::Serial => 1,
             Backend::Threaded { threads } => threads.clamp(1, MAX_THREADS),
         }
+    }
+
+    /// Workers a problem of `flops` floating-point operations should fan
+    /// out to: the backend's configured [`Backend::threads`] capped so
+    /// every extra worker carries at least [`FLOPS_PER_WORKER`] of work.
+    ///
+    /// Small problems resolve to 1 (no scoped spawn at all), medium ones
+    /// to a partial fan-out, and only problems big enough to amortize the
+    /// pool wakeup use the full configured width. [`Backend::Serial`]
+    /// always returns 1. Results are bit-identical at any worker count, so
+    /// this is purely a latency policy — it decides *when* threading pays,
+    /// never *what* is computed.
+    pub fn threads_for_work(&self, flops: u64) -> usize {
+        let configured = self.threads();
+        let affordable = 1 + (flops / FLOPS_PER_WORKER) as usize;
+        configured.min(affordable)
     }
 
     /// Short label for reports and trace args (`"serial"` / `"threaded"`).
@@ -133,6 +161,22 @@ mod tests {
             decode(encode(Backend::Threaded { threads: 1 })),
             Backend::Threaded { threads: 1 }
         );
+    }
+
+    #[test]
+    fn work_sizing_caps_fanout() {
+        // Serial never fans out, whatever the problem size.
+        assert_eq!(Backend::Serial.threads_for_work(u64::MAX / 2), 1);
+        let b = Backend::Threaded { threads: 8 };
+        // Tiny problems run serial: no scoped spawn below one worker's
+        // worth of FLOPs.
+        assert_eq!(b.threads_for_work(0), 1);
+        assert_eq!(b.threads_for_work(FLOPS_PER_WORKER - 1), 1);
+        // Each additional FLOPS_PER_WORKER unlocks one more worker...
+        assert_eq!(b.threads_for_work(FLOPS_PER_WORKER), 2);
+        assert_eq!(b.threads_for_work(3 * FLOPS_PER_WORKER), 4);
+        // ...up to the configured width.
+        assert_eq!(b.threads_for_work(1000 * FLOPS_PER_WORKER), 8);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! # mt-kernels
 //!
 //! Cache-blocked, multi-threaded CPU kernels for the workspace's hot
-//! operators — the GEMM family (N/NT/TN/TT), row softmax, LayerNorm, and
-//! GeLU — behind a single [`Backend`] selector.
+//! operators — the GEMM family (N/NT/TT/TN via a packed SIMD microkernel,
+//! see [`gemm`]), row softmax, LayerNorm, and GeLU — behind a single
+//! [`Backend`] selector.
 //!
 //! The crate operates on plain `&[f32]` slices so it sits *below*
 //! `mt-tensor` (which wraps these kernels in shape-checked `Tensor` entry
@@ -22,6 +23,13 @@
 //! results to [`Backend::Serial`] at any thread count — the property that
 //! lets the gradient-equivalence and Table-2 tests upstream keep their exact
 //! assertions while the backend is swapped underneath them.
+//!
+//! The GEMM microkernel extends the contract to its SIMD dispatch: the
+//! runtime-selected AVX2 path and the scalar fallback are the *same*
+//! generic function instantiated at two feature levels, both computing
+//! plain `mul`-then-`add` per element (FMA is never enabled), so feature
+//! detection changes throughput only — never an output bit. See
+//! [`gemm`]'s module docs for the packing/microkernel architecture.
 //!
 //! ## Tracing
 //!

@@ -13,19 +13,21 @@
 //!
 //! ## Determinism
 //!
-//! The work units are the same [`TILE_M`]-row bands as the serial kernel,
-//! each computed by exactly one worker with the same ascending-`k`
-//! single-accumulator chain (`band_nn`/`band_nt`). Every `C[i][j]` is
-//! therefore the identical float expression no matter how many threads run
-//! or in which order chunks arrive, which keeps the overlapped path
-//! **bit-identical** to the exposed (gather-everything-then-GEMM) path.
+//! The work units are the same [`TILE_M`]-row bands as the flat kernel,
+//! running the same packed microkernel (`band_gemm`) with the same
+//! ascending-`k` single-accumulator chain per output element; `B` is
+//! packed into panels once, before any chunk is fetched, and shared
+//! read-only by every band. Every `C[i][j]` is therefore the identical
+//! float expression no matter how many threads run or in which order
+//! chunks arrive, which keeps the overlapped path **bit-identical** to the
+//! exposed (gather-everything-then-GEMM) path.
 //! Contraction-side consumers (`Aᵀ·B`) have no such row decomposition and
 //! must use the assembled tensor; [`gemm_gathered`] can fill one
 //! (`assembled`) as chunks land so a downstream weight-gradient GEMM pays
 //! no extra gather.
 
 use crate::backend::Backend;
-use crate::gemm::{band_nn, band_nt, TILE_M};
+use crate::gemm::{band_gemm, simd_level, PackedB, TILE_M};
 use mt_sync::{Condvar, Mutex, OnceCell};
 use mt_trace::ArgValue;
 use std::collections::VecDeque;
@@ -179,6 +181,13 @@ pub fn gemm_gathered(
     assert_eq!(covered, m, "gemm_gathered: plan covers {covered} of {m} rows");
 
     let threads = backend.threads();
+    // Pack B into panels once, before any chunk is in flight; every band on
+    // every worker reads the same packed panels, so the packing cost is
+    // paid once per GEMM instead of once per band.
+    let pack_t0 = mt_trace::monotonic_us();
+    let pb = PackedB::pack(transpose_b, n, k, b);
+    let packing_us = mt_trace::monotonic_us().saturating_sub(pack_t0);
+    let simd = simd_level();
     let tracer = mt_trace::current();
     let mut span = tracer.span_args("gemm_overlapped", || {
         vec![
@@ -222,12 +231,7 @@ pub fn gemm_gathered(
         let payload = payloads[spec.chunk].get().expect("payload set before band queued").clone();
         let slot = slots[i].lock().take().expect("band taken once");
         let a_slab = &payload[spec.a_off..];
-        slot.fill(0.0);
-        if transpose_b {
-            band_nt(spec.a_row0, spec.rows, n, k, a_slab, b, slot);
-        } else {
-            band_nn(spec.a_row0, spec.rows, n, k, a_slab, b, slot);
-        }
+        band_gemm(simd, false, a_slab, k, spec.a_row0, spec.rows, n, k, &pb, slot);
     };
     // Pull bands until the queue is dry; `wait_for_more` decides whether a
     // dry queue before the last fetch means "park on the condvar" (workers)
@@ -305,6 +309,7 @@ pub fn gemm_gathered(
     // comm ledger, so profile attribution can cross-check them exactly.
     span.arg("comm_us", report.comm_us);
     span.arg("exposed_us", report.exposed_us);
+    span.arg("packing_us", packing_us);
     drop(span);
     report
 }

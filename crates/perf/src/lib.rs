@@ -83,6 +83,33 @@ impl GpuSpec {
         }
     }
 
+    /// The CPU this repo's own `mt-kernels` GEMM actually runs on,
+    /// calibrated from measured microkernel throughput rather than a
+    /// datasheet: the packed AVX2 microkernel sustains ~50 GFLOP/s f32 per
+    /// core on the CI-class Xeon (`kernel_bench`, 256³–512³), against a
+    /// no-FMA vector peak of 16 FLOPs/cycle × ~3.0 GHz turbo ≈ 48–67
+    /// GFLOP/s depending on clock — an asymptotic efficiency around 0.8 of
+    /// the mul+add peak. The half-gap constant is small because the packed
+    /// kernel reaches its asymptote by h ≈ 512 (cache blocking, not
+    /// occupancy, is the limiter on CPU).
+    ///
+    /// This spec exists so measured-vs-analytical comparisons can price
+    /// the *local* kernels with the same machinery used for the paper's
+    /// A100 numbers; it models one core (the deterministic unit — threaded
+    /// speedup multiplies it by the worker count).
+    pub fn reference_cpu() -> Self {
+        GpuSpec {
+            peak_flops: 64e9,
+            gemm_efficiency: 0.80,
+            gemm_half_hidden: 96.0,
+            hbm_bytes_per_s: 2.0e10,
+            nvlink: CommCostModel::nvlink_dgx_a100(),
+            interconnect: CommCostModel::infiniband_hdr(),
+            backward_overlap: 1.0,
+            sp_regather_overlap: 0.5,
+        }
+    }
+
     /// Size-dependent achieved GEMM efficiency:
     /// `gemm_efficiency · h / (h + gemm_half_hidden)`.
     pub fn effective_gemm_efficiency(&self, hidden: u64) -> f64 {
@@ -107,5 +134,21 @@ mod tests {
         assert!((0.0..=1.0).contains(&g.gemm_efficiency));
         assert!((0.0..=1.0).contains(&g.backward_overlap));
         assert!(g.nvlink.beta_bytes_per_s > g.interconnect.beta_bytes_per_s);
+    }
+
+    #[test]
+    fn reference_cpu_matches_measured_kernel_throughput() {
+        let c = GpuSpec::reference_cpu();
+        assert!((0.0..=1.0).contains(&c.gemm_efficiency));
+        // The spec must predict the benched band for the shapes
+        // kernel_bench actually runs: ~45–55 GFLOP/s at h = 512 on the
+        // packed AVX2 microkernel.
+        let at_512 = c.achieved_gemm_flops(512);
+        assert!(
+            (40e9..60e9).contains(&at_512),
+            "reference_cpu predicts {at_512:.3e} FLOP/s at h=512, outside the measured band"
+        );
+        // And it is a CPU: orders of magnitude below the A100 spec.
+        assert!(c.peak_flops < GpuSpec::a100().peak_flops / 1000.0);
     }
 }

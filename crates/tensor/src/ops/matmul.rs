@@ -8,12 +8,6 @@
 use crate::Tensor;
 use mt_kernels::Backend;
 
-/// Problems with `m·n·k` below this run single-threaded regardless of the
-/// default backend: a 64³ GEMM finishes in the time it takes to spawn a
-/// scoped worker. Results are bit-identical either way (the kernels'
-/// determinism contract), so this is purely a latency policy.
-const PARALLEL_MNK_CUTOFF: usize = 64 * 64 * 64;
-
 /// A GEMM descriptor: `C = op(A) · op(B)` where each `op` is transpose or
 /// identity, selected per operand.
 ///
@@ -62,25 +56,24 @@ impl Gemm {
     }
 
     /// Runs the GEMM with the process default backend
-    /// ([`mt_kernels::default_backend`]), dropping problems below a size
-    /// cutoff to a single thread — spawn latency beats the arithmetic on
-    /// tiny shapes. Bit-identical to any explicit backend choice.
+    /// ([`mt_kernels::default_backend`]). The kernel sizes its own worker
+    /// fan-out to the problem's FLOPs
+    /// ([`mt_kernels::Backend::threads_for_work`]), so tiny shapes run
+    /// serial without a tensor-level cutoff here. Bit-identical to any
+    /// explicit backend choice.
     ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank 2 or the inner dims disagree.
     pub fn apply(&self, a: &Tensor, b: &Tensor) -> Tensor {
         let (m, n, k) = self.dims(a, b);
-        let backend = match mt_kernels::default_backend() {
-            Backend::Threaded { .. } if m * n * k < PARALLEL_MNK_CUTOFF => Backend::Serial,
-            other => other,
-        };
-        self.run(backend, m, n, k, a, b)
+        self.run(mt_kernels::default_backend(), m, n, k, a, b)
     }
 
-    /// Runs the GEMM on an explicit [`Backend`], bypassing both the process
-    /// default and the small-problem policy (benches and equivalence tests
-    /// want exact control).
+    /// Runs the GEMM on an explicit [`Backend`] instead of the process
+    /// default (benches and equivalence tests want exact control). The
+    /// backend's thread count is still an upper bound — the kernel's
+    /// work-size policy decides the actual fan-out.
     ///
     /// # Panics
     ///
